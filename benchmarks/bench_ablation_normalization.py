@@ -1,0 +1,75 @@
+"""Ablation — Theorem 4 (out-degree-normalised Laplacian) vs Theorem 5
+(ordinary Laplacian divided by the maximum out-degree).
+
+The paper introduces Theorem 5 as a deliberately looser but closed-form-
+friendly variant.  This bench quantifies the gap on all four evaluation graph
+families: on graphs with uniform out-degree (the butterfly) the two coincide;
+on graphs with skewed out-degrees (hypercube, matmul) Theorem 4 is strictly
+tighter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_dict_rows, pick, run_once
+from repro.core.bounds import spectral_bounds_for_memory_sizes
+from repro.graphs.generators import (
+    bellman_held_karp_graph,
+    fft_graph,
+    naive_matmul_graph,
+    strassen_graph,
+)
+
+CASES = [
+    ("fft", lambda: fft_graph(pick(8, 10)), [4, 8]),
+    ("bellman-held-karp", lambda: bellman_held_karp_graph(pick(11, 13)), [16, 32]),
+    ("naive-matmul", lambda: naive_matmul_graph(pick(12, 16), reduction="flat"), [32, 64]),
+    ("strassen", lambda: strassen_graph(8), [8, 16]),
+]
+
+
+@pytest.fixture(scope="module")
+def normalization_rows():
+    rows = []
+    for family, builder, memory_sizes in CASES:
+        graph = builder()
+        thm4 = spectral_bounds_for_memory_sizes(graph, memory_sizes, normalized=True)
+        thm5 = spectral_bounds_for_memory_sizes(graph, memory_sizes, normalized=False)
+        for M in memory_sizes:
+            rows.append(
+                {
+                    "family": family,
+                    "n": graph.num_vertices,
+                    "max_out_degree": graph.max_out_degree,
+                    "M": M,
+                    "thm4_bound": thm4[M].value,
+                    "thm5_bound": thm5[M].value,
+                    "gap_ratio": (
+                        round(thm4[M].value / thm5[M].value, 3) if thm5[M].value > 0 else None
+                    ),
+                }
+            )
+    return rows
+
+
+def test_ablation_laplacian_normalization(benchmark, normalization_rows):
+    rows = normalization_rows
+    run_once(
+        benchmark,
+        lambda: spectral_bounds_for_memory_sizes(fft_graph(pick(8, 10)), [4], normalized=True),
+    )
+
+    print_dict_rows("Ablation: Theorem 4 vs Theorem 5 bound strength", rows, csv_name="ablation_normalization")
+
+    for row in rows:
+        # Theorem 5 is never tighter than Theorem 4.
+        assert row["thm5_bound"] <= row["thm4_bound"] + 1e-6
+    # On the butterfly (uniform out-degree 2) the two coincide.
+    fft_rows = [r for r in rows if r["family"] == "fft"]
+    for row in fft_rows:
+        assert row["thm5_bound"] == pytest.approx(row["thm4_bound"], rel=1e-6, abs=1e-6)
+    # On the hypercube (out-degrees 0..l) Theorem 4 is strictly tighter
+    # wherever the bound is non-trivial.
+    bhk_rows = [r for r in rows if r["family"] == "bellman-held-karp" and r["thm4_bound"] > 0]
+    assert any(r["thm4_bound"] > r["thm5_bound"] for r in bhk_rows)

@@ -1,0 +1,81 @@
+"""§5.2 + Theorem 7 — closed-form butterfly spectrum and FFT bound.
+
+Two reproductions in one bench:
+
+* **Theorem 7** — the closed-form Laplacian spectrum of the unwrapped
+  butterfly is compared against the numerically computed spectrum of the
+  generated FFT graph (exact agreement), and its evaluation is timed against
+  the dense eigensolve it replaces.
+* **§5.2 bound** — the closed-form FFT bound (paper's ``alpha`` choice and the
+  optimised one) is compared against the numerical Theorem-5 bound and the
+  published tight bound's growth term ``l·2^l / log M``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import print_dict_rows, pick, run_once
+from repro.core.bounds import spectral_bound_unnormalized
+from repro.core.closed_form import fft_io_bound, published_fft_bound
+from repro.core.spectra import butterfly_spectrum_array
+from repro.graphs.generators import fft_graph
+from repro.graphs.laplacian import laplacian
+from repro.solvers.dense import dense_spectrum
+
+SPECTRUM_LEVELS = pick([2, 3, 4, 5, 6], [2, 3, 4, 5, 6, 7, 8])
+BOUND_LEVELS = pick(list(range(4, 10)), list(range(4, 13)))
+MEMORY_SIZES = [4, 8, 16]
+
+
+def test_theorem7_butterfly_spectrum(benchmark):
+    """Closed-form spectrum == numeric spectrum, and far cheaper to evaluate."""
+    results = []
+    for levels in SPECTRUM_LEVELS:
+        graph = fft_graph(levels)
+        numeric = dense_spectrum(laplacian(graph, normalized=False))
+        closed = butterfly_spectrum_array(levels)
+        max_error = float(np.max(np.abs(np.sort(numeric) - closed)))
+        results.append(
+            {"levels": levels, "n": graph.num_vertices, "max_abs_error": max_error}
+        )
+        assert max_error < 1e-6
+    run_once(benchmark, lambda: butterfly_spectrum_array(max(SPECTRUM_LEVELS)))
+    print_dict_rows("Theorem 7: closed-form butterfly spectrum accuracy", results)
+
+
+@pytest.fixture(scope="module")
+def fft_bound_rows():
+    rows = []
+    for levels in BOUND_LEVELS:
+        graph = fft_graph(levels)
+        for M in MEMORY_SIZES:
+            closed = fft_io_bound(levels, M)
+            numeric = spectral_bound_unnormalized(graph, M)
+            rows.append(
+                {
+                    "l": levels,
+                    "n": graph.num_vertices,
+                    "M": M,
+                    "closed_form": closed.value,
+                    "closed_form_alpha": closed.alpha,
+                    "numeric_thm5": numeric.value,
+                    "published_growth_term": published_fft_bound(levels, M),
+                }
+            )
+    return rows
+
+
+def test_section52_fft_bound_vs_numeric(benchmark, fft_bound_rows):
+    rows = fft_bound_rows
+    run_once(benchmark, lambda: fft_io_bound(max(BOUND_LEVELS), 4))
+
+    print_dict_rows("§5.2: closed-form vs numerical FFT bounds", rows, csv_name="closed_form_fft")
+
+    for row in rows:
+        # The closed form drops part of the eigenvalue mass, so the numerical
+        # Theorem-5 bound on the same graph dominates it (up to floor slack).
+        assert row["closed_form"] <= row["numeric_thm5"] + 4.0 * row["l"]
+        # Both sit below the published asymptotically tight bound's growth term.
+        assert row["closed_form"] <= row["published_growth_term"]

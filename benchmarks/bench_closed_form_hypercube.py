@@ -1,0 +1,62 @@
+"""§5.1 — closed-form Bellman-Held-Karp (hypercube) bound vs numerical bound.
+
+The paper derives a closed-form instantiation of Theorem 5 for the boolean
+hypercube.  This bench regenerates the comparison: for each ``l`` and ``M`` it
+reports the closed-form value (optimised over the eigenvalue level ``alpha``),
+the simplified ``alpha = 1`` expression ``2^{l+1}/(l+1) - 2M(l+1)``, and the
+fully numerical spectral bounds (Theorems 4 and 5) on the generated graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_dict_rows, pick, run_once
+from repro.core.bounds import spectral_bound, spectral_bound_unnormalized
+from repro.core.closed_form import hypercube_io_bound, hypercube_io_bound_alpha1
+from repro.graphs.generators import bellman_held_karp_graph
+
+CITIES = pick(list(range(6, 13)), list(range(6, 16)))
+MEMORY_SIZES = [16, 32, 64]
+
+
+def _rows():
+    rows = []
+    for l in CITIES:
+        graph = bellman_held_karp_graph(l)
+        for M in MEMORY_SIZES:
+            closed = hypercube_io_bound(l, M)
+            numeric_t5 = spectral_bound_unnormalized(graph, M)
+            numeric_t4 = spectral_bound(graph, M)
+            rows.append(
+                {
+                    "l": l,
+                    "n": graph.num_vertices,
+                    "M": M,
+                    "closed_form": closed.value,
+                    "closed_form_alpha": closed.alpha,
+                    "closed_form_alpha1": max(0.0, hypercube_io_bound_alpha1(l, M)),
+                    "numeric_thm5": numeric_t5.value,
+                    "numeric_thm4": numeric_t4.value,
+                }
+            )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def hypercube_rows():
+    return _rows()
+
+
+def test_closed_form_hypercube_vs_numeric(benchmark, hypercube_rows):
+    rows = hypercube_rows
+    run_once(benchmark, lambda: hypercube_io_bound(max(CITIES), 16))
+
+    print_dict_rows("§5.1: closed-form vs numerical hypercube bounds", rows, csv_name="closed_form_hypercube")
+
+    for row in rows:
+        # The closed form never beats the numerically optimised Theorem 5 by
+        # more than its floor(n/k) vs n/k slack, and Theorem 4 dominates both.
+        assert row["closed_form"] <= row["numeric_thm5"] + 2.0 * row["l"]
+        assert row["numeric_thm4"] >= row["numeric_thm5"] - 1e-6
+        assert row["closed_form"] >= max(0.0, row["closed_form_alpha1"]) - 1e-9

@@ -1,0 +1,77 @@
+"""Figure 7 — I/O lower bounds for the 2^l-point FFT butterfly.
+
+Top panel: computed bound vs ``l`` for ``M ∈ {4, 8, 16}``, spectral method vs
+convex min-cut baseline.  Bottom panel: the spectral bound vs the published
+growth term ``l·2^l`` (should be roughly linear, §6.4).
+
+Defaults sweep ``l = 3..9`` with the convex baseline capped at graphs of ~500
+vertices; set ``REPRO_BENCH_LARGE=1`` for the paper's ``l = 3..12`` range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import check_series_shape, pick, print_figure, print_rows, run_once
+from repro.analysis.figures import series_from_rows
+from repro.analysis.sweep import sweep
+from repro.graphs.generators import fft_graph
+
+MEMORY_SIZES = [4, 8, 16]
+LEVELS = pick(list(range(3, 10)), list(range(3, 13)))
+CONVEX_MAX_VERTICES = pick(500, 2500)
+
+
+def _run_sweep():
+    return sweep(
+        "fft",
+        fft_graph,
+        size_params=LEVELS,
+        memory_sizes=MEMORY_SIZES,
+        methods=("spectral", "convex-min-cut"),
+        max_vertices={"convex-min-cut": CONVEX_MAX_VERTICES},
+    )
+
+
+@pytest.fixture(scope="module")
+def fft_rows():
+    return _run_sweep()
+
+
+def test_fig07_fft_bounds(benchmark, fft_rows):
+    """Regenerate both panels of Figure 7 and time the full sweep."""
+    rows = fft_rows
+    # Time one representative bound computation (largest graph, M=4).
+    largest = max(LEVELS)
+    from repro.core.bounds import spectral_bound
+
+    run_once(benchmark, lambda: spectral_bound(fft_graph(largest), 4))
+
+    print_rows("Figure 7 data: FFT I/O lower bounds", rows, csv_name="fig07_fft")
+    top = series_from_rows("fig7-top", rows, x_of=lambda r: r.size_param, x_label="l")
+    bottom = series_from_rows(
+        "fig7-bottom",
+        [r for r in rows if r.method == "spectral"],
+        x_of=lambda r: r.size_param * 2**r.size_param,
+        x_label="l * 2^l",
+    )
+    print_figure(top)
+    print_figure(bottom)
+
+    # Shape checks (§6.4): the spectral bound grows with l·2^l roughly linearly.
+    check_series_shape(
+        [r for r in rows if r.method == "spectral"],
+        x_of=lambda r: r.size_param * 2**r.size_param,
+        min_r_squared=0.8,
+    )
+    # The spectral bound dominates the convex min-cut baseline on the largest
+    # graphs where both were evaluated (the paper's headline comparison).
+    spectral_by_key = {
+        (r.size_param, r.memory_size): r.bound for r in rows if r.method == "spectral"
+    }
+    convex_rows = [r for r in rows if r.method == "convex-min-cut"]
+    if convex_rows:
+        largest_convex = max(r.size_param for r in convex_rows)
+        for r in convex_rows:
+            if r.size_param == largest_convex and r.memory_size == 4:
+                assert spectral_by_key[(max(LEVELS), 4)] >= r.bound

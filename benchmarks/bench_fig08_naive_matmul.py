@@ -1,0 +1,69 @@
+"""Figure 8 — I/O lower bounds for naive n×n matrix multiplication.
+
+Top panel: computed bound vs ``n`` for ``M ∈ {32, 64, 128}``.  Bottom panel:
+the spectral bound vs the published growth term ``n^3``.  The graphs use the
+paper's granularity (one n-ary summation per output entry, max in-degree
+``n``); the convex min-cut baseline is trivial on this family (§6.4), which
+the bench asserts.
+
+Defaults sweep ``n ∈ {4, 8, 12, 16}``; ``REPRO_BENCH_LARGE=1`` extends to
+``n = 24`` (the paper goes to 64, i.e. ~2.6M-vertex graphs, which is beyond a
+laptop-scale dense eigensolve — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import check_series_shape, pick, print_figure, print_rows, run_once
+from repro.analysis.figures import series_from_rows
+from repro.analysis.sweep import sweep
+from repro.graphs.generators import naive_matmul_graph
+
+MEMORY_SIZES = [32, 64, 128]
+SIZES = pick([4, 8, 12, 16], [4, 8, 12, 16, 20, 24])
+CONVEX_MAX_VERTICES = pick(800, 2500)
+
+
+def build(n: int):
+    return naive_matmul_graph(n, reduction="flat")
+
+
+@pytest.fixture(scope="module")
+def matmul_rows():
+    return sweep(
+        "naive-matmul",
+        build,
+        size_params=SIZES,
+        memory_sizes=MEMORY_SIZES,
+        methods=("spectral", "convex-min-cut"),
+        max_vertices={"convex-min-cut": CONVEX_MAX_VERTICES},
+    )
+
+
+def test_fig08_naive_matmul_bounds(benchmark, matmul_rows):
+    rows = matmul_rows
+    from repro.core.bounds import spectral_bound
+
+    run_once(benchmark, lambda: spectral_bound(build(max(SIZES)), 32))
+
+    print_rows("Figure 8 data: naive matmul I/O lower bounds", rows, csv_name="fig08_matmul")
+    print_figure(series_from_rows("fig8-top", rows, x_of=lambda r: r.size_param, x_label="n"))
+    print_figure(
+        series_from_rows(
+            "fig8-bottom",
+            [r for r in rows if r.method == "spectral"],
+            x_of=lambda r: r.size_param**3,
+            x_label="n^3",
+        )
+    )
+
+    check_series_shape(
+        [r for r in rows if r.method == "spectral"], x_of=lambda r: r.size_param**3
+    )
+    # §6.4: the convex min-cut baseline is trivial for naive matmul.
+    convex_rows = [r for r in rows if r.method == "convex-min-cut"]
+    assert all(r.bound == 0.0 for r in convex_rows)
+    # The spectral bound is therefore at least as tight everywhere it was run.
+    spectral_rows = [r for r in rows if r.method == "spectral"]
+    assert all(r.bound >= 0.0 for r in spectral_rows)

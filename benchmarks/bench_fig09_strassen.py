@@ -1,0 +1,66 @@
+"""Figure 9 — I/O lower bounds for Strassen matrix multiplication.
+
+Top panel: computed bound vs ``n`` for ``M ∈ {8, 16}``.  Bottom panel: the
+spectral bound vs the published growth term ``n^{log2 7}``.  The graphs use
+the paper's granularity (fused output combinations, max in-degree 4).
+
+Defaults sweep ``n ∈ {4, 8, 16}`` — exactly the paper's range; the convex
+min-cut baseline is evaluated for ``n ∈ {4, 8}`` (the ``n = 16`` graph has
+~13k vertices, far beyond the baseline's practical reach, mirroring the
+paper's cutoff).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.common import check_series_shape, pick, print_figure, print_rows, run_once
+from repro.analysis.figures import series_from_rows
+from repro.analysis.sweep import sweep
+from repro.graphs.generators import strassen_graph
+
+MEMORY_SIZES = [8, 16]
+SIZES = pick([4, 8, 16], [4, 8, 16, 32])
+CONVEX_MAX_VERTICES = pick(800, 2500)
+
+
+@pytest.fixture(scope="module")
+def strassen_rows():
+    return sweep(
+        "strassen",
+        strassen_graph,
+        size_params=SIZES,
+        memory_sizes=MEMORY_SIZES,
+        methods=("spectral", "convex-min-cut"),
+        num_eigenvalues=60,
+        max_vertices={"convex-min-cut": CONVEX_MAX_VERTICES},
+    )
+
+
+def test_fig09_strassen_bounds(benchmark, strassen_rows):
+    rows = strassen_rows
+    from repro.core.bounds import spectral_bound
+
+    run_once(benchmark, lambda: spectral_bound(strassen_graph(8), 8, num_eigenvalues=60))
+
+    print_rows("Figure 9 data: Strassen I/O lower bounds", rows, csv_name="fig09_strassen")
+    print_figure(series_from_rows("fig9-top", rows, x_of=lambda r: r.size_param, x_label="n"))
+    print_figure(
+        series_from_rows(
+            "fig9-bottom",
+            [r for r in rows if r.method == "spectral"],
+            x_of=lambda r: r.size_param ** math.log2(7),
+            x_label="n^{log2 7}",
+        )
+    )
+
+    check_series_shape(
+        [r for r in rows if r.method == "spectral"],
+        x_of=lambda r: r.size_param ** math.log2(7),
+    )
+    # The largest size must produce a non-trivial spectral bound at M=8.
+    largest = max(SIZES)
+    best = [r for r in rows if r.method == "spectral" and r.size_param == largest and r.memory_size == 8]
+    assert best and best[0].bound > 0

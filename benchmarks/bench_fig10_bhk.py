@@ -1,0 +1,72 @@
+"""Figure 10 — I/O lower bounds for the Bellman-Held-Karp TSP dynamic program.
+
+Top panel: computed bound vs the number of cities ``l`` for
+``M ∈ {16, 32, 64}``, spectral vs convex min-cut.  Bottom panel: the spectral
+bound vs the growth term ``2^l / l`` derived in §5.1.
+
+Defaults sweep ``l = 6..12``; ``REPRO_BENCH_LARGE=1`` extends to the paper's
+``l = 15`` (a 32k-vertex hypercube).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import check_series_shape, pick, print_figure, print_rows, run_once
+from repro.analysis.figures import series_from_rows
+from repro.analysis.sweep import sweep
+from repro.graphs.generators import bellman_held_karp_graph
+
+MEMORY_SIZES = [16, 32, 64]
+CITIES = pick(list(range(6, 13)), list(range(6, 16)))
+CONVEX_MAX_VERTICES = pick(300, 1100)
+
+
+@pytest.fixture(scope="module")
+def bhk_rows():
+    return sweep(
+        "bellman-held-karp",
+        bellman_held_karp_graph,
+        size_params=CITIES,
+        memory_sizes=MEMORY_SIZES,
+        methods=("spectral", "convex-min-cut"),
+        max_vertices={"convex-min-cut": CONVEX_MAX_VERTICES},
+    )
+
+
+def test_fig10_bhk_bounds(benchmark, bhk_rows):
+    rows = bhk_rows
+    from repro.core.bounds import spectral_bound
+
+    run_once(benchmark, lambda: spectral_bound(bellman_held_karp_graph(max(CITIES)), 16))
+
+    print_rows(
+        "Figure 10 data: Bellman-Held-Karp I/O lower bounds", rows, csv_name="fig10_bhk"
+    )
+    print_figure(series_from_rows("fig10-top", rows, x_of=lambda r: r.size_param, x_label="l"))
+    print_figure(
+        series_from_rows(
+            "fig10-bottom",
+            [r for r in rows if r.method == "spectral"],
+            x_of=lambda r: 2**r.size_param / r.size_param,
+            x_label="2^l / l",
+        )
+    )
+
+    check_series_shape(
+        [r for r in rows if r.method == "spectral"],
+        x_of=lambda r: 2**r.size_param / r.size_param,
+        min_r_squared=0.8,
+    )
+    # The spectral bound at the largest size and M=16 is non-trivial and
+    # exceeds the convex baseline values observed on its (smaller) graphs.
+    spectral_largest = [
+        r.bound
+        for r in rows
+        if r.method == "spectral" and r.size_param == max(CITIES) and r.memory_size == 16
+    ]
+    convex_best = max(
+        (r.bound for r in rows if r.method == "convex-min-cut"), default=0.0
+    )
+    assert spectral_largest and spectral_largest[0] > 0
+    assert spectral_largest[0] >= convex_best

@@ -1,0 +1,59 @@
+"""Figure 11 — runtime of the spectral method vs the convex min-cut baseline.
+
+The paper measures wall-clock seconds to compute the lower bound for the
+Bellman-Held-Karp graph as the number of cities grows: the convex min-cut
+method explodes (``O(n^5)``, ~8.5 hours at ``l = 15``) while the spectral
+method stays under two minutes.  This bench reproduces the measurement at
+CI-friendly sizes (``l = 6..9`` by default, both methods) and additionally
+reports the spectral method alone up to the Figure-10 sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_dict_rows, pick, print_rows, run_once
+from repro.analysis.runtime import runtime_comparison
+from repro.graphs.generators import bellman_held_karp_graph
+
+M = 16
+BOTH_METHOD_CITIES = pick(list(range(6, 10)), list(range(6, 12)))
+SPECTRAL_ONLY_CITIES = pick(list(range(10, 13)), list(range(12, 16)))
+
+
+@pytest.fixture(scope="module")
+def runtime_rows():
+    rows = runtime_comparison(
+        "bellman-held-karp",
+        bellman_held_karp_graph,
+        size_params=BOTH_METHOD_CITIES,
+        M=M,
+        methods=("spectral", "convex-min-cut"),
+    )
+    rows += runtime_comparison(
+        "bellman-held-karp",
+        bellman_held_karp_graph,
+        size_params=SPECTRAL_ONLY_CITIES,
+        M=M,
+        methods=("spectral",),
+    )
+    return rows
+
+
+def test_fig11_runtime_comparison(benchmark, runtime_rows):
+    rows = runtime_rows
+    run_once(benchmark, lambda: None)  # the measurement *is* the elapsed columns below
+
+    print_dict_rows("Figure 11 data: lower-bound runtime (seconds)", rows, csv_name="fig11_runtime")
+
+    # Qualitative reproduction: at the largest size where both ran, the convex
+    # min-cut method is slower than the spectral method, and its runtime grows
+    # faster than the spectral method's as l increases.
+    largest = max(BOTH_METHOD_CITIES)
+    spectral = {r.size_param: r.elapsed_seconds for r in rows if r.method == "spectral"}
+    convex = {r.size_param: r.elapsed_seconds for r in rows if r.method == "convex-min-cut"}
+    assert convex[largest] > spectral[largest]
+    smallest = min(BOTH_METHOD_CITIES)
+    convex_growth = convex[largest] / max(convex[smallest], 1e-9)
+    spectral_growth = spectral[largest] / max(spectral[smallest], 1e-9)
+    assert convex_growth > spectral_growth

@@ -1,0 +1,71 @@
+"""§4.4 / Theorem 6 — parallel spectral bounds.
+
+The paper extends the spectral bound to ``p`` processors: at least one
+processor incurs ``floor(n/(kp)) * sum lambda_i - 2kM`` I/Os.  This bench
+reports the parallel bound as a function of the processor count for the FFT
+and Bellman-Held-Karp graphs and compares it against the worst per-processor
+I/O of a concrete block-distributed execution (an upper-bound construction),
+verifying the sandwich ``Theorem 6 <= worst processor of any execution``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_dict_rows, pick, run_once
+from repro.core.bounds import parallel_spectral_bound
+from repro.graphs.generators import bellman_held_karp_graph, fft_graph
+from repro.parallel.assignment import contiguous_assignment
+from repro.parallel.bound import max_processor_simulated_io
+
+PROCESSORS = [1, 2, 4, 8]
+CASES = [
+    ("fft", fft_graph, pick(8, 10), 4),
+    ("bellman-held-karp", bellman_held_karp_graph, pick(10, 12), 16),
+]
+
+
+@pytest.fixture(scope="module")
+def parallel_rows():
+    rows = []
+    for family, builder, size, M in CASES:
+        graph = builder(size)
+        for p in PROCESSORS:
+            lower = parallel_spectral_bound(graph, M, num_processors=p)
+            upper = max_processor_simulated_io(graph, contiguous_assignment(graph, p), M)
+            rows.append(
+                {
+                    "family": family,
+                    "size_param": size,
+                    "n": graph.num_vertices,
+                    "M": M,
+                    "processors": p,
+                    "theorem6_bound": lower.value,
+                    "best_k": lower.best_k,
+                    "worst_processor_simulated_io": upper,
+                }
+            )
+    return rows
+
+
+def test_parallel_spectral_bound(benchmark, parallel_rows):
+    rows = parallel_rows
+    family, builder, size, M = CASES[0]
+    run_once(benchmark, lambda: parallel_spectral_bound(builder(size), M, num_processors=4))
+
+    print_dict_rows("Theorem 6: parallel spectral bounds vs simulated executions", rows, csv_name="parallel_bounds")
+
+    by_family: dict = {}
+    for row in rows:
+        # Soundness: the lower bound never exceeds the constructed execution.
+        assert row["theorem6_bound"] <= row["worst_processor_simulated_io"] + 1e-9
+        by_family.setdefault(row["family"], []).append(
+            (row["processors"], row["theorem6_bound"])
+        )
+    # The bound is non-increasing in the processor count.
+    for values in by_family.values():
+        values.sort()
+        bounds = [b for _, b in values]
+        assert all(a >= b - 1e-9 for a, b in zip(bounds, bounds[1:]))
+    # The single-processor case is non-trivial for both families.
+    assert all(values[0][1] > 0 for values in by_family.values())

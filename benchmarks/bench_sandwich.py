@@ -1,0 +1,71 @@
+"""Validation bench — sandwiching the optimal I/O between lower and upper bounds.
+
+Not a paper figure, but the strongest end-to-end check the library offers: for
+every evaluation graph family,
+
+    convex-min-cut bound,  spectral bound   <=   J*_G   <=   best simulated schedule.
+
+The bench reports all three numbers side by side (together with the gap), so a
+reader can see how tight the spectral bound is against an achievable schedule,
+and asserts the ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import print_dict_rows, pick, run_once
+from repro.baselines.convex_mincut import convex_min_cut_bound
+from repro.baselines.exact import minimum_io_upper_bound
+from repro.core.bounds import spectral_bound
+from repro.graphs.generators import (
+    bellman_held_karp_graph,
+    fft_graph,
+    naive_matmul_graph,
+    strassen_graph,
+)
+
+CASES = [
+    ("fft", lambda: fft_graph(pick(6, 8)), 4),
+    ("bellman-held-karp", lambda: bellman_held_karp_graph(pick(9, 11)), 16),
+    ("naive-matmul", lambda: naive_matmul_graph(pick(6, 10), reduction="flat"), 16),
+    ("strassen", lambda: strassen_graph(8), 8),
+]
+
+
+@pytest.fixture(scope="module")
+def sandwich_rows():
+    rows = []
+    for family, builder, M in CASES:
+        graph = builder()
+        spectral = spectral_bound(graph, M)
+        convex = convex_min_cut_bound(
+            graph, M, vertices=range(0, graph.num_vertices, max(1, graph.num_vertices // 150))
+        )
+        upper = minimum_io_upper_bound(graph, M, policies=("belady",), num_random_orders=2)
+        rows.append(
+            {
+                "family": family,
+                "n": graph.num_vertices,
+                "M": M,
+                "convex_min_cut_lower": convex.value,
+                "spectral_lower": spectral.value,
+                "simulated_upper": upper.total_io,
+                "upper_over_spectral": (
+                    round(upper.total_io / spectral.value, 2) if spectral.value > 0 else None
+                ),
+            }
+        )
+    return rows
+
+
+def test_sandwich_lower_below_upper(benchmark, sandwich_rows):
+    rows = sandwich_rows
+    family, builder, M = CASES[0]
+    run_once(benchmark, lambda: spectral_bound(builder(), M))
+
+    print_dict_rows("Sandwich: lower bounds vs achievable schedules", rows, csv_name="sandwich")
+
+    for row in rows:
+        assert row["spectral_lower"] <= row["simulated_upper"] + 1e-9
+        assert row["convex_min_cut_lower"] <= row["simulated_upper"] + 1e-9

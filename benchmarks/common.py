@@ -1,0 +1,135 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` file regenerates one of the paper's tables/figures: it runs
+the corresponding sweep, prints the same series the figure plots (so the
+console output of ``pytest benchmarks/ --benchmark-only`` *is* the
+reproduction), optionally writes CSVs (``REPRO_WRITE_RESULTS=1``), and times
+the representative computation through ``pytest-benchmark``.
+
+Graph sizes default to CI-friendly caps; ``REPRO_BENCH_LARGE=1`` switches to
+paper-scale sweeps (minutes to hours, exactly like the original evaluation).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, List, Sequence
+
+from repro.analysis.figures import FigureSeries, linear_fit_r_squared, series_from_rows
+from repro.analysis.reporting import format_table, maybe_write_results
+from repro.analysis.sweep import SweepRow
+
+__all__ = [
+    "large_mode",
+    "pick",
+    "bench_print",
+    "print_figure",
+    "print_rows",
+    "print_dict_rows",
+    "run_once",
+    "check_series_shape",
+]
+
+
+#: pytest's CaptureManager, injected by benchmarks/conftest.py so the tables
+#: below remain visible without running pytest with ``-s``.
+_CAPTURE_MANAGER = None
+
+
+def set_capture_manager(manager) -> None:
+    """Record pytest's capture manager (called from benchmarks/conftest.py)."""
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = manager
+
+
+def bench_print(*args: object) -> None:
+    """Print to the real stdout, bypassing pytest's output capture.
+
+    The whole point of the benchmark harness is that its console output *is*
+    the reproduced figure data, so it must be visible even without ``-s``.
+    """
+    manager = _CAPTURE_MANAGER
+    if manager is not None and hasattr(manager, "global_and_fixture_disabled"):
+        with manager.global_and_fixture_disabled():
+            print(*args)
+            sys.stdout.flush()
+    else:
+        print(*args, file=sys.__stdout__)
+        sys.__stdout__.flush()
+
+
+def large_mode() -> bool:
+    """True when paper-scale sweeps were requested via REPRO_BENCH_LARGE=1."""
+    return os.environ.get("REPRO_BENCH_LARGE", "0") == "1"
+
+
+def pick(default, large):
+    """Choose between the CI-scale and paper-scale value of a parameter."""
+    return large if large_mode() else default
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The sweeps here take seconds; repeating them the default 5+ rounds would
+    multiply the harness runtime without adding information, so every bench
+    uses a single measured round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_rows(title: str, rows: Sequence[SweepRow], csv_name: str | None = None) -> None:
+    """Print a sweep as a table and optionally persist it as CSV."""
+    bench_print()
+    bench_print(format_table(rows, title=title))
+    if csv_name:
+        path = maybe_write_results(csv_name, rows)
+        if path is not None:
+            bench_print(f"[csv written to {path}]")
+
+
+def print_dict_rows(title: str, rows: Sequence[dict], csv_name: str | None = None) -> None:
+    """Print a list of plain-dict result rows (for the non-sweep benches)."""
+    bench_print()
+    bench_print(format_table(rows, title=title))
+    if csv_name:
+        path = maybe_write_results(csv_name, rows)
+        if path is not None:
+            bench_print(f"[csv written to {path}]")
+
+
+def print_figure(figure: FigureSeries) -> None:
+    """Print the per-series points of a figure (what the paper plots)."""
+    bench_print()
+    bench_print(f"== {figure.name}  ({figure.y_label} vs {figure.x_label}) ==")
+    for label, points in sorted(figure.series.items()):
+        formatted = ", ".join(f"({x:g}, {y:.1f})" for x, y in points)
+        bench_print(f"  {label}: {formatted}")
+
+
+def check_series_shape(rows: Sequence[SweepRow], x_of, min_r_squared: float = 0.0) -> List[float]:
+    """Sanity-check the growth shape of the spectral series (§6.4).
+
+    For every (method=spectral, M) series with at least three non-trivial
+    points, checks that the bound is non-decreasing in the growth term and —
+    if ``min_r_squared`` is positive — that a linear fit against the published
+    growth term explains at least that fraction of the variance.  Returns the
+    list of R² values (for reporting).
+    """
+    figure = series_from_rows("shape-check", list(rows), x_of=x_of, x_label="growth-term")
+    r_squared_values: List[float] = []
+    for label, points in figure.series.items():
+        if not label.startswith("Spectral,"):
+            continue
+        nontrivial = [(x, y) for x, y in points if y > 0]
+        if len(nontrivial) < 3:
+            continue
+        ys = [y for _, y in sorted(nontrivial)]
+        assert all(a <= b * 1.05 + 1e-9 for a, b in zip(ys, ys[1:])), (
+            f"series {label!r} is not (approximately) monotone in the growth term: {ys}"
+        )
+        r2 = linear_fit_r_squared(nontrivial)
+        r_squared_values.append(r2)
+        assert r2 >= min_r_squared, f"series {label!r} deviates from linear growth (R²={r2:.3f})"
+    return r_squared_values

@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+The console output of the benchmark files *is* the reproduction (each bench
+prints the table/series of the corresponding paper figure), so the printing
+helper in :mod:`benchmarks.common` temporarily disables pytest's output
+capture; this hook hands it the capture manager.
+"""
+
+from __future__ import annotations
+
+
+def pytest_configure(config) -> None:
+    from benchmarks import common
+
+    common.set_capture_manager(config.pluginmanager.getplugin("capturemanager"))

@@ -1,0 +1,15 @@
+"""Pytest configuration for the repository root.
+
+Adds ``src/`` to ``sys.path`` so the test-suite and benchmarks run against
+the in-tree sources even when the package has not been installed (useful in
+fully offline environments where editable installs are awkward).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

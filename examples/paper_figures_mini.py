@@ -1,0 +1,100 @@
+"""Miniature reproduction of the paper's evaluation figures (§6.4).
+
+Runs the same sweeps as Figures 7–10 at small, laptop-instant sizes and prints
+the (x, y) series each figure plots: the spectral bound and the convex min-cut
+baseline against the graph size parameter, plus the spectral bound against the
+published analytical growth term.  For the full-size sweeps use the benchmark
+harness (``pytest benchmarks/ --benchmark-only``).
+
+Run with:  python examples/paper_figures_mini.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.figures import series_from_rows
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import sweep
+from repro.graphs.generators import (
+    bellman_held_karp_graph,
+    fft_graph,
+    naive_matmul_graph,
+    strassen_graph,
+)
+
+FIGURES = [
+    {
+        "name": "Figure 7 (FFT)",
+        "family": "fft",
+        "builder": fft_graph,
+        "sizes": [4, 5, 6, 7, 8],
+        "memory_sizes": [4, 8],
+        "growth_term": lambda r: r.size_param * 2**r.size_param,
+        "growth_label": "l * 2^l",
+        "convex_cap": 500,
+    },
+    {
+        "name": "Figure 8 (naive matmul)",
+        "family": "naive-matmul",
+        "builder": lambda n: naive_matmul_graph(n, reduction="flat"),
+        "sizes": [4, 8, 12],
+        "memory_sizes": [32, 64],
+        "growth_term": lambda r: r.size_param**3,
+        "growth_label": "n^3",
+        "convex_cap": 800,
+    },
+    {
+        "name": "Figure 9 (Strassen)",
+        "family": "strassen",
+        "builder": strassen_graph,
+        "sizes": [4, 8],
+        "memory_sizes": [8, 16],
+        "growth_term": lambda r: r.size_param ** math.log2(7),
+        "growth_label": "n^(log2 7)",
+        "convex_cap": 800,
+    },
+    {
+        "name": "Figure 10 (Bellman-Held-Karp)",
+        "family": "bellman-held-karp",
+        "builder": bellman_held_karp_graph,
+        "sizes": [6, 8, 10, 11],
+        "memory_sizes": [16, 32],
+        "growth_term": lambda r: 2**r.size_param / r.size_param,
+        "growth_label": "2^l / l",
+        "convex_cap": 300,
+    },
+]
+
+
+def run_figure(config) -> None:
+    rows = sweep(
+        config["family"],
+        config["builder"],
+        size_params=config["sizes"],
+        memory_sizes=config["memory_sizes"],
+        methods=("spectral", "convex-min-cut"),
+        max_vertices={"convex-min-cut": config["convex_cap"]},
+    )
+    print("=" * 72)
+    print(config["name"])
+    print("=" * 72)
+    print(format_table(rows, columns=["size_param", "num_vertices", "memory_size", "method", "bound", "best_k"]))
+    top = series_from_rows("vs size", rows, x_of=lambda r: r.size_param, x_label="size")
+    bottom = series_from_rows(
+        "vs growth term",
+        [r for r in rows if r.method == "spectral"],
+        x_of=config["growth_term"],
+        x_label=config["growth_label"],
+    )
+    for figure in (top, bottom):
+        print(f"\n  [{figure.name}]  bound vs {figure.x_label}")
+        for label, points in sorted(figure.series.items()):
+            series = ", ".join(f"({x:g}, {y:.1f})" for x, y in points)
+            print(f"    {label}: {series}")
+    print()
+
+
+if __name__ == "__main__":
+    for figure_config in FIGURES:
+        run_figure(figure_config)

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed in fully offline environments that lack the
+``wheel`` package required by PEP 660 editable installs:
+
+    python setup.py develop --no-deps      # legacy editable install
+    # or simply run pytest from the repository root (conftest.py adds src/).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,30 @@
+"""Experiment harness: parameter sweeps, runtime measurement, reporting.
+
+The benchmark files under ``benchmarks/`` are thin wrappers around this
+subpackage:
+
+* :mod:`sweep` — run one or several bound methods over a family of graphs and
+  a list of memory sizes, producing uniform result rows;
+* :mod:`runtime` — wall-clock measurement of bound computations (Figure 11);
+* :mod:`reporting` — plain-text tables and CSV output of result rows;
+* :mod:`figures` — assemble the (x, y) series the paper's figures plot from
+  sweep rows (e.g. bound vs ``l`` and bound vs ``l·2^l`` for the FFT).
+"""
+
+from repro.analysis.sweep import SweepRow, sweep, METHODS
+from repro.analysis.runtime import RuntimeRow, runtime_comparison
+from repro.analysis.reporting import format_table, rows_to_csv, write_csv
+from repro.analysis.figures import FigureSeries, series_from_rows
+
+__all__ = [
+    "SweepRow",
+    "sweep",
+    "METHODS",
+    "RuntimeRow",
+    "runtime_comparison",
+    "format_table",
+    "rows_to_csv",
+    "write_csv",
+    "FigureSeries",
+    "series_from_rows",
+]

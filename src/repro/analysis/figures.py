@@ -1,0 +1,117 @@
+"""Assemble figure series from sweep rows.
+
+Each figure of the paper plots the computed bound against either the size
+parameter itself (e.g. ``l`` for the FFT) or against the growth term of the
+published analytical bound (e.g. ``l·2^l``), with one series per
+(method, M) pair.  :func:`series_from_rows` performs exactly that grouping so
+benchmark files can print the same series the figures show and, optionally,
+check their shape (monotonicity / approximate linearity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.sweep import SweepRow
+
+__all__ = ["FigureSeries", "series_from_rows", "linear_fit_r_squared"]
+
+
+@dataclass
+class FigureSeries:
+    """One figure: an x-axis definition plus named (x, y) series.
+
+    Attributes
+    ----------
+    name:
+        Figure identifier (e.g. ``"fig7-top"``).
+    x_label / y_label:
+        Axis labels, for reporting.
+    series:
+        Mapping from series label (e.g. ``"Spectral, M=8"``) to a list of
+        ``(x, y)`` points sorted by ``x``.
+    """
+
+    name: str
+    x_label: str
+    y_label: str = "computed I/O bound"
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def add_point(self, label: str, x: float, y: float) -> None:
+        self.series.setdefault(label, []).append((float(x), float(y)))
+
+    def sorted(self) -> "FigureSeries":
+        """Return a copy with every series sorted by x."""
+        out = FigureSeries(self.name, self.x_label, self.y_label)
+        for label, points in self.series.items():
+            out.series[label] = sorted(points)
+        return out
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flatten to rows (series, x, y) for the reporting helpers."""
+        rows: List[Dict[str, object]] = []
+        for label, points in sorted(self.series.items()):
+            for x, y in sorted(points):
+                rows.append({"figure": self.name, "series": label, "x": x, "y": y})
+        return rows
+
+
+_METHOD_LABELS = {
+    "spectral": "Spectral",
+    "spectral-unnormalized": "Spectral (Thm 5)",
+    "convex-min-cut": "Convex Min-cut",
+}
+
+
+def series_from_rows(
+    name: str,
+    rows: Sequence[SweepRow],
+    x_of: Callable[[SweepRow], float],
+    x_label: str,
+) -> FigureSeries:
+    """Group sweep rows into the per-(method, M) series a paper figure plots.
+
+    Parameters
+    ----------
+    name:
+        Figure name.
+    rows:
+        Sweep rows (possibly from several methods and memory sizes).
+    x_of:
+        Maps a row to its x coordinate (e.g. ``lambda r: r.size_param`` or
+        ``lambda r: r.size_param * 2 ** r.size_param``).
+    x_label:
+        Axis label for reporting.
+    """
+    figure = FigureSeries(name=name, x_label=x_label)
+    for row in rows:
+        method_label = _METHOD_LABELS.get(row.method, row.method)
+        label = f"{method_label}, M={row.memory_size}"
+        figure.add_point(label, x_of(row), row.bound)
+    return figure.sorted()
+
+
+def linear_fit_r_squared(points: Sequence[Tuple[float, float]]) -> float:
+    """Coefficient of determination of a least-squares line through ``points``.
+
+    Used by the figure benchmarks to check the paper's claim that the
+    computed bound is "roughly linear" in the published growth term (§6.4).
+    Returns 1.0 for degenerate inputs (fewer than 3 points or zero variance),
+    since those cannot falsify linearity.
+    """
+    if len(points) < 3:
+        return 1.0
+    xs = np.asarray([p[0] for p in points], dtype=np.float64)
+    ys = np.asarray([p[1] for p in points], dtype=np.float64)
+    if np.allclose(ys, ys[0]) or np.allclose(xs, xs[0]):
+        return 1.0
+    slope, intercept = np.polyfit(xs, ys, 1)
+    predicted = slope * xs + intercept
+    ss_res = float(np.sum((ys - predicted) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot

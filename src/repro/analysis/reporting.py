@@ -1,0 +1,120 @@
+"""Plain-text and CSV reporting of experiment rows.
+
+The benchmark harness prints the same rows/series the paper's figures plot; a
+fixed-width text table keeps the output readable in CI logs, and optional CSV
+output (``REPRO_WRITE_RESULTS=1``) makes it easy to re-plot the data with any
+external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "rows_to_csv", "write_csv", "maybe_write_results"]
+
+RowLike = Union[Dict[str, object], object]
+
+
+def _as_dict(row: RowLike) -> Dict[str, object]:
+    if isinstance(row, dict):
+        return row
+    if hasattr(row, "as_dict"):
+        return row.as_dict()  # type: ignore[no-any-return]
+    raise TypeError(f"cannot convert {type(row).__name__} to a report row")
+
+
+def _format_value(value: object, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[RowLike],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Parameters
+    ----------
+    rows:
+        Dicts or objects with an ``as_dict`` method (the sweep/runtime rows).
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_format:
+        Format spec applied to float cells.
+    title:
+        Optional heading printed above the table.
+    """
+    dict_rows = [_as_dict(r) for r in rows]
+    if not dict_rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(columns) if columns is not None else list(dict_rows[0].keys())
+    rendered: List[List[str]] = [
+        [_format_value(row.get(col), float_format) for col in columns] for row in dict_rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Iterable[RowLike], columns: Optional[Sequence[str]] = None) -> str:
+    """Serialise rows to a CSV string."""
+    dict_rows = [_as_dict(r) for r in rows]
+    if not dict_rows:
+        return ""
+    columns = list(columns) if columns is not None else list(dict_rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in dict_rows:
+        writer.writerow({col: row.get(col) for col in columns})
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: Union[str, Path],
+    rows: Iterable[RowLike],
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write rows to ``path`` as CSV (parent directories created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows, columns))
+    return path
+
+
+def maybe_write_results(
+    name: str,
+    rows: Iterable[RowLike],
+    columns: Optional[Sequence[str]] = None,
+    directory: Union[str, Path, None] = None,
+) -> Optional[Path]:
+    """Write ``<directory>/<name>.csv`` when ``REPRO_WRITE_RESULTS=1``.
+
+    Used by the benchmark files so that CSV output is opt-in and CI runs stay
+    side-effect free.  Returns the written path, or ``None`` when disabled.
+    """
+    if os.environ.get("REPRO_WRITE_RESULTS", "0") != "1":
+        return None
+    directory = Path(directory) if directory is not None else Path("benchmarks") / "results"
+    return write_csv(directory / f"{name}.csv", rows, columns)

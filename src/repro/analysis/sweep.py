@@ -1,0 +1,177 @@
+"""Parameter sweeps over graph families, memory sizes and bound methods.
+
+A sweep evaluates one or more lower-bound methods on a *graph family* — a
+callable mapping a size parameter to a computation graph — for every
+combination of size parameter and fast-memory size.  The output is a flat
+list of :class:`SweepRow` records that the reporting and figure helpers
+consume; each benchmark file then simply declares its family, sizes and
+memory sizes (matching one of the paper's figures) and prints/saves the rows.
+
+Following §6.4, combinations where the graph's maximum in-degree exceeds
+``M - 1`` are skipped (the computation could not even hold one operation's
+operands in fast memory), mirroring "we do not display points where the
+maximum in-degree is greater than M".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, asdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.convex_mincut import convex_min_cut_max_value
+from repro.core.bounds import spectral_bounds_for_memory_sizes
+from repro.graphs.compgraph import ComputationGraph
+
+__all__ = ["SweepRow", "sweep", "METHODS"]
+
+#: Methods understood by :func:`sweep`.
+METHODS = ("spectral", "spectral-unnormalized", "convex-min-cut")
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (graph size, memory size, method) evaluation."""
+
+    family: str
+    size_param: int
+    num_vertices: int
+    num_edges: int
+    max_in_degree: int
+    memory_size: int
+    method: str
+    bound: float
+    best_k: Optional[int]
+    elapsed_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _evaluate_spectral(
+    method: str,
+    graph: ComputationGraph,
+    memory_sizes: Sequence[int],
+    num_eigenvalues: int,
+) -> Dict[int, tuple[float, Optional[int], float]]:
+    """Evaluate a spectral method for all memory sizes with one eigensolve."""
+    normalized = method == "spectral"
+    results = spectral_bounds_for_memory_sizes(
+        graph, memory_sizes, num_eigenvalues=num_eigenvalues, normalized=normalized
+    )
+    return {
+        M: (res.value, res.best_k, res.elapsed_seconds) for M, res in results.items()
+    }
+
+
+def _evaluate_convex(
+    graph: ComputationGraph,
+    memory_sizes: Sequence[int],
+    convex_vertex_cap: Optional[int],
+) -> Dict[int, tuple[float, Optional[int], float]]:
+    """Run the convex min-cut baseline for all memory sizes.
+
+    The expensive part (``max_v C(v, G)``) is independent of ``M``, so the
+    per-vertex max-flow computations run once and the per-``M`` bounds follow
+    arithmetically (the recorded elapsed time is the shared cost).
+    """
+    start = time.perf_counter()
+    vertices: Optional[Sequence[int]] = None
+    if convex_vertex_cap is not None and graph.num_vertices > convex_vertex_cap:
+        # Deterministic sub-sample of candidate vertices keeps the O(n)
+        # max-flow calls affordable; the result remains a valid bound.
+        stride = max(1, graph.num_vertices // convex_vertex_cap)
+        vertices = list(range(0, graph.num_vertices, stride))
+    max_cut, _ = convex_min_cut_max_value(graph, vertices)
+    elapsed = time.perf_counter() - start
+    return {
+        M: (max(0.0, 2.0 * (max_cut - M)), None, elapsed) for M in memory_sizes
+    }
+
+
+def sweep(
+    family: str,
+    graph_builder: Callable[[int], ComputationGraph],
+    size_params: Iterable[int],
+    memory_sizes: Iterable[int],
+    methods: Sequence[str] = ("spectral",),
+    num_eigenvalues: int = 100,
+    skip_infeasible: bool = True,
+    convex_vertex_cap: Optional[int] = None,
+    max_vertices: Optional[Dict[str, int]] = None,
+) -> List[SweepRow]:
+    """Evaluate ``methods`` over a graph family.
+
+    Parameters
+    ----------
+    family:
+        Name recorded in every row (e.g. ``"fft"``).
+    graph_builder:
+        Callable mapping the size parameter to a computation graph.
+    size_params:
+        Size parameters to sweep (``l`` for FFT/BHK, ``n`` for matmul).
+    memory_sizes:
+        Fast-memory sizes ``M`` to sweep.
+    methods:
+        Bound methods (subset of :data:`METHODS`).
+    num_eigenvalues:
+        The ``h`` truncation for the spectral methods.
+    skip_infeasible:
+        Skip (graph, M) combinations whose maximum in-degree exceeds ``M - 1``
+        (as in the paper's figures).
+    convex_vertex_cap:
+        If set, the convex min-cut method only examines roughly this many
+        candidate vertices on larger graphs (still a valid lower bound).
+    max_vertices:
+        Optional per-method cap ``{method: n_max}``: graphs larger than the
+        cap are skipped for that method (used to keep the ``O(n^5)`` baseline
+        within the benchmark time budget, mirroring the paper's 1-day cutoff).
+
+    Returns
+    -------
+    list[SweepRow]
+        One row per (size, M, method) combination actually evaluated.
+    """
+    for method in methods:
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    max_vertices = max_vertices or {}
+    rows: List[SweepRow] = []
+    memory_sizes = list(memory_sizes)
+    for size in size_params:
+        graph = graph_builder(size)
+        max_in = graph.max_in_degree
+        feasible_ms = [
+            M for M in memory_sizes if not (skip_infeasible and max_in + 1 > M)
+        ]
+        if not feasible_ms:
+            continue
+
+        def emit(method: str, M: int, bound: float, best_k: Optional[int], elapsed: float) -> None:
+            rows.append(
+                SweepRow(
+                    family=family,
+                    size_param=size,
+                    num_vertices=graph.num_vertices,
+                    num_edges=graph.num_edges,
+                    max_in_degree=max_in,
+                    memory_size=M,
+                    method=method,
+                    bound=float(bound),
+                    best_k=best_k,
+                    elapsed_seconds=elapsed,
+                )
+            )
+
+        for method in methods:
+            cap = max_vertices.get(method)
+            if cap is not None and graph.num_vertices > cap:
+                continue
+            if method in ("spectral", "spectral-unnormalized"):
+                per_m = _evaluate_spectral(method, graph, feasible_ms, num_eigenvalues)
+            else:  # convex-min-cut
+                per_m = _evaluate_convex(graph, feasible_ms, convex_vertex_cap)
+            for M in feasible_ms:
+                bound, best_k, elapsed = per_m[M]
+                emit(method, M, bound, best_k, elapsed)
+    return rows

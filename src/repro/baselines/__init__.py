@@ -1,0 +1,37 @@
+"""Baseline lower-bound methods the paper compares against.
+
+* :mod:`maxflow` — a pure-Python Dinic max-flow / min-cut solver (substrate
+  for the convex min-cut baseline).
+* :mod:`convex_mincut` — reconstruction of the convex min-cut automatic bound
+  of Elango et al. [13], the only polynomial-time automatic baseline the paper
+  evaluates (Figures 7–11).
+* :mod:`partitioner` — balanced graph partitioners standing in for METIS in
+  the partitioned variant of the baseline.
+* :mod:`exact` — brute-force references for tiny graphs: minimum simulated
+  I/O over all evaluation orders (an upper bound on ``J*``) used as a
+  soundness oracle for every lower bound, standing in for the intractable
+  2S-partition ILP of [12].
+"""
+
+from repro.baselines.convex_mincut import (
+    convex_min_cut_bound,
+    convex_min_cut_value,
+    partitioned_convex_min_cut_bound,
+)
+from repro.baselines.exact import minimum_io_over_all_orders, minimum_io_upper_bound
+from repro.baselines.maxflow import MaxFlowSolver
+from repro.baselines.partitioner import (
+    contiguous_topological_partition,
+    spectral_bisection_partition,
+)
+
+__all__ = [
+    "MaxFlowSolver",
+    "convex_min_cut_value",
+    "convex_min_cut_bound",
+    "partitioned_convex_min_cut_bound",
+    "contiguous_topological_partition",
+    "spectral_bisection_partition",
+    "minimum_io_over_all_orders",
+    "minimum_io_upper_bound",
+]

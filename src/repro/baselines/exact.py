@@ -1,0 +1,98 @@
+"""Exact / brute-force references for tiny graphs.
+
+The paper mentions one more automatic method, the exact 2S-partition ILP of
+Elango [12], but excludes it from the evaluation because it is combinatorial
+in complexity.  In the same spirit this module provides *small-scale exact
+references* that need no external solver:
+
+* :func:`minimum_io_over_all_orders` — enumerate every topological order (or
+  a capped number of them) and simulate each under one or more eviction
+  policies; the minimum simulated I/O is a constructive upper bound on
+  ``J*_G`` that becomes very tight on tiny graphs.  Every lower bound in the
+  package must stay below it — the soundness oracle used by the tests.
+* :func:`minimum_io_upper_bound` — the cheaper heuristic version (a handful
+  of schedules instead of all of them) usable on medium graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.orders import all_topological_orders
+from repro.pebbling.simulator import SimulationResult, best_simulated_io, simulate_order
+from repro.utils.validation import check_memory_size, check_positive_int
+
+__all__ = ["minimum_io_over_all_orders", "minimum_io_upper_bound"]
+
+
+def minimum_io_over_all_orders(
+    graph: ComputationGraph,
+    M: int,
+    policies: Sequence[str] = ("belady",),
+    max_orders: int = 50_000,
+) -> SimulationResult:
+    """Minimum simulated I/O over (up to ``max_orders``) topological orders.
+
+    Exponential in the graph size — intended for graphs of at most ~10–12
+    vertices, where the enumeration is exhaustive and the result is an
+    essentially exact value of ``J*_G`` (exact up to the eviction policy,
+    which Belady makes optimal or near-optimal for a fixed order).
+
+    Parameters
+    ----------
+    graph:
+        The (tiny) computation graph.
+    M:
+        Fast-memory size.
+    policies:
+        Eviction policies to try per order.
+    max_orders:
+        Safety cap on the number of orders enumerated; if the cap is hit the
+        result is still a valid upper bound on ``J*_G``, just not exhaustive.
+    """
+    check_memory_size(M)
+    check_positive_int(max_orders, "max_orders")
+    best: Optional[SimulationResult] = None
+    for order in all_topological_orders(graph, limit=max_orders):
+        for policy in policies:
+            result = simulate_order(graph, order, M, policy=policy, validate_order=False)
+            if best is None or result.total_io < best.total_io:
+                best = result
+        if best is not None and best.total_io == 0:
+            break  # cannot do better than zero
+    if best is None:
+        # Empty graph: zero vertices, zero I/O.
+        best = SimulationResult(
+            total_io=0,
+            reads=0,
+            writes=0,
+            trivial_reads=0,
+            trivial_writes=0,
+            max_resident=0,
+            memory_size=M,
+            policy=policies[0] if policies else "belady",
+        )
+    return best
+
+
+def minimum_io_upper_bound(
+    graph: ComputationGraph,
+    M: int,
+    policies: Sequence[str] = ("belady", "lru"),
+    num_random_orders: int = 5,
+) -> SimulationResult:
+    """Heuristic upper bound on ``J*_G`` for medium graphs.
+
+    Tries the deterministic schedulers plus several random topological orders
+    under each policy and returns the best simulation.  Used in the sandwich
+    benchmarks where exhaustive enumeration is impossible.
+    """
+    check_memory_size(M)
+    return best_simulated_io(
+        graph,
+        M,
+        schedulers=("natural", "dfs", "min-live"),
+        policies=policies,
+        num_random_orders=num_random_orders,
+    )

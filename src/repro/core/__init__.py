@@ -1,0 +1,80 @@
+"""Core contribution of the paper: spectral I/O lower bounds.
+
+* :mod:`bounds` — Theorems 4 (spectral method), 5 (original-Laplacian
+  variant) and 6 (parallel variant).
+* :mod:`partitions` — the balanced ``k``-partition machinery (``Ŵ(k)``,
+  ``W(k)``) and edge-boundary counting of Section 4.1/4.2.
+* :mod:`qp` — the quadratic-program view of Theorem 3, used to validate the
+  relaxation chain numerically.
+* :mod:`spectra` — closed-form Laplacian spectra (hypercube, unwrapped
+  butterfly / Theorem 7, weighted paths / Lemma 11).
+* :mod:`closed_form` — the analytical bounds of Section 5 (Bellman-Held-Karp,
+  FFT, Erdős–Rényi).
+* :mod:`result` — result dataclasses shared by bounds and baselines.
+"""
+
+from repro.core.bounds import (
+    spectral_bound,
+    spectral_bound_unnormalized,
+    parallel_spectral_bound,
+    spectral_bound_from_eigenvalues,
+)
+from repro.core.closed_form import (
+    hypercube_io_bound,
+    fft_io_bound,
+    fft_io_bound_asymptotic,
+    erdos_renyi_io_bound,
+)
+from repro.core.partitions import (
+    balanced_partition_sizes,
+    partition_indicator_matrix,
+    partition_projector,
+    partition_blocks_for_order,
+    weighted_edge_boundary,
+    read_write_sets,
+)
+from repro.core.qp import (
+    schedule_laplacian,
+    partition_objective_for_order,
+    best_partition_objective_for_order,
+)
+from repro.core.result import (
+    SpectralBoundResult,
+    ParallelBoundResult,
+    BaselineBoundResult,
+)
+from repro.core.spectra import (
+    hypercube_laplacian_spectrum,
+    butterfly_laplacian_spectrum,
+    path_spectrum,
+    path_spectrum_one_weighted_end,
+    path_spectrum_two_weighted_ends,
+)
+
+__all__ = [
+    "spectral_bound",
+    "spectral_bound_unnormalized",
+    "parallel_spectral_bound",
+    "spectral_bound_from_eigenvalues",
+    "hypercube_io_bound",
+    "fft_io_bound",
+    "fft_io_bound_asymptotic",
+    "erdos_renyi_io_bound",
+    "balanced_partition_sizes",
+    "partition_indicator_matrix",
+    "partition_projector",
+    "partition_blocks_for_order",
+    "weighted_edge_boundary",
+    "read_write_sets",
+    "schedule_laplacian",
+    "partition_objective_for_order",
+    "best_partition_objective_for_order",
+    "SpectralBoundResult",
+    "ParallelBoundResult",
+    "BaselineBoundResult",
+    "hypercube_laplacian_spectrum",
+    "butterfly_laplacian_spectrum",
+    "path_spectrum",
+    "path_spectrum_one_weighted_end",
+    "path_spectrum_two_weighted_ends",
+]

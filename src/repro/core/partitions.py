@@ -1,0 +1,150 @@
+"""Balanced k-partitions of an evaluation order (Section 4.1 / 4.2).
+
+The partition bound of Lemma 1 splits any evaluation order into contiguous
+segments; the spectral relaxation then fixes the segments to be *balanced*:
+the first ``n mod k`` segments get ``floor(n/k) + 1`` vertices and the rest
+``floor(n/k)``.  This module provides
+
+* the segment-size bookkeeping (:func:`balanced_partition_sizes`),
+* the partition indicator matrix ``Ŵ(k)`` and projector ``W(k) = Ŵ Ŵᵀ``
+  used in the trace formulation of Theorem 3,
+* exact edge-boundary / read-set / write-set counting for concrete vertex
+  subsets, which the tests use to validate the relaxation chain
+  (``|R_S| + |W_S|  >=  sum_{(u,v) in ∂S} 1/d_out(u)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.validation import check_positive_int, check_nonnegative_int
+
+__all__ = [
+    "balanced_partition_sizes",
+    "balanced_partition_blocks",
+    "partition_indicator_matrix",
+    "partition_projector",
+    "partition_blocks_for_order",
+    "weighted_edge_boundary",
+    "edge_boundary",
+    "read_write_sets",
+    "segment_io_lower_bound",
+]
+
+
+def balanced_partition_sizes(n: int, k: int) -> List[int]:
+    """Sizes of the balanced ``k``-partition of ``n`` items.
+
+    The first ``n mod k`` segments have ``floor(n/k) + 1`` items and the
+    remaining segments ``floor(n/k)`` (the convention of Section 4.2).
+
+    ``k`` may exceed ``n``; the surplus segments are empty, which keeps the
+    bound valid (an empty segment contributes no edge boundary and still pays
+    the ``-2M`` term, so such choices of ``k`` are simply never optimal).
+    """
+    check_nonnegative_int(n, "n")
+    check_positive_int(k, "k")
+    base = n // k
+    remainder = n % k
+    return [base + 1 if i < remainder else base for i in range(k)]
+
+
+def balanced_partition_blocks(n: int, k: int) -> List[range]:
+    """Contiguous index ranges (time-step blocks) of the balanced partition."""
+    sizes = balanced_partition_sizes(n, k)
+    blocks: List[range] = []
+    start = 0
+    for size in sizes:
+        blocks.append(range(start, start + size))
+        start += size
+    return blocks
+
+
+def partition_indicator_matrix(n: int, k: int) -> np.ndarray:
+    """The matrix ``Ŵ(k) ∈ R^{n×k}`` with ``Ŵ[t, j] = 1`` iff time-step ``t``
+    belongs to segment ``j`` of the balanced partition (identity order)."""
+    blocks = balanced_partition_blocks(n, k)
+    w_hat = np.zeros((n, k), dtype=np.float64)
+    for j, block in enumerate(blocks):
+        for t in block:
+            w_hat[t, j] = 1.0
+    return w_hat
+
+
+def partition_projector(n: int, k: int) -> np.ndarray:
+    """The block-diagonal projector ``W(k) = Ŵ(k) Ŵ(k)ᵀ`` of Theorem 3.
+
+    ``W(k)`` has ``k`` eigenvalues equal to the segment sizes (each at least
+    ``floor(n/k)`` for non-empty segments) and ``n - k`` zero eigenvalues,
+    which is exactly the property the spectral relaxation of Theorem 4 uses.
+    """
+    w_hat = partition_indicator_matrix(n, k)
+    return w_hat @ w_hat.T
+
+
+def partition_blocks_for_order(order: Sequence[int], k: int) -> List[List[int]]:
+    """Vertex sets of the balanced ``k``-partition applied to ``order``.
+
+    ``order[t]`` is the vertex evaluated at time ``t``; segment ``j`` contains
+    the vertices evaluated during its block of time-steps.  This realises the
+    partition ``P(X, k)`` of Section 4.2 for the concrete order ``X``.
+    """
+    order = list(order)
+    blocks = balanced_partition_blocks(len(order), k)
+    return [[order[t] for t in block] for block in blocks]
+
+
+def edge_boundary(graph: ComputationGraph, subset: Sequence[int]) -> List[Tuple[int, int]]:
+    """Directed edges with exactly one endpoint in ``subset`` (``∂S``)."""
+    s: Set[int] = set(subset)
+    boundary: List[Tuple[int, int]] = []
+    for u, v in graph.edges():
+        if (u in s) != (v in s):
+            boundary.append((u, v))
+    return boundary
+
+
+def weighted_edge_boundary(
+    graph: ComputationGraph, subset: Sequence[int], normalized: bool = True
+) -> float:
+    """Edge-boundary weight ``sum_{(u,v) in ∂S} 1/d_out(u)`` (Theorem 2).
+
+    With ``normalized=False`` this is the plain boundary size ``|∂S|`` used by
+    the Theorem 5 variant.
+    """
+    s: Set[int] = set(subset)
+    total = 0.0
+    for u, v in graph.edges():
+        if (u in s) != (v in s):
+            total += 1.0 / graph.out_degree(u) if normalized else 1.0
+    return total
+
+
+def read_write_sets(
+    graph: ComputationGraph, subset: Sequence[int]
+) -> Tuple[Set[int], Set[int]]:
+    """The sets ``R_S`` and ``W_S`` of Lemma 1 for the vertex subset ``S``.
+
+    ``R_S`` — vertices outside ``S`` with an edge into ``S`` (must be read or
+    already resident to evaluate ``S``); ``W_S`` — vertices inside ``S`` with
+    an edge leaving ``S`` (freshly computed values needed later).
+    """
+    s: Set[int] = set(subset)
+    reads: Set[int] = set()
+    writes: Set[int] = set()
+    for u, v in graph.edges():
+        if u not in s and v in s:
+            reads.add(u)
+        elif u in s and v not in s:
+            writes.add(u)
+    return reads, writes
+
+
+def segment_io_lower_bound(graph: ComputationGraph, subset: Sequence[int], M: int) -> int:
+    """Per-segment I/O lower bound ``|R_S| + |W_S| - 2M`` of Lemma 1."""
+    check_positive_int(M, "M")
+    reads, writes = read_write_sets(graph, subset)
+    return len(reads) + len(writes) - 2 * M

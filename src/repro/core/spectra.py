@@ -1,0 +1,194 @@
+"""Closed-form Laplacian spectra used by the analytical bounds (Section 5).
+
+Three families:
+
+* **Hypercube** ``Q_l`` — Laplacian eigenvalues ``2i`` with multiplicity
+  ``C(l, i)`` for ``i = 0 .. l`` (classical; used for the Bellman-Held-Karp
+  bound of §5.1).
+* **Weighted paths** ``P_i``, ``P'_i``, ``P''_i`` — paths with edge weights 2
+  and, respectively, zero, one or two end vertices carrying an extra vertex
+  weight 2 (Lemma 11 / Appendix A).
+* **Unwrapped butterfly** ``B_l`` — Theorem 7: the multiset union of the path
+  spectra according to the counting of Lemma 10.  To our knowledge the paper
+  is the first closed form including multiplicities, and the test-suite
+  verifies it against numerically computed spectra of the generated butterfly
+  graphs.
+
+Note: the appendix statement of Theorem 7 writes the first eigenvalue family
+as ``4 - 4 cos(pi j / k)``; the main text (§5.2) and Lemma 11 (the family
+comes from the single path ``P_{k+1}``) give ``4 - 4 cos(pi j / (k + 1))``,
+which is the version that matches the actual butterfly spectra (e.g. ``B_1``
+is a 4-cycle with spectrum ``{0, 2, 2, 4}``).  We implement the main-text
+version.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.mathutils import binomial
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = [
+    "hypercube_laplacian_spectrum",
+    "hypercube_spectrum_array",
+    "path_spectrum",
+    "path_spectrum_one_weighted_end",
+    "path_spectrum_two_weighted_ends",
+    "weighted_path_laplacian",
+    "butterfly_laplacian_spectrum",
+    "butterfly_spectrum_array",
+    "butterfly_path_decomposition",
+]
+
+
+# ----------------------------------------------------------------------
+# hypercube
+# ----------------------------------------------------------------------
+def hypercube_laplacian_spectrum(dimension: int) -> List[Tuple[float, int]]:
+    """Eigenvalue/multiplicity pairs of the Laplacian of the hypercube ``Q_d``.
+
+    The ``d``-dimensional (undirected, unweighted) hypercube has Laplacian
+    eigenvalues ``2i`` with multiplicity ``C(d, i)``, ``i = 0 .. d``.
+    """
+    check_nonnegative_int(dimension, "dimension")
+    return [(2.0 * i, binomial(dimension, i)) for i in range(dimension + 1)]
+
+
+def hypercube_spectrum_array(dimension: int) -> np.ndarray:
+    """Full sorted eigenvalue array (length ``2^d``) of the hypercube ``Q_d``."""
+    values: List[float] = []
+    for lam, mult in hypercube_laplacian_spectrum(dimension):
+        values.extend([lam] * mult)
+    return np.sort(np.asarray(values, dtype=np.float64))
+
+
+# ----------------------------------------------------------------------
+# weighted paths (Lemma 11)
+# ----------------------------------------------------------------------
+def path_spectrum(num_vertices: int) -> np.ndarray:
+    """Spectrum of ``P_i``: the path on ``i`` vertices with edge weights 2.
+
+    ``lambda_j = 4 - 4 cos(pi j / i)`` for ``j = 0 .. i - 1`` (ascending).
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    j = np.arange(num_vertices, dtype=np.float64)
+    return np.sort(4.0 - 4.0 * np.cos(np.pi * j / num_vertices))
+
+
+def path_spectrum_one_weighted_end(num_vertices: int) -> np.ndarray:
+    """Spectrum of ``P'_i``: weighted path with one end vertex of weight 2.
+
+    ``lambda_j = 4 - 4 cos(pi (2j + 1) / (2i + 1))`` for ``j = 0 .. i - 1``.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    j = np.arange(num_vertices, dtype=np.float64)
+    return np.sort(4.0 - 4.0 * np.cos(np.pi * (2.0 * j + 1.0) / (2.0 * num_vertices + 1.0)))
+
+
+def path_spectrum_two_weighted_ends(num_vertices: int) -> np.ndarray:
+    """Spectrum of ``P''_i``: weighted path with both end vertices of weight 2.
+
+    ``lambda_j = 4 - 4 cos(pi j / (i + 1))`` for ``j = 1 .. i``.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    j = np.arange(1, num_vertices + 1, dtype=np.float64)
+    return np.sort(4.0 - 4.0 * np.cos(np.pi * j / (num_vertices + 1.0)))
+
+
+def weighted_path_laplacian(num_vertices: int, weighted_ends: int = 0) -> np.ndarray:
+    """Explicit Laplacian of the weighted paths of Lemma 11 (for tests).
+
+    Parameters
+    ----------
+    num_vertices:
+        Path length ``i``.
+    weighted_ends:
+        0 for ``P_i``, 1 for ``P'_i`` (extra weight 2 on the last vertex),
+        2 for ``P''_i`` (extra weight 2 on both end vertices).
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    if weighted_ends not in (0, 1, 2):
+        raise ValueError(f"weighted_ends must be 0, 1 or 2, got {weighted_ends}")
+    lap = np.zeros((num_vertices, num_vertices), dtype=np.float64)
+    for v in range(num_vertices - 1):
+        lap[v, v] += 2.0
+        lap[v + 1, v + 1] += 2.0
+        lap[v, v + 1] -= 2.0
+        lap[v + 1, v] -= 2.0
+    if weighted_ends >= 1:
+        lap[num_vertices - 1, num_vertices - 1] += 2.0
+    if weighted_ends == 2:
+        lap[0, 0] += 2.0
+    return lap
+
+
+# ----------------------------------------------------------------------
+# unwrapped butterfly (Theorem 7)
+# ----------------------------------------------------------------------
+def butterfly_path_decomposition(levels: int) -> List[Tuple[str, int, int]]:
+    """Path-graph decomposition of ``B_levels`` per Lemma 10.
+
+    Returns a list of ``(kind, path_length, count)`` tuples where ``kind`` is
+    ``"P"``, ``"P'"`` or ``"P''"``:
+
+    * one instance of ``P_{l+1}``,
+    * ``2^{l-i+1}`` instances of ``P'_i`` for ``i = 1 .. l``,
+    * ``(l-i) 2^{l-i-1}`` instances of ``P''_i`` for ``i = 1 .. l-1``.
+    """
+    check_nonnegative_int(levels, "levels")
+    decomposition: List[Tuple[str, int, int]] = [("P", levels + 1, 1)]
+    for i in range(1, levels + 1):
+        decomposition.append(("P'", i, 2 ** (levels - i + 1)))
+    for i in range(1, levels):
+        decomposition.append(("P''", i, (levels - i) * 2 ** (levels - i - 1)))
+    return decomposition
+
+
+def butterfly_laplacian_spectrum(levels: int) -> List[Tuple[float, int]]:
+    """Eigenvalue/multiplicity pairs of the Laplacian of the unwrapped
+    butterfly ``B_levels`` (Theorem 7).
+
+    The total multiplicity equals ``(levels + 1) * 2^levels``, the number of
+    vertices of the butterfly; the test-suite checks the values against
+    numerically computed spectra of :func:`repro.graphs.generators.fft.fft_graph`.
+    """
+    check_nonnegative_int(levels, "levels")
+    if levels == 0:
+        return [(0.0, 1)]
+    pairs: List[Tuple[float, int]] = []
+    # Family A: from the single P_{l+1} — multiplicity 1 each.
+    for j in range(levels + 1):
+        pairs.append((4.0 - 4.0 * np.cos(np.pi * j / (levels + 1)), 1))
+    # Family B: from the 2^{l-i+1} copies of P'_i.
+    for i in range(1, levels + 1):
+        mult = 2 ** (levels - i + 1)
+        for j in range(i):
+            pairs.append((4.0 - 4.0 * np.cos(np.pi * (2 * j + 1) / (2 * i + 1)), mult))
+    # Family C: from the (l-i) 2^{l-i-1} copies of P''_i.
+    for i in range(1, levels):
+        mult = (levels - i) * 2 ** (levels - i - 1)
+        for j in range(1, i + 1):
+            pairs.append((4.0 - 4.0 * np.cos(np.pi * j / (i + 1)), mult))
+    return pairs
+
+
+def butterfly_spectrum_array(levels: int) -> np.ndarray:
+    """Full sorted eigenvalue array (length ``(l+1) 2^l``) of ``B_levels``."""
+    values: List[float] = []
+    for lam, mult in butterfly_laplacian_spectrum(levels):
+        values.extend([lam] * mult)
+    return np.sort(np.asarray(values, dtype=np.float64))
+
+
+def butterfly_smallest_eigenvalues(levels: int, k: int) -> np.ndarray:
+    """The ``k`` smallest butterfly Laplacian eigenvalues from the closed form."""
+    check_positive_int(k, "k")
+    full = butterfly_spectrum_array(levels)
+    if k > full.shape[0]:
+        raise ValueError(
+            f"requested {k} eigenvalues but B_{levels} has only {full.shape[0]} vertices"
+        )
+    return full[:k]

@@ -1,0 +1,37 @@
+"""Computation-graph data structures and Laplacian construction.
+
+The central object is :class:`repro.graphs.compgraph.ComputationGraph`, a
+directed acyclic graph in which every vertex is one operation (including the
+inputs and outputs) and an edge ``u -> v`` records that ``u``'s result is an
+operand of ``v`` (Section 3 of the paper).
+"""
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.laplacian import (
+    adjacency_matrix,
+    degree_vector,
+    laplacian,
+    normalized_laplacian,
+    undirected_weights,
+)
+from repro.graphs.orders import (
+    is_topological_order,
+    natural_topological_order,
+    random_topological_order,
+    all_topological_orders,
+    permutation_matrix,
+)
+
+__all__ = [
+    "ComputationGraph",
+    "adjacency_matrix",
+    "degree_vector",
+    "laplacian",
+    "normalized_laplacian",
+    "undirected_weights",
+    "is_topological_order",
+    "natural_topological_order",
+    "random_topological_order",
+    "all_topological_orders",
+    "permutation_matrix",
+]

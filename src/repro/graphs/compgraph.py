@@ -1,0 +1,481 @@
+"""Directed acyclic computation graphs.
+
+A :class:`ComputationGraph` models a computation in the two-level memory model
+of Section 3 of the paper: every vertex is a single operation whose result is
+one memory element; an edge ``u -> v`` means the result of ``u`` is an operand
+of ``v``.  Sources are the inputs of the computation and sinks are its
+outputs.
+
+The class is deliberately lightweight: vertices are dense integers
+``0 .. n-1`` allocated sequentially, adjacency is stored as Python lists, and
+heavier linear-algebra views (adjacency/Laplacian matrices) live in
+:mod:`repro.graphs.laplacian`.  This keeps graph *construction* cheap — the
+generators in :mod:`repro.graphs.generators` build graphs with hundreds of
+thousands of vertices — while the numerical work is delegated to
+NumPy/SciPy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative_int
+
+__all__ = ["ComputationGraph"]
+
+
+class ComputationGraph:
+    """A directed acyclic computation graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Optional number of vertices to pre-allocate (all unlabeled).  More
+        vertices can always be added with :meth:`add_vertex`.
+
+    Notes
+    -----
+    * Vertices are integers ``0 .. n-1`` in insertion order.
+    * Parallel edges are rejected: in the memory model an operand is either
+      needed or not, so a duplicate edge never changes the I/O cost.
+    * Self loops are rejected: an operation cannot consume its own result.
+    * Acyclicity is *not* enforced on every ``add_edge`` (that would make
+      construction quadratic); call :meth:`validate` or
+      :meth:`is_acyclic` after construction, or rely on
+      :meth:`topological_order`, which raises on cyclic graphs.
+    """
+
+    __slots__ = ("_succ", "_pred", "_labels", "_ops", "_num_edges", "_edge_set")
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        check_nonnegative_int(num_vertices, "num_vertices")
+        self._succ: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._pred: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._labels: Dict[int, str] = {}
+        self._ops: Dict[int, str] = {}
+        self._num_edges: int = 0
+        self._edge_set: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Optional[str] = None, op: Optional[str] = None) -> int:
+        """Add a vertex and return its integer id.
+
+        Parameters
+        ----------
+        label:
+            Optional human-readable label (e.g. ``"A[1,2]"``).
+        op:
+            Optional operation name (e.g. ``"mul"``, ``"input"``).
+        """
+        vid = len(self._succ)
+        self._succ.append([])
+        self._pred.append([])
+        if label is not None:
+            self._labels[vid] = label
+        if op is not None:
+            self._ops[vid] = op
+        return vid
+
+    def add_vertices(self, count: int, op: Optional[str] = None) -> List[int]:
+        """Add ``count`` vertices sharing the same optional op name."""
+        check_nonnegative_int(count, "count")
+        return [self.add_vertex(op=op) for _ in range(count)]
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the directed edge ``u -> v`` (``u`` is an operand of ``v``)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self loop on vertex {u} is not a valid computation edge")
+        if (u, v) in self._edge_set:
+            raise ValueError(f"duplicate edge ({u}, {v})")
+        self._succ[u].append(v)
+        self._pred[v].append(u)
+        self._edge_set.add((u, v))
+        self._num_edges += 1
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Add many edges at once."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[Tuple[int, int]]
+    ) -> "ComputationGraph":
+        """Build a graph from a vertex count and an edge iterable."""
+        graph = cls(num_vertices)
+        graph.add_edges(edges)
+        return graph
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n = |V|``."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``|E|``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def vertices(self) -> range:
+        """Range over all vertex ids."""
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over directed edges in vertex order."""
+        for u, targets in enumerate(self._succ):
+            for v in targets:
+                yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the directed edge ``u -> v`` exists."""
+        return (u, v) in self._edge_set
+
+    def successors(self, v: int) -> Sequence[int]:
+        """Vertices that consume the result of ``v``."""
+        self._check_vertex(v)
+        return tuple(self._succ[v])
+
+    def predecessors(self, v: int) -> Sequence[int]:
+        """Operands of ``v``."""
+        self._check_vertex(v)
+        return tuple(self._pred[v])
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree ``d_out(v)``."""
+        self._check_vertex(v)
+        return len(self._succ[v])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree ``d_in(v)``."""
+        self._check_vertex(v)
+        return len(self._pred[v])
+
+    def degree(self, v: int) -> int:
+        """Total (undirected) degree ``d(v) = d_in(v) + d_out(v)``."""
+        return self.in_degree(v) + self.out_degree(v)
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees, indexed by vertex id."""
+        return np.array([len(s) for s in self._succ], dtype=np.int64)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees, indexed by vertex id."""
+        return np.array([len(p) for p in self._pred], dtype=np.int64)
+
+    def degrees(self) -> np.ndarray:
+        """Vector of total degrees, indexed by vertex id."""
+        return self.out_degrees() + self.in_degrees()
+
+    @property
+    def max_out_degree(self) -> int:
+        """Maximum out-degree over all vertices (0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return max(len(s) for s in self._succ)
+
+    @property
+    def max_in_degree(self) -> int:
+        """Maximum in-degree over all vertices (0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return max(len(p) for p in self._pred)
+
+    def sources(self) -> List[int]:
+        """Vertices with no predecessors (the inputs of the computation)."""
+        return [v for v in self.vertices() if not self._pred[v]]
+
+    def sinks(self) -> List[int]:
+        """Vertices with no successors (the outputs of the computation)."""
+        return [v for v in self.vertices() if not self._succ[v]]
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def label(self, v: int) -> Optional[str]:
+        """Label of ``v`` (``None`` if unlabeled)."""
+        self._check_vertex(v)
+        return self._labels.get(v)
+
+    def set_label(self, v: int, label: str) -> None:
+        """Attach/replace a label on ``v``."""
+        self._check_vertex(v)
+        self._labels[v] = label
+
+    def op(self, v: int) -> Optional[str]:
+        """Operation name of ``v`` (``None`` if not recorded)."""
+        self._check_vertex(v)
+        return self._ops.get(v)
+
+    def set_op(self, v: int, op: str) -> None:
+        """Attach/replace the operation name of ``v``."""
+        self._check_vertex(v)
+        self._ops[v] = op
+
+    def vertices_with_op(self, op: str) -> List[int]:
+        """All vertices whose op name equals ``op``."""
+        return [v for v in self.vertices() if self._ops.get(v) == op]
+
+    # ------------------------------------------------------------------
+    # structure: traversal, acyclicity, reachability
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[int]:
+        """Return one topological order (Kahn's algorithm).
+
+        Raises
+        ------
+        ValueError
+            If the graph contains a directed cycle.
+        """
+        indeg = [len(p) for p in self._pred]
+        ready = deque(v for v in self.vertices() if indeg[v] == 0)
+        order: List[int] = []
+        while ready:
+            v = ready.popleft()
+            order.append(v)
+            for w in self._succ[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    ready.append(w)
+        if len(order) != self.num_vertices:
+            raise ValueError("graph contains a directed cycle; not a computation graph")
+        return order
+
+    def is_acyclic(self) -> bool:
+        """Return ``True`` when the graph is a DAG."""
+        try:
+            self.topological_order()
+            return True
+        except ValueError:
+            return False
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the graph is a valid computation graph.
+
+        A valid computation graph is a DAG; emptiness is allowed (an empty
+        computation incurs no I/O).
+        """
+        if not self.is_acyclic():
+            raise ValueError("computation graph must be acyclic")
+
+    def ancestors(self, v: int) -> Set[int]:
+        """All vertices with a directed path to ``v`` (``v`` excluded)."""
+        self._check_vertex(v)
+        seen: Set[int] = set()
+        stack = list(self._pred[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._pred[u])
+        return seen
+
+    def descendants(self, v: int) -> Set[int]:
+        """All vertices reachable from ``v`` (``v`` excluded)."""
+        self._check_vertex(v)
+        seen: Set[int] = set()
+        stack = list(self._succ[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._succ[u])
+        return seen
+
+    def is_weakly_connected(self) -> bool:
+        """Return ``True`` if the underlying undirected graph is connected.
+
+        The empty graph is considered connected (vacuously); a single vertex
+        is connected.
+        """
+        n = self.num_vertices
+        if n <= 1:
+            return True
+        seen = [False] * n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            v = stack.pop()
+            for w in self._succ[v]:
+                if not seen[w]:
+                    seen[w] = True
+                    count += 1
+                    stack.append(w)
+            for w in self._pred[v]:
+                if not seen[w]:
+                    seen[w] = True
+                    count += 1
+                    stack.append(w)
+        return count == n
+
+    def weakly_connected_components(self) -> List[List[int]]:
+        """Vertex lists of the weakly connected components, in discovery order."""
+        n = self.num_vertices
+        seen = [False] * n
+        components: List[List[int]] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            comp: List[int] = []
+            stack = [start]
+            seen[start] = True
+            while stack:
+                v = stack.pop()
+                comp.append(v)
+                for w in self._succ[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+                for w in self._pred[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            components.append(sorted(comp))
+        return components
+
+    def longest_path_length(self) -> int:
+        """Length (in edges) of the longest directed path — the critical path."""
+        if self.num_vertices == 0:
+            return 0
+        dist = [0] * self.num_vertices
+        for v in self.topological_order():
+            for w in self._succ[v]:
+                if dist[v] + 1 > dist[w]:
+                    dist[w] = dist[v] + 1
+        return max(dist)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "ComputationGraph":
+        """Deep copy of the graph (metadata included)."""
+        other = ComputationGraph(self.num_vertices)
+        for u, v in self.edges():
+            other.add_edge(u, v)
+        other._labels = dict(self._labels)
+        other._ops = dict(self._ops)
+        return other
+
+    def subgraph(self, vertices: Iterable[int]) -> Tuple["ComputationGraph", Dict[int, int]]:
+        """Induced subgraph on ``vertices``.
+
+        Returns
+        -------
+        (subgraph, mapping)
+            ``mapping`` maps original vertex ids to the ids in the subgraph.
+        """
+        keep = sorted(set(vertices))
+        for v in keep:
+            self._check_vertex(v)
+        mapping = {v: i for i, v in enumerate(keep)}
+        sub = ComputationGraph(len(keep))
+        for v in keep:
+            for w in self._succ[v]:
+                if w in mapping:
+                    sub.add_edge(mapping[v], mapping[w])
+        for v in keep:
+            if v in self._labels:
+                sub._labels[mapping[v]] = self._labels[v]
+            if v in self._ops:
+                sub._ops[mapping[v]] = self._ops[v]
+        return sub, mapping
+
+    def relabeled(self, permutation: Sequence[int]) -> "ComputationGraph":
+        """Return a copy with vertex ``v`` renamed to ``permutation[v]``.
+
+        ``permutation`` must be a permutation of ``0 .. n-1``.  Relabelling is
+        used in tests to check that the spectral bounds are invariant under
+        vertex renaming.
+        """
+        n = self.num_vertices
+        perm = list(permutation)
+        if sorted(perm) != list(range(n)):
+            raise ValueError("permutation must be a permutation of range(n)")
+        other = ComputationGraph(n)
+        for u, v in self.edges():
+            other.add_edge(perm[u], perm[v])
+        for v, lab in self._labels.items():
+            other._labels[perm[v]] = lab
+        for v, op in self._ops.items():
+            other._ops[perm[v]] = op
+        return other
+
+    def reversed(self) -> "ComputationGraph":
+        """Return the graph with every edge direction flipped."""
+        other = ComputationGraph(self.num_vertices)
+        for u, v in self.edges():
+            other.add_edge(v, u)
+        other._labels = dict(self._labels)
+        other._ops = dict(self._ops)
+        return other
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :class:`networkx.DiGraph` (labels/ops as attributes)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for v in self.vertices():
+            g.add_node(v, label=self._labels.get(v), op=self._ops.get(v))
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "ComputationGraph":
+        """Build from a :class:`networkx.DiGraph` with arbitrary node names."""
+        nodes = list(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        graph = cls(len(nodes))
+        for u, v in nx_graph.edges():
+            graph.add_edge(index[u], index[v])
+        for node, data in nx_graph.nodes(data=True):
+            if data.get("label") is not None:
+                graph._labels[index[node]] = str(data["label"])
+            elif not isinstance(node, int):
+                graph._labels[index[node]] = str(node)
+            if data.get("op") is not None:
+                graph._ops[index[node]] = str(data["op"])
+        return graph
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComputationGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"sources={len(self.sources())}, sinks={len(self.sinks())})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComputationGraph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and self._edge_set == other._edge_set
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)
+
+    def _check_vertex(self, v: int) -> None:
+        if not isinstance(v, (int, np.integer)) or isinstance(v, bool):
+            raise TypeError(f"vertex id must be an integer, got {type(v).__name__}")
+        if not 0 <= v < self.num_vertices:
+            raise ValueError(
+                f"vertex {v} out of range for graph with {self.num_vertices} vertices"
+            )

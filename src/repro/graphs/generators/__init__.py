@@ -1,0 +1,61 @@
+"""Computation-graph generators.
+
+Each generator builds the computation DAG of a concrete algorithm at the
+granularity of the paper's memory model (one vertex per scalar operation, one
+element of fast memory per vertex result):
+
+* :mod:`fft` — the (l+1)-column butterfly graph of a 2^l-point FFT (§5.2, §6.2).
+* :mod:`matmul` — naive n×n matrix multiplication (§6.2).
+* :mod:`strassen` — Strassen's recursive matrix multiplication (§6.2).
+* :mod:`hypercube` — the boolean-hypercube graph of the Bellman-Held-Karp
+  dynamic program for TSP (§5.1, §6.2).
+* :mod:`basic` — small/didactic graphs (inner product, chains, reductions,
+  diamonds) used throughout the paper's figures and in the test-suite.
+* :mod:`stencil` — iterative stencil / prefix-sum style graphs used as extra
+  workloads for the harness.
+* :mod:`random_graphs` — Erdős–Rényi graphs (§5.3) and random layered DAGs.
+"""
+
+from repro.graphs.generators.fft import fft_graph, butterfly_graph
+from repro.graphs.generators.matmul import naive_matmul_graph
+from repro.graphs.generators.strassen import strassen_graph
+from repro.graphs.generators.hypercube import bellman_held_karp_graph, hypercube_graph
+from repro.graphs.generators.basic import (
+    inner_product_graph,
+    chain_graph,
+    binary_tree_reduction_graph,
+    diamond_graph,
+    independent_ops_graph,
+    prefix_sum_graph,
+)
+from repro.graphs.generators.linalg import lu_factorization_graph, triangular_solve_graph
+from repro.graphs.generators.stencil import stencil_1d_graph, stencil_2d_graph
+from repro.graphs.generators.random_graphs import (
+    erdos_renyi_dag,
+    erdos_renyi_undirected_laplacian,
+    layered_random_dag,
+    random_dag,
+)
+
+__all__ = [
+    "fft_graph",
+    "butterfly_graph",
+    "naive_matmul_graph",
+    "strassen_graph",
+    "bellman_held_karp_graph",
+    "hypercube_graph",
+    "inner_product_graph",
+    "chain_graph",
+    "binary_tree_reduction_graph",
+    "diamond_graph",
+    "independent_ops_graph",
+    "prefix_sum_graph",
+    "lu_factorization_graph",
+    "triangular_solve_graph",
+    "stencil_1d_graph",
+    "stencil_2d_graph",
+    "erdos_renyi_dag",
+    "erdos_renyi_undirected_laplacian",
+    "layered_random_dag",
+    "random_dag",
+]

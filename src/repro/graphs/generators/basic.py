@@ -1,0 +1,155 @@
+"""Small and didactic computation graphs.
+
+These graphs appear in the paper's expository figures (the inner product of
+Figure 1, the seven-vertex partition example of Figure 2) and serve as
+fixtures for the test-suite: they are small enough to reason about by hand,
+yet exercise every code path of the bound machinery (sources, sinks, fan-in,
+fan-out, reductions).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "inner_product_graph",
+    "chain_graph",
+    "binary_tree_reduction_graph",
+    "diamond_graph",
+    "independent_ops_graph",
+    "prefix_sum_graph",
+    "figure2_example_graph",
+]
+
+
+def inner_product_graph(n: int) -> ComputationGraph:
+    """Computation graph of the inner product of two length-``n`` vectors.
+
+    ``2n`` input vertices, ``n`` product vertices and ``n - 1`` addition
+    vertices (sequential accumulation).  For ``n = 2`` this is exactly the
+    seven-vertex graph of Figure 1 in the paper.
+    """
+    check_positive_int(n, "n")
+    graph = ComputationGraph()
+    xs = [graph.add_vertex(label=f"x[{i}]", op="input") for i in range(n)]
+    ys = [graph.add_vertex(label=f"y[{i}]", op="input") for i in range(n)]
+    products: List[int] = []
+    for i in range(n):
+        p = graph.add_vertex(label=f"x[{i}]*y[{i}]", op="mul")
+        graph.add_edge(xs[i], p)
+        graph.add_edge(ys[i], p)
+        products.append(p)
+    acc = products[0]
+    for i in range(1, n):
+        s = graph.add_vertex(op="add")
+        graph.add_edge(acc, s)
+        graph.add_edge(products[i], s)
+        acc = s
+    graph.set_label(acc, "dot(x, y)")
+    return graph
+
+
+def chain_graph(length: int) -> ComputationGraph:
+    """A directed path of ``length`` vertices (a purely sequential computation).
+
+    A chain never needs more than two live values, so its optimal I/O is zero
+    for any ``M >= 2``; the spectral bound must therefore be ≤ 0 (clamped to
+    zero), which makes the chain a useful negative control in tests.
+    """
+    check_positive_int(length, "length")
+    graph = ComputationGraph(length)
+    graph.set_op(0, "input")
+    for v in range(length - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+def binary_tree_reduction_graph(num_leaves: int) -> ComputationGraph:
+    """Balanced binary reduction of ``num_leaves`` inputs (e.g. a sum).
+
+    ``num_leaves`` input vertices plus ``num_leaves - 1`` internal additions.
+    """
+    check_positive_int(num_leaves, "num_leaves")
+    graph = ComputationGraph()
+    frontier = [graph.add_vertex(label=f"x[{i}]", op="input") for i in range(num_leaves)]
+    while len(frontier) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(frontier) - 1, 2):
+            s = graph.add_vertex(op="add")
+            graph.add_edge(frontier[i], s)
+            graph.add_edge(frontier[i + 1], s)
+            nxt.append(s)
+        if len(frontier) % 2 == 1:
+            nxt.append(frontier[-1])
+        frontier = nxt
+    return graph
+
+
+def diamond_graph(width: int) -> ComputationGraph:
+    """A fan-out/fan-in diamond: one source feeding ``width`` independent
+    vertices that all feed one sink.
+
+    The source's value is live across the whole middle layer, so for
+    ``M < width + 1`` some I/O is unavoidable — a minimal example of
+    fan-out-induced I/O used in unit tests.
+    """
+    check_positive_int(width, "width")
+    graph = ComputationGraph()
+    src = graph.add_vertex(label="source", op="input")
+    middle = [graph.add_vertex(op="f") for _ in range(width)]
+    sink = graph.add_vertex(label="sink", op="reduce")
+    for v in middle:
+        graph.add_edge(src, v)
+        graph.add_edge(v, sink)
+    return graph
+
+
+def independent_ops_graph(count: int) -> ComputationGraph:
+    """``count`` disconnected single-vertex computations.
+
+    The graph is edgeless; every bound must be trivial (zero).  Used to check
+    that the machinery degrades gracefully on disconnected inputs.
+    """
+    check_positive_int(count, "count")
+    graph = ComputationGraph(count)
+    for v in range(count):
+        graph.set_op(v, "input")
+    return graph
+
+
+def prefix_sum_graph(n: int) -> ComputationGraph:
+    """Sequential (serial) prefix sum of ``n`` inputs.
+
+    ``n`` inputs and ``n - 1`` additions where addition ``i`` consumes input
+    ``i + 1`` and the previous partial sum.  All partial sums are outputs, so
+    unlike the chain every internal value has fan-out 1 but the inputs arrive
+    over time; a compact low-I/O workload used in examples.
+    """
+    check_positive_int(n, "n")
+    graph = ComputationGraph()
+    xs = [graph.add_vertex(label=f"x[{i}]", op="input") for i in range(n)]
+    acc = xs[0]
+    for i in range(1, n):
+        s = graph.add_vertex(label=f"s[{i}]", op="add")
+        graph.add_edge(acc, s)
+        graph.add_edge(xs[i], s)
+        acc = s
+    return graph
+
+
+def figure2_example_graph() -> ComputationGraph:
+    """The seven-vertex example of Figure 2 in the paper.
+
+    The figure shows an evaluation order 1..7 and a three-segment partition;
+    the exact edge set is not fully specified by the figure, so we reproduce a
+    representative seven-vertex DAG with the same shape (two source pairs
+    feeding intermediate vertices that merge into one sink).  It is used in
+    documentation and partition unit tests only.
+    """
+    graph = ComputationGraph(7)
+    edges = [(0, 2), (1, 2), (0, 3), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)]
+    graph.add_edges(edges)
+    return graph

@@ -1,0 +1,79 @@
+"""Butterfly computation graphs of the Fast Fourier Transform.
+
+A 2^l-point radix-2 FFT performs l stages of butterflies.  Its computation
+graph is the *unwrapped butterfly graph* ``B_l`` with ``(l + 1) * 2^l``
+vertices arranged in ``l + 1`` columns of ``2^l`` vertices (Figure 5 of the
+paper): column 0 holds the inputs and column ``c`` (for ``c >= 1``) holds the
+results of stage ``c``.  Vertex ``(c, r)`` has two parents, ``(c-1, r)`` and
+``(c-1, r XOR 2^{c-1})`` — the pair of values combined by its butterfly.
+
+Every internal vertex therefore has in-degree 2 and out-degree 2, the inputs
+have out-degree 2 and the outputs in-degree 2, matching the published bound
+setting ("max in-degree 2" in Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.validation import check_nonnegative_int
+
+__all__ = ["fft_graph", "butterfly_graph", "fft_vertex_id", "fft_num_vertices"]
+
+
+def fft_num_vertices(levels: int) -> int:
+    """Number of vertices of the ``levels``-level butterfly: ``(l+1) 2^l``."""
+    check_nonnegative_int(levels, "levels")
+    return (levels + 1) * (1 << levels)
+
+
+def fft_vertex_id(levels: int, column: int, row: int) -> int:
+    """Vertex id of butterfly position ``(column, row)``.
+
+    Columns are numbered ``0 .. levels`` (column 0 = inputs) and rows
+    ``0 .. 2^levels - 1``.
+    """
+    check_nonnegative_int(levels, "levels")
+    size = 1 << levels
+    if not 0 <= column <= levels:
+        raise ValueError(f"column must be in [0, {levels}], got {column}")
+    if not 0 <= row < size:
+        raise ValueError(f"row must be in [0, {size - 1}], got {row}")
+    return column * size + row
+
+
+def fft_graph(levels: int) -> ComputationGraph:
+    """Computation graph of a ``2**levels``-point FFT.
+
+    Parameters
+    ----------
+    levels:
+        Number of FFT stages ``l`` (the transform size is ``2**levels``).
+        ``levels = 0`` yields a single isolated vertex (a 1-point FFT is the
+        identity).
+
+    Returns
+    -------
+    ComputationGraph
+        The unwrapped butterfly graph ``B_l`` with ``(l+1) 2^l`` vertices and
+        ``l 2^{l+1}`` edges.
+    """
+    check_nonnegative_int(levels, "levels")
+    size = 1 << levels
+    graph = ComputationGraph(fft_num_vertices(levels))
+    for row in range(size):
+        graph.set_op(fft_vertex_id(levels, 0, row), "input")
+        graph.set_label(fft_vertex_id(levels, 0, row), f"x[{row}]")
+    for column in range(1, levels + 1):
+        stride = 1 << (column - 1)
+        for row in range(size):
+            v = fft_vertex_id(levels, column, row)
+            graph.set_op(v, "butterfly")
+            graph.add_edge(fft_vertex_id(levels, column - 1, row), v)
+            graph.add_edge(fft_vertex_id(levels, column - 1, row ^ stride), v)
+    return graph
+
+
+def butterfly_graph(levels: int) -> ComputationGraph:
+    """Alias for :func:`fft_graph`; named after the graph rather than the
+    algorithm (the paper uses ``B_l`` for the same object)."""
+    return fft_graph(levels)

@@ -1,0 +1,65 @@
+"""Boolean-hypercube computation graphs (Bellman-Held-Karp dynamic program).
+
+The Bellman-Held-Karp algorithm for the travelling-salesman problem on ``l``
+cities computes, for every subset of cities, a table of optimal sub-paths from
+the tables of subsets with one fewer city (§5.1 of the paper).  At the
+granularity of one vertex per subset, the computation graph is the directed
+boolean hypercube ``Q_l``: vertices are the ``2^l`` subsets (bitmasks) and
+there is an edge from ``k1`` to ``k2`` whenever ``k2`` adds exactly one city
+to ``k1``.
+
+The out-degree of a subset is the number of missing cities (so the maximum
+in/out-degree is ``l``), and the underlying undirected graph is the standard
+``l``-dimensional hypercube whose Laplacian spectrum is ``{2i}`` with
+multiplicity ``C(l, i)`` — which is what makes the closed-form bound of §5.1
+possible.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.validation import check_nonnegative_int
+
+__all__ = ["bellman_held_karp_graph", "hypercube_graph"]
+
+
+def hypercube_graph(dimension: int) -> ComputationGraph:
+    """Directed boolean hypercube ``Q_d``.
+
+    Vertices are bitmasks ``0 .. 2^d - 1`` and edges point from each mask to
+    every mask obtained by setting one additional bit (i.e. edges are oriented
+    by increasing popcount, which is a valid computation-graph orientation).
+    """
+    check_nonnegative_int(dimension, "dimension")
+    n = 1 << dimension
+    graph = ComputationGraph(n)
+    for mask in range(n):
+        graph.set_label(mask, format(mask, f"0{max(dimension, 1)}b"))
+        if mask == 0:
+            graph.set_op(mask, "input")
+        else:
+            graph.set_op(mask, "dp-update")
+        for bit in range(dimension):
+            if not mask & (1 << bit):
+                graph.add_edge(mask, mask | (1 << bit))
+    return graph
+
+
+def bellman_held_karp_graph(num_cities: int) -> ComputationGraph:
+    """Computation graph of the Bellman-Held-Karp TSP dynamic program.
+
+    Parameters
+    ----------
+    num_cities:
+        Number of cities ``l``.  The graph is the ``l``-dimensional directed
+        hypercube with ``2^l`` vertices (Figure 4 of the paper uses ``l = 3``).
+
+    Notes
+    -----
+    The paper's formulation stores the whole solution set ``Y[k]`` of a subset
+    ``k`` in a single vertex, so the graph is exactly ``Q_l``; a finer-grained
+    formulation (one vertex per ``(subset, end city)`` pair) would scale every
+    closed-form quantity by ``l`` without changing the structure of the bound.
+    """
+    check_nonnegative_int(num_cities, "num_cities")
+    return hypercube_graph(num_cities)

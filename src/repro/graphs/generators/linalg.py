@@ -1,0 +1,89 @@
+"""Dense linear-algebra computation graphs beyond matrix multiplication.
+
+Two additional workloads frequently analysed in the I/O-complexity literature
+(and natural future-work targets for the spectral method): LU factorisation
+without pivoting and triangular solves.  They are not part of the paper's
+evaluation but round out the workload suite for the harness and tests —
+Gaussian elimination has a published ``Ω(n^3/√M)`` I/O bound, so its graphs
+make a good stress case for automatic methods.
+
+Granularity follows the paper's traced style: one vertex per statement, so an
+elimination update ``A[i,j] -= L[i,k] * A[k,j]`` is a single vertex with three
+operands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = ["lu_factorization_graph", "triangular_solve_graph"]
+
+
+def lu_factorization_graph(n: int) -> ComputationGraph:
+    """Computation graph of LU factorisation (no pivoting) of an ``n x n`` matrix.
+
+    Vertices: ``n^2`` inputs, one division vertex per multiplier ``L[i,k]``
+    (``n(n-1)/2`` of them), and one fused update vertex per Schur-complement
+    entry touched at each elimination step (``sum_k (n-1-k)^2`` of them, each
+    with three operands).
+    """
+    check_positive_int(n, "n")
+    graph = ComputationGraph()
+    # current[(i, j)] is the vertex holding the live value of entry (i, j).
+    current: Dict[Tuple[int, int], int] = {
+        (i, j): graph.add_vertex(label=f"A[{i},{j}]", op="input")
+        for i in range(n)
+        for j in range(n)
+    }
+    for k in range(n):
+        pivot = current[(k, k)]
+        for i in range(k + 1, n):
+            multiplier = graph.add_vertex(label=f"L[{i},{k}]", op="div")
+            graph.add_edge(current[(i, k)], multiplier)
+            graph.add_edge(pivot, multiplier)
+            current[(i, k)] = multiplier
+            for j in range(k + 1, n):
+                update = graph.add_vertex(op="update")
+                graph.add_edge(current[(i, j)], update)
+                graph.add_edge(multiplier, update)
+                graph.add_edge(current[(k, j)], update)
+                current[(i, j)] = update
+    return graph
+
+
+def triangular_solve_graph(n: int) -> ComputationGraph:
+    """Computation graph of a forward substitution ``L x = b`` (unit-stride).
+
+    ``x[i] = (b[i] - sum_{j<i} L[i,j] * x[j]) / L[i,i]``: one multiply vertex
+    per ``L[i,j] * x[j]`` product, a chain of subtractions, and one division
+    per unknown.  The graph has ``n(n+1)/2 + n`` inputs and ``O(n^2)``
+    operation vertices; its strong sequential dependence keeps the spectral
+    bound small, making it a useful low-I/O contrast case.
+    """
+    check_positive_int(n, "n")
+    graph = ComputationGraph()
+    lower: Dict[Tuple[int, int], int] = {
+        (i, j): graph.add_vertex(label=f"L[{i},{j}]", op="input")
+        for i in range(n)
+        for j in range(i + 1)
+    }
+    b: List[int] = [graph.add_vertex(label=f"b[{i}]", op="input") for i in range(n)]
+    x: List[int] = []
+    for i in range(n):
+        acc = b[i]
+        for j in range(i):
+            product = graph.add_vertex(op="mul")
+            graph.add_edge(lower[(i, j)], product)
+            graph.add_edge(x[j], product)
+            minus = graph.add_vertex(op="sub")
+            graph.add_edge(acc, minus)
+            graph.add_edge(product, minus)
+            acc = minus
+        xi = graph.add_vertex(label=f"x[{i}]", op="div")
+        graph.add_edge(acc, xi)
+        graph.add_edge(lower[(i, i)], xi)
+        x.append(xi)
+    return graph

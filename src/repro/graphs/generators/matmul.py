@@ -1,0 +1,149 @@
+"""Computation graph of naive (classical) matrix multiplication.
+
+``C = A @ B`` for two ``n x n`` matrices computed "by definition": every entry
+``C[i, j]`` is the dot product of row ``i`` of ``A`` and column ``j`` of ``B``.
+The graph contains one vertex per input element, one vertex per elementary
+product ``A[i, k] * B[k, j]``, and one vertex per addition of the reduction
+that accumulates the ``n`` products into ``C[i, j]``.
+
+Three reduction shapes are supported:
+
+* ``"chain"`` (default, what a textbook triple loop produces): the products
+  are accumulated sequentially, giving ``n - 1`` additions of in-degree 2.
+* ``"tree"``: a balanced binary reduction tree, also ``n - 1`` additions but
+  logarithmic depth.
+* ``"flat"``: the whole dot-product summation is a single vertex of
+  in-degree ``n`` consuming all ``n`` products.  This is the granularity the
+  paper's traced graphs use for Figure 8 — its caption reports "max in-degree
+  ``n``" — and is therefore the shape the Figure 8 benchmark reproduces.
+
+``chain`` and ``tree`` have identical vertex/edge counts; ``flat`` has
+``n^2 (n - 1)`` fewer addition vertices.  The maximum out-degree is ``n`` for
+every shape (each input element feeds ``n`` products).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = ["naive_matmul_graph", "naive_matmul_num_vertices", "dot_product_formulation_graph"]
+
+
+def naive_matmul_num_vertices(n: int, reduction: str = "chain") -> int:
+    """Vertex count of :func:`naive_matmul_graph`.
+
+    ``2 n^2 + n^3 + n^2 (n - 1)`` for the binary reductions (``chain`` and
+    ``tree``); ``2 n^2 + n^3 + n^2`` for ``flat`` (one summation vertex per
+    output entry, except ``n = 1`` where the product is the output).
+    """
+    check_positive_int(n, "n")
+    _check_reduction(reduction)
+    if reduction == "flat":
+        return 2 * n * n + n * n * n + (n * n if n > 1 else 0)
+    return 2 * n * n + n * n * n + n * n * (n - 1)
+
+
+def naive_matmul_graph(n: int, reduction: str = "chain") -> ComputationGraph:
+    """Computation graph of naive ``n x n`` matrix multiplication.
+
+    Parameters
+    ----------
+    n:
+        Matrix side length.
+    reduction:
+        ``"chain"`` for sequential accumulation of each dot product,
+        ``"tree"`` for a balanced binary reduction, ``"flat"`` for a single
+        ``n``-ary summation vertex per output entry (the paper's Figure 8
+        granularity).
+
+    Returns
+    -------
+    ComputationGraph
+        Graph with ``2n^2`` input vertices, ``n^3`` product vertices and
+        ``n^2 (n - 1)`` (binary reductions) or ``n^2`` (flat) addition
+        vertices.
+    """
+    check_positive_int(n, "n")
+    _check_reduction(reduction)
+    graph = ComputationGraph()
+
+    a = [[graph.add_vertex(label=f"A[{i},{k}]", op="input") for k in range(n)] for i in range(n)]
+    b = [[graph.add_vertex(label=f"B[{k},{j}]", op="input") for j in range(n)] for k in range(n)]
+
+    for i in range(n):
+        for j in range(n):
+            products: List[int] = []
+            for k in range(n):
+                p = graph.add_vertex(label=f"P[{i},{j},{k}]", op="mul")
+                graph.add_edge(a[i][k], p)
+                graph.add_edge(b[k][j], p)
+                products.append(p)
+            _reduce(graph, products, reduction, label=f"C[{i},{j}]")
+    return graph
+
+
+def dot_product_formulation_graph(n: int) -> ComputationGraph:
+    """Coarse-grained formulation: one vertex per output entry ``C[i, j]``.
+
+    Each ``C[i, j]`` vertex consumes the whole row ``i`` of ``A`` and column
+    ``j`` of ``B`` (in-degree ``2n``); there are no explicit product/addition
+    vertices.  This is the formulation whose maximum in-degree is ``n``-scale,
+    matching the "max in-degree n" annotation of Figure 8, and it is useful as
+    an ablation of operation granularity.
+    """
+    check_positive_int(n, "n")
+    graph = ComputationGraph()
+    a = [[graph.add_vertex(label=f"A[{i},{k}]", op="input") for k in range(n)] for i in range(n)]
+    b = [[graph.add_vertex(label=f"B[{k},{j}]", op="input") for j in range(n)] for k in range(n)]
+    for i in range(n):
+        for j in range(n):
+            c = graph.add_vertex(label=f"C[{i},{j}]", op="dot")
+            for k in range(n):
+                graph.add_edge(a[i][k], c)
+                graph.add_edge(b[k][j], c)
+    return graph
+
+
+def _reduce(graph: ComputationGraph, values: List[int], reduction: str, label: str) -> int:
+    """Accumulate ``values`` into one result vertex; returns the result id."""
+    if len(values) == 1:
+        # A 1x1 multiplication: the single product *is* the output entry.
+        graph.set_label(values[0], label)
+        return values[0]
+    if reduction == "flat":
+        s = graph.add_vertex(op="sum")
+        for v in values:
+            graph.add_edge(v, s)
+        graph.set_label(s, label)
+        return s
+    if reduction == "chain":
+        acc = values[0]
+        for v in values[1:]:
+            nxt = graph.add_vertex(op="add")
+            graph.add_edge(acc, nxt)
+            graph.add_edge(v, nxt)
+            acc = nxt
+        graph.set_label(acc, label)
+        return acc
+    # Balanced binary tree reduction.
+    frontier = list(values)
+    while len(frontier) > 1:
+        nxt_frontier: List[int] = []
+        for idx in range(0, len(frontier) - 1, 2):
+            s = graph.add_vertex(op="add")
+            graph.add_edge(frontier[idx], s)
+            graph.add_edge(frontier[idx + 1], s)
+            nxt_frontier.append(s)
+        if len(frontier) % 2 == 1:
+            nxt_frontier.append(frontier[-1])
+        frontier = nxt_frontier
+    graph.set_label(frontier[0], label)
+    return frontier[0]
+
+
+def _check_reduction(reduction: str) -> None:
+    if reduction not in ("chain", "tree", "flat"):
+        raise ValueError(f"reduction must be 'chain', 'tree' or 'flat', got {reduction!r}")

@@ -1,0 +1,131 @@
+"""Random graphs: Erdős–Rényi models and random layered DAGs.
+
+Section 5.3 of the paper analyses the spectral bound on Erdős–Rényi graphs
+``G(n, p)``; because the bound only consumes the undirected Laplacian and the
+maximum out-degree, any acyclic orientation of ``G(n, p)`` realises the same
+analysis.  :func:`erdos_renyi_dag` orients every sampled edge from the lower
+to the higher vertex index, which is always acyclic and gives the natural
+"computation graph" reading of the random graph.
+
+Random layered DAGs are a separate, more computation-graph-shaped family used
+for property-based testing: they have designated input and output layers and
+bounded in-degree, resembling traced numerical programs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "erdos_renyi_dag",
+    "erdos_renyi_undirected_laplacian",
+    "layered_random_dag",
+    "random_dag",
+]
+
+
+def erdos_renyi_dag(n: int, p: float, seed: SeedLike = None) -> ComputationGraph:
+    """Erdős–Rényi graph ``G(n, p)`` oriented from low to high vertex index.
+
+    Every unordered pair ``{i, j}`` with ``i < j`` independently becomes the
+    directed edge ``(i, j)`` with probability ``p``.  The undirected support
+    of the result is distributed exactly as ``G(n, p)``.
+    """
+    check_positive_int(n, "n")
+    check_probability(p, "p")
+    rng = as_rng(seed)
+    graph = ComputationGraph(n)
+    if p == 0.0 or n == 1:
+        return graph
+    # Vectorised sampling of the upper triangle.
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.shape[0]) < p
+    for u, v in zip(iu[mask], ju[mask]):
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def erdos_renyi_undirected_laplacian(
+    n: int, p: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Dense Laplacian of an undirected ``G(n, p)`` sample.
+
+    Provided for direct experimentation with §5.3 (algebraic connectivity of
+    random graphs) without constructing a computation graph first.
+    """
+    check_positive_int(n, "n")
+    check_probability(p, "p")
+    rng = as_rng(seed)
+    upper = rng.random((n, n)) < p
+    adj = np.triu(upper, k=1)
+    adj = (adj | adj.T).astype(np.float64)
+    deg = adj.sum(axis=1)
+    return np.diag(deg) - adj
+
+
+def layered_random_dag(
+    num_layers: int,
+    layer_width: int,
+    in_degree: int = 2,
+    seed: SeedLike = None,
+) -> ComputationGraph:
+    """Random layered DAG with ``num_layers`` layers of ``layer_width``
+    vertices each.
+
+    Every vertex in layer ``t >= 1`` picks ``min(in_degree, layer_width)``
+    distinct parents uniformly from layer ``t - 1``.  Layer 0 vertices are
+    inputs.  The result is always acyclic and weakly connected with high
+    probability, resembling the shape of traced numerical programs.
+    """
+    check_positive_int(num_layers, "num_layers")
+    check_positive_int(layer_width, "layer_width")
+    check_positive_int(in_degree, "in_degree")
+    rng = as_rng(seed)
+    graph = ComputationGraph(num_layers * layer_width)
+    k = min(in_degree, layer_width)
+    for layer in range(num_layers):
+        for i in range(layer_width):
+            v = layer * layer_width + i
+            if layer == 0:
+                graph.set_op(v, "input")
+                continue
+            graph.set_op(v, "op")
+            parents = rng.choice(layer_width, size=k, replace=False)
+            for p_idx in parents:
+                graph.add_edge((layer - 1) * layer_width + int(p_idx), v)
+    return graph
+
+
+def random_dag(
+    n: int,
+    edge_probability: float = 0.3,
+    max_in_degree: Optional[int] = None,
+    seed: SeedLike = None,
+) -> ComputationGraph:
+    """General random DAG on ``n`` vertices.
+
+    Each potential edge ``(i, j)`` with ``i < j`` is included with probability
+    ``edge_probability``; if ``max_in_degree`` is given, parents beyond the
+    cap are dropped uniformly at random.  The family is used by the
+    hypothesis-based property tests, which need many structurally diverse but
+    always-valid computation graphs.
+    """
+    check_positive_int(n, "n")
+    check_probability(edge_probability, "edge_probability")
+    if max_in_degree is not None:
+        check_positive_int(max_in_degree, "max_in_degree")
+    rng = as_rng(seed)
+    graph = ComputationGraph(n)
+    for v in range(1, n):
+        candidates = np.nonzero(rng.random(v) < edge_probability)[0]
+        if max_in_degree is not None and candidates.shape[0] > max_in_degree:
+            candidates = rng.choice(candidates, size=max_in_degree, replace=False)
+        for u in candidates:
+            graph.add_edge(int(u), v)
+    return graph

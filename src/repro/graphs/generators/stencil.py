@@ -1,0 +1,79 @@
+"""Iterative stencil computation graphs.
+
+Stencil sweeps (e.g. Jacobi iterations, 1D heat equations) are the classic
+"I/O-friendly with tiling, I/O-hungry without" workloads of the HPC
+literature.  They are not part of the paper's evaluation but are included as
+additional workloads for the harness and as structurally different graphs for
+property-based tests: their Laplacian spectra are close to those of grid
+graphs, with a much smaller spectral gap than the butterfly or hypercube, so
+the spectral bound is correspondingly weaker — a useful illustration of where
+the method is and is not tight.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.validation import check_positive_int
+
+__all__ = ["stencil_1d_graph", "stencil_2d_graph"]
+
+
+def stencil_1d_graph(width: int, timesteps: int, radius: int = 1) -> ComputationGraph:
+    """Computation graph of ``timesteps`` sweeps of a 1D stencil of radius
+    ``radius`` over ``width`` points.
+
+    Vertex ``(t, i)`` (time ``t``, position ``i``) depends on
+    ``(t-1, i-radius) .. (t-1, i+radius)`` clipped to the domain.  Time 0 holds
+    the inputs.  The graph has ``(timesteps + 1) * width`` vertices.
+    """
+    check_positive_int(width, "width")
+    check_positive_int(timesteps, "timesteps")
+    check_positive_int(radius, "radius")
+    graph = ComputationGraph((timesteps + 1) * width)
+
+    def vid(t: int, i: int) -> int:
+        return t * width + i
+
+    for i in range(width):
+        graph.set_op(vid(0, i), "input")
+    for t in range(1, timesteps + 1):
+        for i in range(width):
+            v = vid(t, i)
+            graph.set_op(v, "stencil")
+            for off in range(-radius, radius + 1):
+                j = i + off
+                if 0 <= j < width:
+                    graph.add_edge(vid(t - 1, j), v)
+    return graph
+
+
+def stencil_2d_graph(width: int, height: int, timesteps: int) -> ComputationGraph:
+    """Computation graph of a 5-point 2D stencil over a ``width x height``
+    grid for ``timesteps`` sweeps.
+
+    Vertex ``(t, i, j)`` depends on the von Neumann neighbourhood of
+    ``(i, j)`` at time ``t - 1``.  The graph has
+    ``(timesteps + 1) * width * height`` vertices.
+    """
+    check_positive_int(width, "width")
+    check_positive_int(height, "height")
+    check_positive_int(timesteps, "timesteps")
+    graph = ComputationGraph((timesteps + 1) * width * height)
+
+    def vid(t: int, i: int, j: int) -> int:
+        return t * width * height + i * height + j
+
+    for i in range(width):
+        for j in range(height):
+            graph.set_op(vid(0, i, j), "input")
+    offsets = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)]
+    for t in range(1, timesteps + 1):
+        for i in range(width):
+            for j in range(height):
+                v = vid(t, i, j)
+                graph.set_op(v, "stencil")
+                for di, dj in offsets:
+                    a, b = i + di, j + dj
+                    if 0 <= a < width and 0 <= b < height:
+                        graph.add_edge(vid(t - 1, a, b), v)
+    return graph

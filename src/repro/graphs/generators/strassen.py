@@ -1,0 +1,186 @@
+"""Computation graph of Strassen's matrix multiplication.
+
+Strassen's algorithm multiplies two ``n x n`` matrices (``n`` a power of two)
+with seven recursive multiplications of half-size matrices plus a constant
+number of half-size matrix additions/subtractions:
+
+    M1 = (A11 + A22)(B11 + B22)      C11 = M1 + M4 - M5 + M7
+    M2 = (A21 + A22) B11             C12 = M3 + M5
+    M3 = A11 (B12 - B22)             C21 = M2 + M4
+    M4 = A22 (B21 - B11)             C22 = M1 - M2 + M3 + M6
+    M5 = (A11 + A12) B22
+    M6 = (A21 - A11)(B12 + B22)
+    M7 = (A12 - A22)(B21 + B11)
+
+The computation graph is built at scalar granularity: one vertex per input
+element, one vertex per elementwise addition/subtraction performed by the
+recursion, and one vertex per scalar multiplication at the recursion leaves.
+The resulting graph is the recursive graph analysed by Ballard et al. (the
+``Ω((n/√M)^{log2 7} · M)`` bound referenced in §6.2).
+
+Two granularities for the output-quadrant combinations are supported:
+
+* ``combine="fused"`` (default): each element of ``C11``/``C22`` is a single
+  vertex consuming its four ``M_i`` operands (in-degree 4) and each element of
+  ``C12``/``C21`` a single vertex of in-degree 2 — the granularity of the
+  paper's traced graphs ("max in-degree 4" in the Figure 9 caption);
+* ``combine="binary"``: every combination is decomposed into two-operand
+  additions/subtractions (maximum in-degree 2 throughout).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.validation import check_power_of_two
+
+__all__ = ["strassen_graph", "strassen_num_multiplications"]
+
+Matrix = Dict[Tuple[int, int], int]
+
+
+def strassen_num_multiplications(n: int) -> int:
+    """Number of scalar multiplications performed: ``7^{log2 n}``."""
+    check_power_of_two(n, "n")
+    return 7 ** (n.bit_length() - 1)
+
+
+def strassen_graph(n: int, combine: str = "fused") -> ComputationGraph:
+    """Computation graph of Strassen's algorithm on two ``n x n`` matrices.
+
+    Parameters
+    ----------
+    n:
+        Matrix side length; must be a power of two (Strassen's recursion
+        splits matrices into quadrants, cf. §6.2 of the paper).
+    combine:
+        ``"fused"`` (default) — quadrant combinations are single vertices of
+        in-degree up to 4, matching the paper's Figure 9 granularity;
+        ``"binary"`` — combinations are decomposed into two-operand vertices.
+    """
+    check_power_of_two(n, "n")
+    if combine not in ("fused", "binary"):
+        raise ValueError(f"combine must be 'fused' or 'binary', got {combine!r}")
+    graph = ComputationGraph()
+    a: Matrix = {
+        (i, j): graph.add_vertex(label=f"A[{i},{j}]", op="input")
+        for i in range(n)
+        for j in range(n)
+    }
+    b: Matrix = {
+        (i, j): graph.add_vertex(label=f"B[{i},{j}]", op="input")
+        for i in range(n)
+        for j in range(n)
+    }
+    c = _strassen_multiply(graph, a, b, n, combine)
+    for (i, j), v in c.items():
+        graph.set_label(v, f"C[{i},{j}]")
+    return graph
+
+
+def _submatrix(m: Matrix, size: int, quadrant_row: int, quadrant_col: int) -> Matrix:
+    """View of one quadrant of ``m`` re-indexed to ``0 .. size/2 - 1``."""
+    half = size // 2
+    return {
+        (i, j): m[(i + quadrant_row * half, j + quadrant_col * half)]
+        for i in range(half)
+        for j in range(half)
+    }
+
+
+def _elementwise(graph: ComputationGraph, x: Matrix, y: Matrix, op: str) -> Matrix:
+    """Elementwise add/sub of two equally indexed matrices; one vertex each."""
+    out: Matrix = {}
+    for key in x:
+        v = graph.add_vertex(op=op)
+        graph.add_edge(x[key], v)
+        graph.add_edge(y[key], v)
+        out[key] = v
+    return out
+
+
+def _fused_combination(graph: ComputationGraph, operands: list[Matrix], op: str) -> Matrix:
+    """Elementwise combination of several matrices as single vertices."""
+    out: Matrix = {}
+    for key in operands[0]:
+        v = graph.add_vertex(op=op)
+        for matrix in operands:
+            graph.add_edge(matrix[key], v)
+        out[key] = v
+    return out
+
+
+def _combine(graph: ComputationGraph, size: int, c11: Matrix, c12: Matrix, c21: Matrix, c22: Matrix) -> Matrix:
+    """Assemble quadrants back into a ``size x size`` index map."""
+    half = size // 2
+    out: Matrix = {}
+    for i in range(half):
+        for j in range(half):
+            out[(i, j)] = c11[(i, j)]
+            out[(i, j + half)] = c12[(i, j)]
+            out[(i + half, j)] = c21[(i, j)]
+            out[(i + half, j + half)] = c22[(i, j)]
+    return out
+
+
+def _strassen_multiply(
+    graph: ComputationGraph, a: Matrix, b: Matrix, size: int, combine: str
+) -> Matrix:
+    if size == 1:
+        v = graph.add_vertex(op="mul")
+        graph.add_edge(a[(0, 0)], v)
+        graph.add_edge(b[(0, 0)], v)
+        return {(0, 0): v}
+
+    a11 = _submatrix(a, size, 0, 0)
+    a12 = _submatrix(a, size, 0, 1)
+    a21 = _submatrix(a, size, 1, 0)
+    a22 = _submatrix(a, size, 1, 1)
+    b11 = _submatrix(b, size, 0, 0)
+    b12 = _submatrix(b, size, 0, 1)
+    b21 = _submatrix(b, size, 1, 0)
+    b22 = _submatrix(b, size, 1, 1)
+    half = size // 2
+
+    m1 = _strassen_multiply(
+        graph,
+        _elementwise(graph, a11, a22, "add"),
+        _elementwise(graph, b11, b22, "add"),
+        half,
+        combine,
+    )
+    m2 = _strassen_multiply(graph, _elementwise(graph, a21, a22, "add"), b11, half, combine)
+    m3 = _strassen_multiply(graph, a11, _elementwise(graph, b12, b22, "sub"), half, combine)
+    m4 = _strassen_multiply(graph, a22, _elementwise(graph, b21, b11, "sub"), half, combine)
+    m5 = _strassen_multiply(graph, _elementwise(graph, a11, a12, "add"), b22, half, combine)
+    m6 = _strassen_multiply(
+        graph,
+        _elementwise(graph, a21, a11, "sub"),
+        _elementwise(graph, b12, b22, "add"),
+        half,
+        combine,
+    )
+    m7 = _strassen_multiply(
+        graph,
+        _elementwise(graph, a12, a22, "sub"),
+        _elementwise(graph, b21, b11, "add"),
+        half,
+        combine,
+    )
+
+    if combine == "fused":
+        c11 = _fused_combination(graph, [m1, m4, m5, m7], "combine")
+        c12 = _fused_combination(graph, [m3, m5], "combine")
+        c21 = _fused_combination(graph, [m2, m4], "combine")
+        c22 = _fused_combination(graph, [m1, m2, m3, m6], "combine")
+    else:
+        c11 = _elementwise(
+            graph, _elementwise(graph, _elementwise(graph, m1, m4, "add"), m5, "sub"), m7, "add"
+        )
+        c12 = _elementwise(graph, m3, m5, "add")
+        c21 = _elementwise(graph, m2, m4, "add")
+        c22 = _elementwise(
+            graph, _elementwise(graph, _elementwise(graph, m1, m2, "sub"), m3, "add"), m6, "add"
+        )
+    return _combine(graph, size, c11, c12, c21, c22)

@@ -1,0 +1,56 @@
+"""Serialization of computation graphs.
+
+Graphs are stored as a small JSON document (vertex count, edge list, optional
+labels/op names).  The format is intentionally trivial so that traced graphs
+can be produced once and re-analysed later or inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.graphs.compgraph import ComputationGraph
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: ComputationGraph) -> dict:
+    """Convert a graph to a JSON-serialisable dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "num_vertices": graph.num_vertices,
+        "edges": [[int(u), int(v)] for u, v in graph.edges()],
+        "labels": {str(v): graph.label(v) for v in graph.vertices() if graph.label(v)},
+        "ops": {str(v): graph.op(v) for v in graph.vertices() if graph.op(v)},
+    }
+
+
+def graph_from_dict(data: dict) -> ComputationGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    version = data.get("format_version", 1)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version}")
+    graph = ComputationGraph(int(data["num_vertices"]))
+    for u, v in data.get("edges", []):
+        graph.add_edge(int(u), int(v))
+    for v, label in data.get("labels", {}).items():
+        graph.set_label(int(v), label)
+    for v, op in data.get("ops", {}).items():
+        graph.set_op(int(v), op)
+    return graph
+
+
+def save_graph(graph: ComputationGraph, path: Union[str, Path]) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(graph_to_dict(graph)))
+
+
+def load_graph(path: Union[str, Path]) -> ComputationGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    path = Path(path)
+    return graph_from_dict(json.loads(path.read_text()))

@@ -1,0 +1,223 @@
+"""Evaluation orders on computation graphs.
+
+An evaluation order is a permutation of the vertices that is topological with
+respect to the DAG: a vertex may only be evaluated after all of its operands
+(Section 3.1).  The paper encodes an order as a permutation matrix
+``X ∈ R^{n×n}`` with ``X[i, j] = 1`` when vertex ``j`` is evaluated at
+time-step ``i``; :func:`permutation_matrix` produces exactly that encoding so
+the quadratic-program identities of Theorem 3 can be checked numerically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = [
+    "is_topological_order",
+    "natural_topological_order",
+    "dfs_topological_order",
+    "priority_topological_order",
+    "random_topological_order",
+    "all_topological_orders",
+    "count_topological_orders",
+    "permutation_matrix",
+    "order_to_schedule_positions",
+]
+
+
+def is_topological_order(graph: ComputationGraph, order: Sequence[int]) -> bool:
+    """Return True if ``order`` is a valid evaluation order for ``graph``.
+
+    ``order[t]`` is the vertex evaluated at time-step ``t``.  The order must be
+    a permutation of all vertices in which every vertex appears after all of
+    its predecessors.
+    """
+    n = graph.num_vertices
+    if len(order) != n or sorted(order) != list(range(n)):
+        return False
+    position = {v: t for t, v in enumerate(order)}
+    for u, v in graph.edges():
+        if position[u] >= position[v]:
+            return False
+    return True
+
+
+def natural_topological_order(graph: ComputationGraph) -> List[int]:
+    """Kahn topological order breaking ties by smallest vertex id.
+
+    Deterministic, and for generator-built graphs (which allocate vertices in
+    a natural evaluation order) usually close to the order a straightforward
+    implementation of the underlying algorithm would use.
+    """
+    return priority_topological_order(graph, priority=lambda v: v)
+
+
+def dfs_topological_order(graph: ComputationGraph) -> List[int]:
+    """Depth-first (reverse postorder) topological order.
+
+    DFS orders tend to keep producer/consumer pairs close together, which
+    makes them a reasonable locality-aware schedule for the pebbling
+    simulator.
+    """
+    n = graph.num_vertices
+    visited = [False] * n
+    postorder: List[int] = []
+    for root in range(n):
+        if visited[root]:
+            continue
+        # Iterative DFS on the reversed edges: we visit predecessors first so
+        # that appending on exit yields a valid topological order.
+        stack: List[tuple[int, int]] = [(root, 0)]
+        visited[root] = True
+        while stack:
+            v, idx = stack[-1]
+            preds = graph.predecessors(v)
+            if idx < len(preds):
+                stack[-1] = (v, idx + 1)
+                p = preds[idx]
+                if not visited[p]:
+                    visited[p] = True
+                    stack.append((p, 0))
+            else:
+                stack.pop()
+                postorder.append(v)
+    # postorder already lists every vertex after its predecessors.
+    assert len(postorder) == n
+    return postorder
+
+
+def priority_topological_order(graph: ComputationGraph, priority) -> List[int]:
+    """Topological order choosing, among ready vertices, the one minimising
+    ``priority(v)``.
+
+    This is the building block for schedule heuristics: ``priority=lambda v:
+    v`` is the natural order, ``priority=lambda v: -graph.out_degree(v)``
+    prefers high-fanout vertices, etc.
+    """
+    n = graph.num_vertices
+    indeg = [graph.in_degree(v) for v in range(n)]
+    heap = [(priority(v), v) for v in range(n) if indeg[v] == 0]
+    heapq.heapify(heap)
+    order: List[int] = []
+    while heap:
+        _, v = heapq.heappop(heap)
+        order.append(v)
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                heapq.heappush(heap, (priority(w), w))
+    if len(order) != n:
+        raise ValueError("graph contains a directed cycle")
+    return order
+
+
+def random_topological_order(
+    graph: ComputationGraph, seed: SeedLike = None
+) -> List[int]:
+    """Sample a random topological order (uniform over ready-vertex choices).
+
+    Note that this is *not* uniform over all topological orders (that requires
+    expensive counting); it is a cheap randomised schedule used for
+    property-based tests and for generating diverse upper bounds with the
+    pebbling simulator.
+    """
+    rng = as_rng(seed)
+    n = graph.num_vertices
+    indeg = [graph.in_degree(v) for v in range(n)]
+    ready = [v for v in range(n) if indeg[v] == 0]
+    order: List[int] = []
+    while ready:
+        idx = int(rng.integers(len(ready)))
+        v = ready.pop(idx)
+        order.append(v)
+        for w in graph.successors(v):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    if len(order) != n:
+        raise ValueError("graph contains a directed cycle")
+    return order
+
+
+def all_topological_orders(
+    graph: ComputationGraph, limit: Optional[int] = None
+) -> Iterator[List[int]]:
+    """Enumerate all topological orders (backtracking).
+
+    Exponential in general — intended only for tiny graphs (≲ 10 vertices) in
+    tests and in the exact baseline.  ``limit`` caps the number of orders
+    yielded.
+    """
+    n = graph.num_vertices
+    indeg = [graph.in_degree(v) for v in range(n)]
+    order: List[int] = []
+    yielded = 0
+
+    def backtrack() -> Iterator[List[int]]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if len(order) == n:
+            yielded += 1
+            yield list(order)
+            return
+        for v in range(n):
+            if indeg[v] == 0:
+                indeg[v] = -1  # mark as used
+                for w in graph.successors(v):
+                    indeg[w] -= 1
+                order.append(v)
+                yield from backtrack()
+                order.pop()
+                for w in graph.successors(v):
+                    indeg[w] += 1
+                indeg[v] = 0
+                if limit is not None and yielded >= limit:
+                    return
+
+    yield from backtrack()
+
+
+def count_topological_orders(graph: ComputationGraph, limit: int = 1_000_000) -> int:
+    """Count topological orders by enumeration, stopping at ``limit``.
+
+    Returns ``limit`` if the count is at least ``limit``.  Only sensible for
+    tiny graphs.
+    """
+    count = 0
+    for _ in all_topological_orders(graph, limit=limit):
+        count += 1
+    return count
+
+
+def permutation_matrix(order: Sequence[int]) -> np.ndarray:
+    """Permutation-matrix encoding of an evaluation order.
+
+    ``X[i, j] = 1`` when vertex ``j`` is evaluated at time-step ``i`` — the
+    convention of Section 3.1.  Consequently ``X @ y`` reorders a
+    vertex-indexed vector ``y`` into schedule order.
+    """
+    order = list(order)
+    n = len(order)
+    if sorted(order) != list(range(n)):
+        raise ValueError("order must be a permutation of range(n)")
+    X = np.zeros((n, n), dtype=np.float64)
+    for t, v in enumerate(order):
+        X[t, v] = 1.0
+    return X
+
+
+def order_to_schedule_positions(order: Sequence[int]) -> np.ndarray:
+    """Inverse view of an order: ``positions[v]`` is the time-step of ``v``."""
+    order = list(order)
+    n = len(order)
+    positions = np.empty(n, dtype=np.int64)
+    for t, v in enumerate(order):
+        positions[v] = t
+    return positions

@@ -1,0 +1,30 @@
+"""Parallel execution model (Section 4.4).
+
+Theorem 6 bounds the I/O of *some* processor when the computation graph is
+distributed across ``p`` processors, each with local fast memory ``M``, and
+I/O counts communication with slow memory or between processors.  This
+subpackage provides the constructive counterpart:
+
+* :mod:`assignment` — ways of assigning vertices to processors (contiguous
+  blocks of a topological order, round-robin, random),
+* :mod:`bound` — per-processor I/O accounting for a concrete assignment
+  (an upper-bound construction to compare against Theorem 6), plus a thin
+  wrapper re-exporting :func:`repro.core.bounds.parallel_spectral_bound`.
+"""
+
+from repro.parallel.assignment import (
+    ProcessorAssignment,
+    contiguous_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.parallel.bound import max_processor_simulated_io, parallel_io_per_processor
+
+__all__ = [
+    "ProcessorAssignment",
+    "contiguous_assignment",
+    "round_robin_assignment",
+    "random_assignment",
+    "parallel_io_per_processor",
+    "max_processor_simulated_io",
+]

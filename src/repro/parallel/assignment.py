@@ -1,0 +1,113 @@
+"""Assigning computation-graph vertices to processors.
+
+An assignment maps every vertex to one of ``p`` processors (the model of
+§4.4: each vertex is evaluated by exactly one processor, memory is local).
+Three standard strategies are provided; all of them return a
+:class:`ProcessorAssignment` that the accounting in
+:mod:`repro.parallel.bound` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.orders import natural_topological_order
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ProcessorAssignment",
+    "contiguous_assignment",
+    "round_robin_assignment",
+    "random_assignment",
+]
+
+
+@dataclass(frozen=True)
+class ProcessorAssignment:
+    """A vertex-to-processor assignment.
+
+    Attributes
+    ----------
+    num_processors:
+        Number of processors ``p``.
+    processor_of:
+        ``processor_of[v]`` is the processor (``0 .. p-1``) evaluating ``v``.
+    """
+
+    num_processors: int
+    processor_of: tuple
+
+    def vertices_of(self, processor: int) -> List[int]:
+        """Vertices assigned to ``processor`` (in vertex-id order)."""
+        if not 0 <= processor < self.num_processors:
+            raise ValueError(
+                f"processor {processor} out of range for {self.num_processors} processors"
+            )
+        return [v for v, proc in enumerate(self.processor_of) if proc == processor]
+
+    def load(self) -> List[int]:
+        """Number of vertices per processor."""
+        counts = [0] * self.num_processors
+        for proc in self.processor_of:
+            counts[proc] += 1
+        return counts
+
+
+def _validated(graph: ComputationGraph, num_processors: int) -> int:
+    check_positive_int(num_processors, "num_processors")
+    if graph.num_vertices == 0:
+        return num_processors
+    return num_processors
+
+
+def contiguous_assignment(
+    graph: ComputationGraph, num_processors: int, order: Sequence[int] | None = None
+) -> ProcessorAssignment:
+    """Split a topological order into ``p`` contiguous balanced blocks.
+
+    Contiguous blocks minimise the number of cross-processor edges for
+    schedule-like orders and correspond to the "owner computes a phase"
+    distribution common in BSP-style executions.
+    """
+    p = _validated(graph, num_processors)
+    n = graph.num_vertices
+    order = list(order) if order is not None else natural_topological_order(graph)
+    processor_of = [0] * n
+    base, remainder = divmod(n, p)
+    start = 0
+    for proc in range(p):
+        size = base + 1 if proc < remainder else base
+        for t in range(start, start + size):
+            processor_of[order[t]] = proc
+        start += size
+    return ProcessorAssignment(p, tuple(processor_of))
+
+
+def round_robin_assignment(
+    graph: ComputationGraph, num_processors: int, order: Sequence[int] | None = None
+) -> ProcessorAssignment:
+    """Deal vertices to processors round-robin along a topological order.
+
+    Maximises load balance at every prefix of the schedule but creates many
+    cross-processor edges — the communication-heavy extreme, useful as a
+    contrast to :func:`contiguous_assignment` in the parallel benchmarks.
+    """
+    p = _validated(graph, num_processors)
+    order = list(order) if order is not None else natural_topological_order(graph)
+    processor_of = [0] * graph.num_vertices
+    for t, v in enumerate(order):
+        processor_of[v] = t % p
+    return ProcessorAssignment(p, tuple(processor_of))
+
+
+def random_assignment(
+    graph: ComputationGraph, num_processors: int, seed: SeedLike = 0
+) -> ProcessorAssignment:
+    """Assign every vertex to a uniformly random processor."""
+    p = _validated(graph, num_processors)
+    rng = as_rng(seed)
+    processor_of = tuple(int(rng.integers(p)) for _ in range(graph.num_vertices))
+    return ProcessorAssignment(p, processor_of)

@@ -1,0 +1,110 @@
+"""Per-processor I/O accounting for a concrete processor assignment.
+
+Theorem 6 is a lower bound on the I/O of *some* processor; this module
+provides the constructive counterpart: given an assignment and per-processor
+memory ``M``, simulate every processor's local schedule and charge an I/O for
+
+* every value a processor consumes but did not compute (it must be received
+  from another processor or read from slow memory), and
+* every eviction / re-read inside the processor's own local memory, exactly
+  as in the sequential simulator.
+
+The maximum over processors is then an *upper* bound counterpart to Theorem 6
+(both measure the worst processor), which the parallel benchmark uses to show
+the lower bound tracks an achievable execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.orders import natural_topological_order
+from repro.parallel.assignment import ProcessorAssignment
+from repro.pebbling.simulator import simulate_order
+from repro.utils.validation import check_memory_size
+
+__all__ = ["ProcessorIO", "parallel_io_per_processor", "max_processor_simulated_io"]
+
+
+@dataclass(frozen=True)
+class ProcessorIO:
+    """I/O incurred by one processor under a concrete assignment."""
+
+    processor: int
+    num_vertices: int
+    local_io: int
+    received_values: int
+    sent_values: int
+
+    @property
+    def total_io(self) -> int:
+        """Local memory traffic plus cross-processor communication."""
+        return self.local_io + self.received_values + self.sent_values
+
+
+def parallel_io_per_processor(
+    graph: ComputationGraph,
+    assignment: ProcessorAssignment,
+    M: int,
+    order: Sequence[int] | None = None,
+    policy: str = "belady",
+) -> List[ProcessorIO]:
+    """Simulate every processor's local execution under ``assignment``.
+
+    Each processor evaluates its vertices in global schedule order.  Values
+    produced by other processors are modelled as extra *input* vertices of the
+    processor's local sub-graph (they must be received: one I/O each charged
+    as ``received_values``); values consumed by other processors are counted
+    once as ``sent_values``.  Local evictions/re-reads inside the sub-graph
+    are counted by the sequential simulator.
+    """
+    check_memory_size(M)
+    if assignment.num_processors < 1:
+        raise ValueError("assignment must have at least one processor")
+    if len(assignment.processor_of) != graph.num_vertices:
+        raise ValueError("assignment size does not match the graph")
+    order = list(order) if order is not None else natural_topological_order(graph)
+
+    results: List[ProcessorIO] = []
+    for proc in range(assignment.num_processors):
+        owned = set(assignment.vertices_of(proc))
+        # Remote values this processor consumes, and values it must send out.
+        received = set()
+        sent = set()
+        for u, v in graph.edges():
+            if v in owned and u not in owned:
+                received.add(u)
+            if u in owned and v not in owned:
+                sent.add(u)
+        # Local sub-graph: owned vertices plus received values as inputs.
+        local_vertices = sorted(owned | received)
+        subgraph, mapping = graph.subgraph(local_vertices)
+        # Drop edges among received vertices' ancestors automatically: the
+        # induced sub-graph only keeps edges with both endpoints local.
+        local_order = [mapping[v] for v in order if v in owned or v in received]
+        sim = simulate_order(subgraph, local_order, M, policy=policy, validate_order=False)
+        results.append(
+            ProcessorIO(
+                processor=proc,
+                num_vertices=len(owned),
+                local_io=sim.total_io,
+                received_values=len(received),
+                sent_values=len(sent),
+            )
+        )
+    return results
+
+
+def max_processor_simulated_io(
+    graph: ComputationGraph,
+    assignment: ProcessorAssignment,
+    M: int,
+    order: Sequence[int] | None = None,
+    policy: str = "belady",
+) -> int:
+    """The worst per-processor total I/O under ``assignment`` (upper-bound
+    counterpart of Theorem 6)."""
+    per_proc = parallel_io_per_processor(graph, assignment, M, order=order, policy=policy)
+    return max(p.total_io for p in per_proc) if per_proc else 0

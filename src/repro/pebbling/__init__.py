@@ -1,0 +1,31 @@
+"""Schedule simulation in the two-level memory model (red-blue pebbling).
+
+The lower bounds of the paper are complemented here by *upper* bounds: a
+simulator that executes a concrete evaluation order with a concrete eviction
+policy and counts the non-trivial I/O it incurs.  Together they sandwich the
+optimal I/O ``J*_G``:
+
+    spectral/convex-min-cut lower bound   <=   J*_G   <=   simulated I/O.
+
+The sandwich is used throughout the test-suite as a soundness oracle and in
+the ``bench_sandwich`` benchmark.
+
+* :mod:`simulator` — the event-by-event memory simulation,
+* :mod:`policies` — eviction policies (Belady/MIN, LRU, FIFO, random),
+* :mod:`scheduler` — evaluation-order heuristics (natural, DFS, random,
+  fan-out-aware greedy).
+"""
+
+from repro.pebbling.policies import EVICTION_POLICIES, make_policy
+from repro.pebbling.scheduler import SCHEDULERS, make_schedule
+from repro.pebbling.simulator import SimulationResult, simulate_order, best_simulated_io
+
+__all__ = [
+    "SimulationResult",
+    "simulate_order",
+    "best_simulated_io",
+    "EVICTION_POLICIES",
+    "make_policy",
+    "SCHEDULERS",
+    "make_schedule",
+]

@@ -1,0 +1,103 @@
+"""Eviction policies for the memory simulator.
+
+A policy chooses which resident value to evict when fast memory is full.  The
+simulator already removes *dead* values (no remaining uses) for free before
+consulting the policy, so policies only ever choose among live values.
+
+Available policies:
+
+* ``"belady"`` — evict the value whose next use is furthest in the future
+  (Belady/MIN; optimal for read misses under a fixed schedule and the
+  strongest practical upper bound here),
+* ``"lru"`` — least recently used,
+* ``"fifo"`` — first loaded, first evicted,
+* ``"random"`` — uniform random victim (with a seeded generator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Protocol
+
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["EvictionPolicy", "EVICTION_POLICIES", "make_policy"]
+
+
+class EvictionPolicy(Protocol):
+    """Protocol implemented by eviction policies."""
+
+    def on_access(self, vertex: int, time_step: int) -> None:
+        """Notify the policy that ``vertex`` was accessed at ``time_step``."""
+
+    def choose_victim(self, candidates: Iterable[int], next_use: Dict[int, int]) -> int:
+        """Pick one vertex to evict among ``candidates``.
+
+        ``next_use[v]`` is the schedule position of the next use of ``v`` (a
+        large sentinel when there is none); policies may ignore it.
+        """
+
+
+class BeladyPolicy:
+    """Evict the candidate whose next use is furthest in the future."""
+
+    def on_access(self, vertex: int, time_step: int) -> None:  # noqa: D401 - no state
+        return None
+
+    def choose_victim(self, candidates: Iterable[int], next_use: Dict[int, int]) -> int:
+        return max(candidates, key=lambda v: (next_use.get(v, float("inf")), v))
+
+
+class LRUPolicy:
+    """Evict the least recently accessed candidate."""
+
+    def __init__(self) -> None:
+        self._last_access: Dict[int, int] = {}
+
+    def on_access(self, vertex: int, time_step: int) -> None:
+        self._last_access[vertex] = time_step
+
+    def choose_victim(self, candidates: Iterable[int], next_use: Dict[int, int]) -> int:
+        return min(candidates, key=lambda v: (self._last_access.get(v, -1), v))
+
+
+class FIFOPolicy:
+    """Evict the candidate that has been resident the longest."""
+
+    def __init__(self) -> None:
+        self._load_time: Dict[int, int] = {}
+
+    def on_access(self, vertex: int, time_step: int) -> None:
+        self._load_time.setdefault(vertex, time_step)
+
+    def choose_victim(self, candidates: Iterable[int], next_use: Dict[int, int]) -> int:
+        return min(candidates, key=lambda v: (self._load_time.get(v, -1), v))
+
+
+class RandomPolicy:
+    """Evict a uniformly random candidate (seeded for reproducibility)."""
+
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self._rng = as_rng(seed)
+
+    def on_access(self, vertex: int, time_step: int) -> None:
+        return None
+
+    def choose_victim(self, candidates: Iterable[int], next_use: Dict[int, int]) -> int:
+        candidates = list(candidates)
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+
+EVICTION_POLICIES = ("belady", "lru", "fifo", "random")
+
+
+def make_policy(name: str, seed: SeedLike = 0) -> EvictionPolicy:
+    """Instantiate an eviction policy by name."""
+    if name == "belady":
+        return BeladyPolicy()
+    if name == "lru":
+        return LRUPolicy()
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "random":
+        return RandomPolicy(seed=seed)
+    raise ValueError(f"unknown eviction policy {name!r}; expected one of {EVICTION_POLICIES}")

@@ -1,0 +1,228 @@
+"""Two-level-memory simulation of a concrete evaluation order.
+
+The simulator executes a topological evaluation order under the memory model
+of Section 3:
+
+* fast memory holds at most ``M`` values; slow memory is unbounded;
+* evaluating a vertex requires all of its operands plus one free slot for the
+  result to be in fast memory simultaneously (so the graph's maximum
+  in-degree must be at most ``M - 1``);
+* recomputation is disallowed — evicting a value that is still needed and has
+  never been written to slow memory costs one **write**; accessing a value
+  that is not resident costs one **read** (it is guaranteed to be in slow
+  memory at that point, precisely because of the write rule);
+* *trivial* I/O is free: inputs materialise into fast memory directly from
+  the user when they are first evaluated, and outputs (values with no
+  remaining uses) are reported to the user on eviction at no cost.
+
+The total of reads and writes is the non-trivial I/O ``J_G(X)`` of the order,
+an upper bound on the optimal ``J*_G`` — the counterpart of the paper's lower
+bounds used throughout the tests and the "sandwich" benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.orders import is_topological_order
+from repro.pebbling.policies import EvictionPolicy, make_policy
+from repro.pebbling.scheduler import make_schedule
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_memory_size
+
+__all__ = ["SimulationResult", "simulate_order", "best_simulated_io"]
+
+#: Sentinel "never used again" position for next-use bookkeeping.
+_NEVER = 1 << 60
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one evaluation order.
+
+    Attributes
+    ----------
+    total_io:
+        Non-trivial reads + writes incurred.
+    reads / writes:
+        The two components of ``total_io``.
+    trivial_reads / trivial_writes:
+        Free I/O under the paper's conventions (first materialisation of
+        inputs, final reporting of outputs); tracked for completeness.
+    max_resident:
+        Peak number of values simultaneously resident in fast memory.
+    memory_size:
+        The fast-memory capacity ``M`` used.
+    policy:
+        Name of the eviction policy used.
+    """
+
+    total_io: int
+    reads: int
+    writes: int
+    trivial_reads: int
+    trivial_writes: int
+    max_resident: int
+    memory_size: int
+    policy: str
+
+
+def simulate_order(
+    graph: ComputationGraph,
+    order: Sequence[int],
+    M: int,
+    policy: str = "belady",
+    seed: SeedLike = 0,
+    validate_order: bool = True,
+) -> SimulationResult:
+    """Simulate the evaluation of ``graph`` in ``order`` with fast memory ``M``.
+
+    Parameters
+    ----------
+    graph:
+        The computation graph.
+    order:
+        A topological evaluation order (``order[t]`` evaluated at step ``t``).
+    M:
+        Fast-memory capacity in values.
+    policy:
+        Eviction policy name (see :mod:`repro.pebbling.policies`).
+    seed:
+        Seed for randomised policies.
+    validate_order:
+        Set to False to skip the (linear-time) topological-order check when
+        the caller guarantees validity.
+
+    Raises
+    ------
+    ValueError
+        If the order is invalid or some vertex needs more than ``M - 1``
+        operands (the computation cannot run in the given memory).
+    """
+    check_memory_size(M)
+    if validate_order and not is_topological_order(graph, order):
+        raise ValueError("order is not a topological order of the graph")
+
+    eviction: EvictionPolicy = make_policy(policy, seed=seed)
+    out_degree = [graph.out_degree(v) for v in graph.vertices()]
+    remaining_uses = list(out_degree)
+
+    # Next-use positions per vertex for Belady: list of consumer time-steps.
+    position = [0] * graph.num_vertices
+    for t, v in enumerate(order):
+        position[v] = t
+    use_positions: Dict[int, List[int]] = {v: [] for v in graph.vertices()}
+    for u, v in graph.edges():
+        use_positions[u].append(position[v])
+    for v in use_positions:
+        use_positions[v].sort(reverse=True)  # pop() yields the earliest next use
+
+    resident: Set[int] = set()
+    in_slow: Set[int] = set()
+    reads = writes = 0
+    trivial_reads = trivial_writes = 0
+    max_resident = 0
+
+    def next_use(v: int) -> int:
+        uses = use_positions[v]
+        return uses[-1] if uses else _NEVER
+
+    def evict_until(space_needed: int, pinned: Set[int], time_step: int) -> None:
+        nonlocal writes, trivial_writes
+        while len(resident) + space_needed > M:
+            # Free dead values first (no remaining uses): zero-cost eviction.
+            dead = [u for u in resident if remaining_uses[u] == 0 and u not in pinned]
+            if dead:
+                victim = dead[0]
+                resident.discard(victim)
+                continue
+            candidates = [u for u in resident if u not in pinned]
+            if not candidates:
+                raise ValueError(
+                    f"fast memory of size {M} cannot hold the {len(pinned)} values "
+                    f"pinned at step {time_step}; increase M"
+                )
+            victim = eviction.choose_victim(candidates, {u: next_use(u) for u in candidates})
+            resident.discard(victim)
+            if remaining_uses[victim] > 0:
+                if victim not in in_slow:
+                    writes += 1
+                    in_slow.add(victim)
+            else:  # pragma: no cover - dead values are handled above
+                trivial_writes += 0
+
+    for t, v in enumerate(order):
+        parents = graph.predecessors(v)
+        if len(parents) + 1 > M:
+            raise ValueError(
+                f"vertex {v} has in-degree {len(parents)} which does not fit in fast "
+                f"memory of size {M} together with its result"
+            )
+        pinned = set(parents) | {v}
+        # Bring missing parents into fast memory (each read is one I/O).
+        missing = [p for p in parents if p not in resident]
+        for p in missing:
+            evict_until(1, pinned, t)
+            resident.add(p)
+            reads += 1
+            eviction.on_access(p, t)
+        for p in parents:
+            if p in resident:
+                eviction.on_access(p, t)
+            # Consume one use of the parent.
+            remaining_uses[p] -= 1
+            uses = use_positions[p]
+            if uses and uses[-1] == t:
+                uses.pop()
+        # Room for the result, then "evaluate" v.
+        evict_until(1, pinned, t)
+        resident.add(v)
+        eviction.on_access(v, t)
+        if not parents:
+            trivial_reads += 1  # input materialised directly from the user
+        if remaining_uses[v] == 0:
+            trivial_writes += 1  # an output reported directly to the user
+        max_resident = max(max_resident, len(resident))
+
+    return SimulationResult(
+        total_io=reads + writes,
+        reads=reads,
+        writes=writes,
+        trivial_reads=trivial_reads,
+        trivial_writes=trivial_writes,
+        max_resident=max_resident,
+        memory_size=M,
+        policy=policy,
+    )
+
+
+def best_simulated_io(
+    graph: ComputationGraph,
+    M: int,
+    schedulers: Optional[Sequence[str]] = None,
+    policies: Optional[Sequence[str]] = None,
+    num_random_orders: int = 3,
+    seed: SeedLike = 0,
+) -> SimulationResult:
+    """Best (lowest-I/O) simulation across several schedules and policies.
+
+    A cheap constructive upper bound on ``J*_G``: it tries the deterministic
+    schedule heuristics plus a few random topological orders, each under each
+    requested eviction policy, and returns the best result.
+    """
+    check_memory_size(M)
+    schedulers = list(schedulers) if schedulers is not None else ["natural", "dfs"]
+    policies = list(policies) if policies is not None else ["belady"]
+    orders = [make_schedule(graph, name) for name in schedulers]
+    for i in range(num_random_orders):
+        orders.append(make_schedule(graph, "random", seed=hash((seed, i)) % (2**31)))
+    best: Optional[SimulationResult] = None
+    for order in orders:
+        for policy in policies:
+            result = simulate_order(graph, order, M, policy=policy, validate_order=False)
+            if best is None or result.total_io < best.total_io:
+                best = result
+    assert best is not None
+    return best

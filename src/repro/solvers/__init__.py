@@ -1,0 +1,35 @@
+"""Eigenvalue solvers for graph Laplacians.
+
+The spectral bound of Theorem 4 needs the ``h`` smallest eigenvalues of a
+symmetric positive semi-definite Laplacian.  The paper notes the bound "is not
+only efficiently computable by power iteration" and costs ``O(h n^2)`` with
+Lanczos-Arnoldi; this subpackage therefore provides
+
+* :mod:`dense` — exact dense spectra via LAPACK (``numpy.linalg.eigvalsh``),
+* :mod:`lanczos` — an in-package Lanczos iteration with full
+  reorthogonalisation (matrix-free, works with dense and sparse operators),
+* :mod:`power_iteration` — shifted power iteration with deflation (the
+  slowest option, included because it is the simplest building block the
+  paper's efficiency claim refers to),
+* :mod:`backend` — a single entry point,
+  :func:`repro.solvers.backend.smallest_eigenvalues`, that picks a backend
+  automatically and cross-checks are exercised in the tests.
+"""
+
+from repro.solvers.backend import smallest_eigenvalues, EigenSolverOptions
+from repro.solvers.dense import dense_spectrum, dense_smallest_eigenvalues
+from repro.solvers.lanczos import lanczos_smallest_eigenvalues
+from repro.solvers.power_iteration import (
+    power_iteration_largest_eigenvalue,
+    power_iteration_smallest_eigenvalues,
+)
+
+__all__ = [
+    "smallest_eigenvalues",
+    "EigenSolverOptions",
+    "dense_spectrum",
+    "dense_smallest_eigenvalues",
+    "lanczos_smallest_eigenvalues",
+    "power_iteration_largest_eigenvalue",
+    "power_iteration_smallest_eigenvalues",
+]

@@ -1,0 +1,143 @@
+"""Shifted power iteration with deflation.
+
+The simplest eigenvalue machinery the paper's "efficiently computable by power
+iteration" claim refers to.  To obtain the *smallest* eigenvalues of a
+positive semi-definite matrix ``A`` we run power iteration on the shifted
+operator ``B = c I - A`` with ``c`` an upper bound on ``lambda_max(A)``
+(Gershgorin); the dominant eigenvalues of ``B`` are ``c - lambda_i(A)`` for
+the smallest ``lambda_i``.  Already-found eigenvectors are deflated by
+projection.
+
+This backend is ``O(k * iters * nnz)`` and noticeably slower than Lanczos for
+the same accuracy — it exists as the most elementary reference implementation
+and is cross-checked against the dense solver in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = [
+    "gershgorin_upper_bound",
+    "power_iteration_largest_eigenvalue",
+    "power_iteration_smallest_eigenvalues",
+]
+
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def gershgorin_upper_bound(matrix: MatrixLike) -> float:
+    """Upper bound on the largest eigenvalue via Gershgorin discs.
+
+    For a symmetric matrix every eigenvalue lies in
+    ``[min_i(a_ii - r_i), max_i(a_ii + r_i)]`` with ``r_i`` the off-diagonal
+    absolute row sum; for a graph Laplacian this gives the convenient bound
+    ``lambda_max <= 2 * max_degree``.
+    """
+    if sp.issparse(matrix):
+        dense_diag = matrix.diagonal()
+        abs_rows = np.asarray(abs(matrix).sum(axis=1)).ravel()
+        radii = abs_rows - np.abs(dense_diag)
+        return float(np.max(dense_diag + radii)) if matrix.shape[0] else 0.0
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.shape[0] == 0:
+        return 0.0
+    diag = np.diag(arr)
+    radii = np.abs(arr).sum(axis=1) - np.abs(diag)
+    return float(np.max(diag + radii))
+
+
+def power_iteration_largest_eigenvalue(
+    matrix: MatrixLike,
+    max_iterations: int = 1000,
+    tolerance: float = 1e-10,
+    seed: SeedLike = 0,
+) -> tuple[float, np.ndarray]:
+    """Dominant eigenvalue/eigenvector of a symmetric PSD matrix.
+
+    Returns the Rayleigh-quotient estimate and the final unit vector.  For
+    matrices whose dominant eigenvalue is not unique the returned vector is
+    some unit vector of the dominant eigenspace, which is all the callers
+    need.
+    """
+    n = matrix.shape[0]
+    if n == 0:
+        return 0.0, np.zeros(0)
+    rng = as_rng(seed)
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+    eigenvalue = 0.0
+    for _ in range(max_iterations):
+        w = np.asarray(matrix @ v, dtype=np.float64).ravel()
+        norm = np.linalg.norm(w)
+        if norm <= 1e-300:
+            return 0.0, v
+        w /= norm
+        new_eigenvalue = float(w @ np.asarray(matrix @ w).ravel())
+        if abs(new_eigenvalue - eigenvalue) <= tolerance * max(1.0, abs(new_eigenvalue)):
+            return new_eigenvalue, w
+        eigenvalue = new_eigenvalue
+        v = w
+    return eigenvalue, v
+
+
+def power_iteration_smallest_eigenvalues(
+    matrix: MatrixLike,
+    k: int,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-9,
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """The ``k`` smallest eigenvalues of a symmetric PSD matrix, increasing.
+
+    Uses power iteration on ``c I - A`` with deflation of previously found
+    eigenvectors.  Accuracy degrades when eigenvalues cluster (they do for
+    large structured graphs), so the default tolerance and iteration budget
+    are generous; prefer the Lanczos or dense backends for production use.
+    """
+    n = matrix.shape[0]
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k > n:
+        raise ValueError(f"requested {k} eigenvalues from an n={n} matrix")
+    if k == 0:
+        return np.zeros(0)
+
+    rng = as_rng(seed)
+    shift = gershgorin_upper_bound(matrix) + 1.0
+    found_vectors = np.zeros((n, 0), dtype=np.float64)
+    eigenvalues: list[float] = []
+
+    for _ in range(k):
+        v = rng.standard_normal(n)
+        if found_vectors.shape[1]:
+            v -= found_vectors @ (found_vectors.T @ v)
+        norm = np.linalg.norm(v)
+        if norm <= 1e-300:
+            eigenvalues.append(0.0)
+            continue
+        v /= norm
+        prev = np.inf
+        for _ in range(max_iterations):
+            w = shift * v - np.asarray(matrix @ v, dtype=np.float64).ravel()
+            if found_vectors.shape[1]:
+                w -= found_vectors @ (found_vectors.T @ w)
+            norm = np.linalg.norm(w)
+            if norm <= 1e-300:
+                break
+            w /= norm
+            rayleigh = float(w @ np.asarray(matrix @ w).ravel())
+            if abs(rayleigh - prev) <= tolerance * max(1.0, abs(rayleigh)):
+                v = w
+                break
+            prev = rayleigh
+            v = w
+        eigenvalues.append(float(v @ np.asarray(matrix @ v).ravel()))
+        found_vectors = np.column_stack([found_vectors, v])
+
+    return np.sort(np.asarray(eigenvalues))

@@ -1,0 +1,31 @@
+"""Computation tracer ("solver" of §6.1).
+
+The paper's evaluation uses "a solver that traces operations during a Python
+computation and thus extracts a computation graph.  The solver inter-operates
+with standard arithmetic operations and supports the inclusion of custom
+operations."  This subpackage is that solver:
+
+* :class:`repro.trace.value.TracedValue` — a scalar wrapper whose arithmetic
+  operators record graph vertices,
+* :class:`repro.trace.tracer.GraphTracer` — the builder collecting vertices
+  and edges,
+* :mod:`repro.trace.ops` — registration of custom (multi-operand) operations,
+* :mod:`repro.trace.api` — high-level helpers (`trace_computation`),
+* :mod:`repro.trace.programs` — traced reference implementations of the
+  paper's evaluation workloads (FFT, matrix multiplication, inner products,
+  Bellman-Held-Karp), used by examples and cross-checked against the direct
+  generators in the tests.
+"""
+
+from repro.trace.api import trace_computation, trace_scalar_function
+from repro.trace.ops import custom_op
+from repro.trace.tracer import GraphTracer
+from repro.trace.value import TracedValue
+
+__all__ = [
+    "GraphTracer",
+    "TracedValue",
+    "custom_op",
+    "trace_computation",
+    "trace_scalar_function",
+]

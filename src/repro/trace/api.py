@@ -1,0 +1,115 @@
+"""High-level tracing entry points.
+
+:func:`trace_computation` runs a user function on freshly created traced
+inputs and returns the extracted computation graph; this is the one-call
+equivalent of the paper's "solver" workflow.  The function may accept scalars,
+flat lists or nested lists of scalars — the helpers mirror that structure with
+:class:`TracedValue` objects.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, Callable, List, Sequence, Tuple, Union
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.trace.tracer import GraphTracer
+from repro.trace.value import TracedValue
+
+__all__ = ["trace_computation", "trace_scalar_function"]
+
+NestedNumbers = Union[float, int, Sequence["NestedNumbers"]]
+
+
+def _wrap_structure(tracer: GraphTracer, template: NestedNumbers, prefix: str) -> Any:
+    """Replace every number in ``template`` by a traced input with the same value."""
+    if isinstance(template, numbers.Real) and not isinstance(template, bool):
+        return tracer.input(float(template), label=prefix)
+    if isinstance(template, (list, tuple)):
+        wrapped = [
+            _wrap_structure(tracer, item, f"{prefix}[{i}]") for i, item in enumerate(template)
+        ]
+        return type(template)(wrapped) if isinstance(template, tuple) else wrapped
+    raise TypeError(
+        f"traceable inputs must be numbers or (nested) lists/tuples of numbers, "
+        f"got {type(template).__name__}"
+    )
+
+
+def _collect_outputs(result: Any, collected: List[TracedValue]) -> None:
+    """Collect every TracedValue in an arbitrarily nested result structure."""
+    if isinstance(result, TracedValue):
+        collected.append(result)
+    elif isinstance(result, (list, tuple)):
+        for item in result:
+            _collect_outputs(item, collected)
+    elif isinstance(result, dict):
+        for item in result.values():
+            _collect_outputs(item, collected)
+    elif result is None or isinstance(result, numbers.Real):
+        # Plain numbers can legitimately appear (e.g. untouched constants).
+        return
+    else:
+        raise TypeError(
+            f"traced function returned unsupported type {type(result).__name__}"
+        )
+
+
+def trace_computation(
+    func: Callable[..., Any], *input_templates: NestedNumbers
+) -> Tuple[ComputationGraph, GraphTracer]:
+    """Trace ``func`` and return its computation graph.
+
+    Parameters
+    ----------
+    func:
+        A function of ``len(input_templates)`` arguments.  Each argument
+        receives the same structure as the corresponding template with every
+        number replaced by a traced input.
+    input_templates:
+        Concrete example inputs (numbers or nested lists/tuples of numbers);
+        their values are propagated through the computation so the traced run
+        also produces correct numerical results.
+
+    Returns
+    -------
+    (graph, tracer)
+        The extracted computation graph and the tracer (which exposes marked
+        outputs and concrete results).
+
+    Examples
+    --------
+    >>> def dot(xs, ys):
+    ...     total = xs[0] * ys[0]
+    ...     for a, b in zip(xs[1:], ys[1:]):
+    ...         total = total + a * b
+    ...     return total
+    >>> graph, tracer = trace_computation(dot, [1.0, 2.0], [3.0, 4.0])
+    >>> graph.num_vertices           # 4 inputs + 2 products + 1 addition
+    7
+    """
+    tracer = GraphTracer()
+    wrapped_args = [
+        _wrap_structure(tracer, template, prefix=f"arg{i}")
+        for i, template in enumerate(input_templates)
+    ]
+    result = func(*wrapped_args)
+    outputs: List[TracedValue] = []
+    _collect_outputs(result, outputs)
+    for idx, out in enumerate(outputs):
+        tracer.mark_output(out, label=tracer.graph.label(out.vertex) or f"out[{idx}]")
+    return tracer.graph, tracer
+
+
+def trace_scalar_function(
+    func: Callable[..., Any], num_inputs: int
+) -> Tuple[ComputationGraph, GraphTracer]:
+    """Trace a function of ``num_inputs`` scalar arguments (all zero-valued).
+
+    Convenience wrapper over :func:`trace_computation` for functions whose
+    control flow does not depend on the input values.
+    """
+    if num_inputs < 0:
+        raise ValueError(f"num_inputs must be non-negative, got {num_inputs}")
+    templates = [0.0] * num_inputs
+    return trace_computation(func, *templates)

@@ -1,0 +1,93 @@
+"""Custom operations for the tracer.
+
+The paper's solver "supports the inclusion of custom operations": operations
+whose internal arithmetic should be treated as a single vertex of the
+computation graph (e.g. an FFT butterfly, a fused multiply-add, a table
+lookup).  :func:`custom_op` wraps an ordinary numerical function so that
+
+* called on plain numbers it behaves exactly as before, and
+* called with at least one :class:`TracedValue` operand it records a single
+  vertex whose parents are the distinct traced operands and whose concrete
+  value is obtained by running the wrapped function on the operand values.
+"""
+
+from __future__ import annotations
+
+import functools
+import numbers
+from typing import Callable, Optional
+
+from repro.trace.tracer import GraphTracer
+from repro.trace.value import TracedValue
+
+__all__ = ["custom_op"]
+
+
+def custom_op(name: Optional[str] = None) -> Callable:
+    """Decorator registering a numerical function as a traceable operation.
+
+    Parameters
+    ----------
+    name:
+        Operation name recorded on the vertex; defaults to the function name.
+
+    Examples
+    --------
+    >>> from repro.trace import GraphTracer, custom_op
+    >>> @custom_op("fma")
+    ... def fma(a, b, c):
+    ...     return a * b + c
+    >>> tracer = GraphTracer()
+    >>> x, y, z = tracer.inputs([1.0, 2.0, 3.0])
+    >>> out = fma(x, y, z)            # one vertex, three incoming edges
+    >>> tracer.graph.in_degree(out.vertex)
+    3
+    """
+
+    def decorate(func: Callable) -> Callable:
+        op_name = name or func.__name__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if kwargs:
+                raise TypeError(
+                    f"custom op {op_name!r} does not support keyword arguments when traced"
+                )
+            traced_args = [a for a in args if isinstance(a, TracedValue)]
+            if not traced_args:
+                return func(*args)
+            tracer = traced_args[0].tracer
+            _check_same_tracer(tracer, traced_args, op_name)
+            concrete = [
+                a.value if isinstance(a, TracedValue) else _check_number(a, op_name)
+                for a in args
+            ]
+            result = func(*concrete)
+            if isinstance(result, TracedValue):
+                raise TypeError(
+                    f"custom op {op_name!r} must return a plain number, not a TracedValue"
+                )
+            return tracer.record(op_name, args, float(result))
+
+        wrapper.op_name = op_name  # type: ignore[attr-defined]
+        wrapper.__wrapped_numeric__ = func  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def _check_same_tracer(tracer: GraphTracer, traced_args, op_name: str) -> None:
+    for arg in traced_args:
+        if arg.tracer is not tracer:
+            raise ValueError(
+                f"custom op {op_name!r} received operands from different tracers"
+            )
+
+
+def _check_number(value, op_name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(
+            f"custom op {op_name!r} received a non-numeric operand of type "
+            f"{type(value).__name__}"
+        )
+    return float(value)

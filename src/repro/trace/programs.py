@@ -1,0 +1,142 @@
+"""Traced reference implementations of the paper's evaluation workloads.
+
+Each function runs an ordinary Python implementation of the algorithm on
+traced values and returns the extracted computation graph.  They serve two
+purposes:
+
+* examples/documentation of the tracer on realistic code, and
+* cross-checks against the direct generators in
+  :mod:`repro.graphs.generators` — the traced FFT must have the same vertex
+  and edge counts as :func:`repro.graphs.generators.fft.fft_graph`, the traced
+  inner product the same counts as
+  :func:`repro.graphs.generators.basic.inner_product_graph`, and so on (these
+  assertions live in ``tests/test_trace_programs.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.trace.ops import custom_op
+from repro.trace.tracer import GraphTracer
+from repro.utils.validation import check_nonnegative_int, check_positive_int
+
+__all__ = [
+    "traced_inner_product",
+    "traced_naive_matmul",
+    "traced_fft",
+    "traced_bellman_held_karp",
+    "traced_polynomial_evaluation",
+]
+
+
+@custom_op("butterfly")
+def _butterfly_combine(a: float, b: float) -> float:
+    """A single FFT butterfly output treated as one operation.
+
+    Numerically this is ``a + w * b`` for a twiddle factor ``w``; the twiddle
+    is data-independent so, as in the paper's butterfly graph, the operation
+    is a single vertex with two operands.
+    """
+    return a + b
+
+
+@custom_op("dp_update")
+def _dp_update(*operands: float) -> float:
+    """Bellman-Held-Karp table update: combine the tables of all subsets with
+    one fewer city into the table of the current subset (one vertex)."""
+    return min(operands) if operands else 0.0
+
+
+def traced_inner_product(n: int) -> ComputationGraph:
+    """Trace the inner product of two length-``n`` vectors."""
+    check_positive_int(n, "n")
+    tracer = GraphTracer()
+    xs = tracer.inputs([float(i + 1) for i in range(n)], prefix="x")
+    ys = tracer.inputs([float(i + 2) for i in range(n)], prefix="y")
+    acc = xs[0] * ys[0]
+    for a, b in zip(xs[1:], ys[1:]):
+        acc = acc + a * b
+    tracer.mark_output(acc, "dot(x, y)")
+    return tracer.graph
+
+
+def traced_naive_matmul(n: int) -> ComputationGraph:
+    """Trace the classical triple-loop ``n x n`` matrix multiplication."""
+    check_positive_int(n, "n")
+    tracer = GraphTracer()
+    a = [[tracer.input(1.0, label=f"A[{i},{k}]") for k in range(n)] for i in range(n)]
+    b = [[tracer.input(1.0, label=f"B[{k},{j}]") for j in range(n)] for k in range(n)]
+    for i in range(n):
+        for j in range(n):
+            acc = a[i][0] * b[0][j]
+            for k in range(1, n):
+                acc = acc + a[i][k] * b[k][j]
+            tracer.mark_output(acc, f"C[{i},{j}]")
+    return tracer.graph
+
+
+def traced_fft(levels: int) -> ComputationGraph:
+    """Trace an iterative radix-2 FFT of ``2**levels`` points.
+
+    Each butterfly output is recorded as a single custom operation
+    (:func:`_butterfly_combine`), so the traced graph is the unwrapped
+    butterfly graph ``B_levels`` — identical in size and degree structure to
+    :func:`repro.graphs.generators.fft.fft_graph`.
+    """
+    check_nonnegative_int(levels, "levels")
+    size = 1 << levels
+    tracer = GraphTracer()
+    current = tracer.inputs([float(i) for i in range(size)], prefix="x")
+    for level in range(levels):
+        stride = 1 << level
+        nxt: List = [None] * size
+        for row in range(size):
+            partner = row ^ stride
+            nxt[row] = _butterfly_combine(current[row], current[partner])
+        current = nxt
+    for row, value in enumerate(current):
+        tracer.mark_output(value, f"X[{row}]")
+    return tracer.graph
+
+
+def traced_bellman_held_karp(num_cities: int) -> ComputationGraph:
+    """Trace the subset dynamic program of Bellman-Held-Karp.
+
+    One traced value per subset of cities (the paper's coarse formulation,
+    §5.1): the table of subset ``S`` is computed from the tables of every
+    subset obtained by removing one city from ``S``.  The traced graph is the
+    directed boolean hypercube ``Q_{num_cities}``.
+    """
+    check_positive_int(num_cities, "num_cities")
+    tracer = GraphTracer()
+    tables: List = [None] * (1 << num_cities)
+    tables[0] = tracer.input(0.0, label="Y[{}]")
+    for mask in range(1, 1 << num_cities):
+        operands = []
+        for bit in range(num_cities):
+            if mask & (1 << bit):
+                operands.append(tables[mask ^ (1 << bit)])
+        tables[mask] = _dp_update(*operands)
+    tracer.mark_output(tables[(1 << num_cities) - 1], "Y[all cities]")
+    return tracer.graph
+
+
+def traced_polynomial_evaluation(coefficients: Sequence[float], point: float = 2.0) -> ComputationGraph:
+    """Trace Horner evaluation of a polynomial (a purely sequential chain).
+
+    Included as a low-I/O control workload: the traced graph is nearly a
+    chain, so every lower bound on it should be (close to) trivial.
+    """
+    coeffs = [float(c) for c in coefficients]
+    if not coeffs:
+        raise ValueError("coefficients must be non-empty")
+    tracer = GraphTracer()
+    x = tracer.input(point, label="x")
+    traced_coeffs = tracer.inputs(coeffs, prefix="c")
+    acc = traced_coeffs[0]
+    for c in traced_coeffs[1:]:
+        acc = acc * x + c
+    tracer.mark_output(acc, "p(x)")
+    return tracer.graph

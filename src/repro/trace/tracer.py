@@ -1,0 +1,158 @@
+"""The graph tracer: builds a computation graph while code executes.
+
+:class:`GraphTracer` owns a :class:`repro.graphs.compgraph.ComputationGraph`
+under construction.  Inputs, constants and recorded operations each become a
+vertex; edges run from operand vertices to the vertex of the operation
+consuming them.  Because a single operation result is a single memory element
+in the paper's model, every recorded operation produces exactly one vertex.
+
+Typical use::
+
+    tracer = GraphTracer()
+    xs = tracer.inputs([1.0, 2.0, 3.0], prefix="x")
+    ys = tracer.inputs([4.0, 5.0, 6.0], prefix="y")
+    acc = xs[0] * ys[0]
+    for a, b in zip(xs[1:], ys[1:]):
+        acc = acc + a * b
+    tracer.mark_output(acc, "dot")
+    graph = tracer.graph           # a 3-element inner-product graph
+
+The higher-level helpers in :mod:`repro.trace.api` wrap this pattern.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.trace.value import TracedValue
+
+__all__ = ["GraphTracer"]
+
+Number = Union[int, float]
+
+
+class GraphTracer:
+    """Records a computation graph from operations on traced values."""
+
+    def __init__(self) -> None:
+        self._graph = ComputationGraph()
+        self._constants: Dict[float, TracedValue] = {}
+        self._outputs: List[int] = []
+
+    # ------------------------------------------------------------------
+    # creating values
+    # ------------------------------------------------------------------
+    def input(self, value: Number = 0.0, label: Optional[str] = None) -> TracedValue:
+        """Create an input vertex holding ``value``."""
+        self._check_number(value)
+        vertex = self._graph.add_vertex(label=label, op="input")
+        return TracedValue(self, vertex, float(value))
+
+    def inputs(
+        self, values: Union[int, Sequence[Number]], prefix: str = "x"
+    ) -> List[TracedValue]:
+        """Create several inputs.
+
+        ``values`` may be an integer (that many zero-valued inputs) or a
+        sequence of concrete numbers.  Labels are ``{prefix}[i]``.
+        """
+        if isinstance(values, numbers.Integral) and not isinstance(values, bool):
+            values = [0.0] * int(values)
+        return [self.input(v, label=f"{prefix}[{i}]") for i, v in enumerate(values)]
+
+    def constant(self, value: Number, label: Optional[str] = None) -> TracedValue:
+        """Create (or reuse) a constant vertex for ``value``.
+
+        Constants are memoised by value: using the literal ``2.0`` in many
+        places of a traced program creates a single vertex with fan-out equal
+        to its number of uses — exactly how a real execution would keep one
+        copy of the constant.
+        """
+        self._check_number(value)
+        value = float(value)
+        cached = self._constants.get(value)
+        if cached is not None:
+            return cached
+        vertex = self._graph.add_vertex(label=label or f"const({value!r})", op="const")
+        traced = TracedValue(self, vertex, value)
+        self._constants[value] = traced
+        return traced
+
+    # ------------------------------------------------------------------
+    # recording operations
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        op: str,
+        operands: Iterable[Union[TracedValue, Number]],
+        value: Number,
+        label: Optional[str] = None,
+    ) -> TracedValue:
+        """Record one operation vertex consuming ``operands``.
+
+        Plain numbers among the operands are converted to constant vertices.
+        Duplicate operands (e.g. ``x * x``) contribute a single edge, because
+        a value only needs to be resident once regardless of how many operand
+        slots it fills.
+        """
+        self._check_number(value)
+        vertex = self._graph.add_vertex(label=label, op=op)
+        seen: set[int] = set()
+        for operand in operands:
+            traced = self._as_traced(operand)
+            if traced.vertex not in seen:
+                self._graph.add_edge(traced.vertex, vertex)
+                seen.add(traced.vertex)
+        return TracedValue(self, vertex, float(value))
+
+    def mark_output(self, value: TracedValue, label: Optional[str] = None) -> None:
+        """Mark a traced value as an output of the computation.
+
+        Outputs are informational (the graph's sinks are outputs by
+        definition); marking attaches a label and records the vertex in
+        :attr:`output_vertices`, which examples use for reporting.
+        """
+        if value.tracer is not self:
+            raise ValueError("value belongs to a different tracer")
+        if label is not None:
+            self._graph.set_label(value.vertex, label)
+        self._outputs.append(value.vertex)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> ComputationGraph:
+        """The computation graph built so far (live object, not a copy)."""
+        return self._graph
+
+    @property
+    def output_vertices(self) -> Tuple[int, ...]:
+        """Vertices explicitly marked as outputs."""
+        return tuple(self._outputs)
+
+    @property
+    def num_operations(self) -> int:
+        """Number of vertices recorded so far."""
+        return self._graph.num_vertices
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _as_traced(self, operand: Union[TracedValue, Number]) -> TracedValue:
+        if isinstance(operand, TracedValue):
+            if operand.tracer is not self:
+                raise ValueError("cannot mix values from different tracers")
+            return operand
+        self._check_number(operand)
+        return self.constant(float(operand))
+
+    @staticmethod
+    def _check_number(value) -> None:
+        if isinstance(value, bool) or not isinstance(value, numbers.Real):
+            raise TypeError(f"expected a real number, got {type(value).__name__}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphTracer(n={self._graph.num_vertices}, m={self._graph.num_edges})"

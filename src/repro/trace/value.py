@@ -1,0 +1,147 @@
+"""Traced scalar values.
+
+A :class:`TracedValue` wraps a concrete Python number together with the graph
+vertex that produced it.  Arithmetic on traced values records new vertices on
+the owning :class:`repro.trace.tracer.GraphTracer`, so running ordinary
+numerical code on traced inputs reconstructs its computation graph while
+still computing the correct numerical result (useful for checking that the
+traced program is faithful).
+
+Mixing operands from different tracers is an error; mixing with plain Python
+numbers is allowed — the number becomes a constant input vertex (memoised per
+tracer, so repeated use of the same literal does not blow up the graph).
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.tracer import GraphTracer
+
+__all__ = ["TracedValue"]
+
+Number = Union[int, float]
+
+
+class TracedValue:
+    """A scalar carried through a traced computation.
+
+    Attributes
+    ----------
+    vertex:
+        The id of the graph vertex holding this value.
+    value:
+        The concrete numerical value (float).
+    tracer:
+        The :class:`GraphTracer` that owns the vertex.
+    """
+
+    __slots__ = ("tracer", "vertex", "value")
+
+    def __init__(self, tracer: "GraphTracer", vertex: int, value: float) -> None:
+        self.tracer = tracer
+        self.vertex = vertex
+        self.value = float(value)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["TracedValue", Number]) -> "TracedValue":
+        if isinstance(other, TracedValue):
+            if other.tracer is not self.tracer:
+                raise ValueError("cannot mix values from different tracers")
+            return other
+        if isinstance(other, bool) or not isinstance(other, numbers.Real):
+            raise TypeError(
+                f"cannot trace operations with operand of type {type(other).__name__}"
+            )
+        return self.tracer.constant(float(other))
+
+    def _binary(self, other: Union["TracedValue", Number], op: str, result: float) -> "TracedValue":
+        rhs = self._coerce(other)
+        return self.tracer.record(op, (self, rhs), result)
+
+    # ------------------------------------------------------------------
+    # arithmetic operators
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        rhs = self._coerce(other)
+        return self._binary(rhs, "add", self.value + rhs.value)
+
+    def __radd__(self, other):
+        lhs = self._coerce(other)
+        return lhs.__add__(self)
+
+    def __sub__(self, other):
+        rhs = self._coerce(other)
+        return self._binary(rhs, "sub", self.value - rhs.value)
+
+    def __rsub__(self, other):
+        lhs = self._coerce(other)
+        return lhs.__sub__(self)
+
+    def __mul__(self, other):
+        rhs = self._coerce(other)
+        return self._binary(rhs, "mul", self.value * rhs.value)
+
+    def __rmul__(self, other):
+        lhs = self._coerce(other)
+        return lhs.__mul__(self)
+
+    def __truediv__(self, other):
+        rhs = self._coerce(other)
+        return self._binary(rhs, "div", self.value / rhs.value)
+
+    def __rtruediv__(self, other):
+        lhs = self._coerce(other)
+        return lhs.__truediv__(self)
+
+    def __pow__(self, other):
+        rhs = self._coerce(other)
+        return self._binary(rhs, "pow", self.value ** rhs.value)
+
+    def __neg__(self):
+        return self.tracer.record("neg", (self,), -self.value)
+
+    def __abs__(self):
+        return self.tracer.record("abs", (self,), abs(self.value))
+
+    # ------------------------------------------------------------------
+    # comparisons — compare concrete values, do not create vertices.
+    # ------------------------------------------------------------------
+    def __lt__(self, other):
+        return self.value < _concrete(other)
+
+    def __le__(self, other):
+        return self.value <= _concrete(other)
+
+    def __gt__(self, other):
+        return self.value > _concrete(other)
+
+    def __ge__(self, other):
+        return self.value >= _concrete(other)
+
+    def __eq__(self, other):  # value equality, deliberately not identity
+        try:
+            return self.value == _concrete(other)
+        except TypeError:
+            return NotImplemented
+
+    def __hash__(self):
+        return hash((id(self.tracer), self.vertex))
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TracedValue(vertex={self.vertex}, value={self.value!r})"
+
+
+def _concrete(other) -> float:
+    if isinstance(other, TracedValue):
+        return other.value
+    if isinstance(other, numbers.Real) and not isinstance(other, bool):
+        return float(other)
+    raise TypeError(f"cannot compare TracedValue with {type(other).__name__}")

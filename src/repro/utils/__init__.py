@@ -1,0 +1,31 @@
+"""Shared utilities: validation helpers, RNG handling, small math helpers."""
+
+from repro.utils.validation import (
+    check_positive_int,
+    check_nonnegative_int,
+    check_probability,
+    check_memory_size,
+    check_power_of_two,
+)
+from repro.utils.rng import as_rng
+from repro.utils.mathutils import (
+    binomial,
+    floor_div,
+    is_power_of_two,
+    next_power_of_two,
+    log2_int,
+)
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_probability",
+    "check_memory_size",
+    "check_power_of_two",
+    "as_rng",
+    "binomial",
+    "floor_div",
+    "is_power_of_two",
+    "next_power_of_two",
+    "log2_int",
+]

@@ -1,0 +1,39 @@
+"""Minimal logging configuration for the package.
+
+The library itself never configures the root logger; it only provides a
+namespaced logger factory so applications and the benchmark harness can opt in
+to progress output (useful when sweeping large graphs).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Optional sub-name, e.g. ``"bounds"`` yields ``repro.bounds``.
+    """
+    if name:
+        return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+    return logging.getLogger(_PACKAGE_LOGGER_NAME)
+
+
+def enable_progress_logging(level: int = logging.INFO) -> None:
+    """Attach a basic stream handler to the package logger.
+
+    Intended for scripts and benchmarks, not for library code.  Calling it
+    twice is harmless (the handler is only added once).
+    """
+    logger = get_logger()
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,44 @@
+"""Small exact-integer math helpers.
+
+These exist so closed-form bound code (Section 5 of the paper) can work with
+exact integers where possible, only falling back to floating point for the
+trigonometric parts of the butterfly spectrum.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient ``C(n, k)`` with the convention ``C(n, k) = 0``
+    for ``k < 0`` or ``k > n``."""
+    if k < 0 or k > n:
+        return 0
+    return comb(n, k)
+
+
+def floor_div(a: int, b: int) -> int:
+    """Exact floor division that rejects non-positive divisors."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return a // b
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two greater than or equal to ``n`` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def log2_int(n: int) -> int:
+    """Exact base-2 logarithm of a power of two."""
+    if not is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    return n.bit_length() - 1

@@ -1,0 +1,44 @@
+"""Random number generator normalisation.
+
+Every stochastic entry point in the package accepts a ``seed`` argument that
+may be ``None``, an integer, or an already constructed
+:class:`numpy.random.Generator`.  :func:`as_rng` converts any of those into a
+``Generator`` so downstream code never has to branch on the seed type.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence``, or an
+        existing ``Generator`` (returned unchanged so callers can share one
+        stream across multiple helpers).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed``.
+
+    Useful for parallel experiments that must be reproducible regardless of
+    execution order.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(
+        seed if isinstance(seed, (int, type(None))) else None
+    )
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

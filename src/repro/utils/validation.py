@@ -1,0 +1,71 @@
+"""Argument validation helpers used across the package.
+
+All helpers raise :class:`ValueError` or :class:`TypeError` with a message that
+names the offending parameter, so call sites can stay terse while error
+messages remain actionable.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero.
+
+    Parameters
+    ----------
+    value:
+        Value to validate.  Booleans are rejected even though they are
+        ``int`` subclasses, because a ``True`` fast-memory size is almost
+        always a bug.
+    name:
+        Parameter name used in error messages.
+
+    Returns
+    -------
+    int
+        The validated value, coerced to a built-in ``int``.
+    """
+    check_nonnegative_int(value, name)
+    if int(value) <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if int(value) < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return int(value)
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` is a real number in the closed interval [0, 1]."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_memory_size(value: Any, name: str = "M") -> int:
+    """Validate a fast-memory size ``M``.
+
+    The memory model requires at least one slot of fast memory; most bounds
+    additionally assume ``M >= 2`` to hold both an operand and a result, but we
+    only enforce positivity here so degenerate cases remain expressible.
+    """
+    return check_positive_int(value, name)
+
+
+def check_power_of_two(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    value = check_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value!r}")
+    return value

@@ -1,0 +1,198 @@
+"""Tests for the sweep / runtime / reporting / figure harness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.figures import FigureSeries, linear_fit_r_squared, series_from_rows
+from repro.analysis.reporting import format_table, maybe_write_results, rows_to_csv, write_csv
+from repro.analysis.runtime import runtime_comparison
+from repro.analysis.sweep import SweepRow, sweep
+from repro.graphs.generators import fft_graph, inner_product_graph
+
+
+def tiny_fft_sweep():
+    return sweep(
+        "fft",
+        fft_graph,
+        size_params=[3, 4],
+        memory_sizes=[4, 8],
+        methods=("spectral", "convex-min-cut"),
+        num_eigenvalues=30,
+    )
+
+
+class TestSweep:
+    def test_rows_cover_all_combinations(self):
+        rows = tiny_fft_sweep()
+        combos = {(r.size_param, r.memory_size, r.method) for r in rows}
+        assert len(combos) == 2 * 2 * 2
+        assert all(isinstance(r, SweepRow) for r in rows)
+
+    def test_infeasible_memory_skipped(self):
+        rows = sweep(
+            "dot",
+            inner_product_graph,
+            size_params=[3],
+            memory_sizes=[2],  # max in-degree 2 needs M >= 3
+            methods=("spectral",),
+        )
+        assert rows == []
+
+    def test_skip_infeasible_can_be_disabled(self):
+        rows = sweep(
+            "dot",
+            inner_product_graph,
+            size_params=[3],
+            memory_sizes=[2],
+            methods=("spectral",),
+            skip_infeasible=False,
+        )
+        assert len(rows) == 1
+
+    def test_max_vertices_cap_skips_method(self):
+        rows = sweep(
+            "fft",
+            fft_graph,
+            size_params=[4],
+            memory_sizes=[4],
+            methods=("spectral", "convex-min-cut"),
+            max_vertices={"convex-min-cut": 10},
+        )
+        methods = {r.method for r in rows}
+        assert methods == {"spectral"}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("fft", fft_graph, [3], [4], methods=("bogus",))
+
+    def test_convex_vertex_cap_still_valid_bound(self):
+        rows = sweep(
+            "fft",
+            fft_graph,
+            size_params=[4],
+            memory_sizes=[4],
+            methods=("convex-min-cut",),
+            convex_vertex_cap=20,
+        )
+        assert len(rows) == 1
+        assert rows[0].bound >= 0
+
+    def test_row_dict_round_trip(self):
+        rows = tiny_fft_sweep()
+        as_dict = rows[0].as_dict()
+        assert as_dict["family"] == "fft"
+        assert "bound" in as_dict
+
+
+class TestRuntime:
+    def test_runtime_rows(self):
+        rows = runtime_comparison(
+            "fft",
+            fft_graph,
+            size_params=[3, 4],
+            M=4,
+            methods=("spectral", "convex-min-cut"),
+            convex_max_vertices=100,
+        )
+        spectral_rows = [r for r in rows if r.method == "spectral"]
+        convex_rows = [r for r in rows if r.method == "convex-min-cut"]
+        assert len(spectral_rows) == 2
+        # The convex baseline is skipped above its vertex cap (fft(4) has 80 > 100? no, 80 < 100)
+        assert len(convex_rows) == 2
+        assert all(r.elapsed_seconds >= 0 for r in rows)
+
+    def test_runtime_cap_skips_large_graphs(self):
+        rows = runtime_comparison(
+            "fft",
+            fft_graph,
+            size_params=[4],
+            M=4,
+            methods=("convex-min-cut",),
+            convex_max_vertices=10,
+        )
+        assert rows == []
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            runtime_comparison("fft", fft_graph, [3], 4, methods=("bogus",))
+
+
+class TestReporting:
+    def test_format_table_renders_all_rows(self):
+        rows = tiny_fft_sweep()
+        table = format_table(rows, title="demo")
+        assert "demo" in table
+        assert table.count("\n") >= len(rows) + 2
+        assert "spectral" in table
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_with_columns_subset(self):
+        rows = tiny_fft_sweep()
+        table = format_table(rows, columns=["size_param", "bound"])
+        assert "family" not in table.splitlines()[0]
+
+    def test_csv_round_trip(self, tmp_path):
+        rows = tiny_fft_sweep()
+        text = rows_to_csv(rows)
+        assert text.splitlines()[0].startswith("family,")
+        path = write_csv(tmp_path / "out" / "rows.csv", rows)
+        assert path.exists()
+        assert len(path.read_text().splitlines()) == len(rows) + 1
+
+    def test_maybe_write_results_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_WRITE_RESULTS", raising=False)
+        assert maybe_write_results("x", tiny_fft_sweep(), directory=tmp_path) is None
+
+    def test_maybe_write_results_enabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WRITE_RESULTS", "1")
+        path = maybe_write_results("x", tiny_fft_sweep(), directory=tmp_path)
+        assert path is not None and path.exists()
+
+    def test_format_value_handles_none_and_bool(self):
+        table = format_table([{"a": None, "b": True, "c": 1.5}])
+        assert "-" in table and "True" in table
+
+
+class TestFigures:
+    def test_series_grouping(self):
+        rows = tiny_fft_sweep()
+        fig = series_from_rows("fig7", rows, x_of=lambda r: r.size_param, x_label="l")
+        assert "Spectral, M=4" in fig.series
+        assert "Convex Min-cut, M=8" in fig.series
+        for points in fig.series.values():
+            xs = [x for x, _ in points]
+            assert xs == sorted(xs)
+
+    def test_series_as_rows(self):
+        fig = FigureSeries("f", "x")
+        fig.add_point("a", 2, 20)
+        fig.add_point("a", 1, 10)
+        rows = fig.as_rows()
+        assert rows[0]["x"] == 1
+        assert rows[1]["y"] == 20
+
+    def test_linear_fit_r_squared_perfect_line(self):
+        points = [(x, 3 * x + 1) for x in range(10)]
+        assert linear_fit_r_squared(points) == pytest.approx(1.0)
+
+    def test_linear_fit_r_squared_noisy(self):
+        points = [(x, x * x) for x in range(10)]
+        assert linear_fit_r_squared(points) < 1.0
+
+    def test_linear_fit_degenerate(self):
+        assert linear_fit_r_squared([(0, 0), (1, 1)]) == 1.0
+        assert linear_fit_r_squared([(x, 5.0) for x in range(5)]) == 1.0
+
+    def test_growth_term_transformation(self):
+        rows = tiny_fft_sweep()
+        fig = series_from_rows(
+            "fig7-bottom", rows, x_of=lambda r: r.size_param * 2**r.size_param, x_label="l*2^l"
+        )
+        xs = [x for pts in fig.series.values() for x, _ in pts]
+        assert set(xs) <= {3 * 8, 4 * 16}
+        assert not math.isnan(sum(xs))

@@ -1,0 +1,178 @@
+"""Tests for the closed-form analytical bounds of Section 5."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import spectral_bound_unnormalized
+from repro.core.closed_form import (
+    erdos_renyi_io_bound,
+    fft_exact_theorem5_bound,
+    fft_io_bound,
+    fft_io_bound_asymptotic,
+    hypercube_io_bound,
+    hypercube_io_bound_alpha1,
+    published_fft_bound,
+    published_naive_matmul_bound,
+    published_strassen_bound,
+)
+from repro.graphs.generators import bellman_held_karp_graph, fft_graph
+
+
+class TestHypercubeBound:
+    def test_alpha1_formula(self):
+        l, M = 10, 4
+        expected = 2.0 ** (l + 1) / (l + 1) - 2 * M * (l + 1)
+        assert hypercube_io_bound_alpha1(l, M) == pytest.approx(expected)
+        assert hypercube_io_bound(l, M, alpha=1).raw_value == pytest.approx(expected)
+
+    def test_nontrivial_condition(self):
+        """The paper: the alpha=1 bound is non-trivial iff M <= 2^l/(l+1)^2."""
+        l = 10
+        threshold = 2**l / (l + 1) ** 2
+        assert hypercube_io_bound_alpha1(l, math.floor(threshold)) > 0
+        assert hypercube_io_bound_alpha1(l, math.ceil(threshold) + 1) <= 0
+
+    def test_optimised_alpha_at_least_alpha1(self):
+        result = hypercube_io_bound(12, 8)
+        assert result.raw_value >= hypercube_io_bound(12, 8, alpha=1).raw_value - 1e-9
+
+    def test_monotone_in_memory(self):
+        values = [hypercube_io_bound(12, M).value for M in (4, 8, 16, 32)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_closed_form_is_a_valid_lower_bound_for_numeric_spectral(self):
+        """The closed form instantiates Theorem 5 with a *subset* of the true
+        eigenvalue mass, so the numerically optimised Theorem-5 bound on the
+        same graph must dominate it (up to the closed form's use of ``n/k`` in
+        place of ``floor(n/k)``, which can add at most ``2i_max`` per level)."""
+        l, M = 9, 4
+        graph = bellman_held_karp_graph(l)
+        numeric = spectral_bound_unnormalized(graph, M, num_eigenvalues=graph.num_vertices)
+        closed = hypercube_io_bound(l, M)
+        assert numeric.raw_value >= closed.raw_value - 2.0 * l
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            hypercube_io_bound(5, 2, alpha=5)
+
+    def test_grows_exponentially_in_l(self):
+        small = hypercube_io_bound(10, 4).value
+        large = hypercube_io_bound(14, 4).value
+        assert large > 8 * small > 0
+
+
+class TestFFTBound:
+    def test_paper_alpha_choice(self):
+        l, M = 12, 4
+        alpha = l - math.ceil(math.log2(M))
+        result = fft_io_bound(l, M, alpha=alpha)
+        expected = (l + 1) * 2.0**l * (
+            1 - math.cos(math.pi / (2 * (l - alpha) + 1))
+        ) - 2.0 ** (alpha + 2) * M
+        assert result.raw_value == pytest.approx(expected)
+
+    def test_default_optimises_over_alpha(self):
+        auto = fft_io_bound(12, 4)
+        fixed = fft_io_bound(12, 4, alpha=5)
+        assert auto.raw_value >= fixed.raw_value - 1e-9
+
+    def test_positive_in_paper_regime(self):
+        assert fft_io_bound(14, 4).value > 0
+        assert fft_io_bound(16, 8).value > 0
+
+    def test_asymptotic_formula(self):
+        """The asymptotic form is the literal expression from §5.2."""
+        l, M = 20, 16
+        expected = (l + 1) * 2.0**l * (
+            math.pi**2 / (8.0 * math.log2(M) ** 2) - 4.0 / (l + 1)
+        )
+        assert fft_io_bound_asymptotic(l, M) == pytest.approx(expected)
+
+    def test_asymptotic_positive_in_its_regime(self):
+        """Positive once l + 1 exceeds ~32 log2^2(M) / pi^2 (M << l regime)."""
+        assert fft_io_bound_asymptotic(60, 16) > 0
+        assert fft_io_bound_asymptotic(20, 4) > 0
+        assert fft_io_bound_asymptotic(10, 16) < 0  # outside the regime
+
+    def test_exact_theorem5_dominates_simplified_closed_form(self):
+        l, M = 8, 4
+        assert fft_exact_theorem5_bound(l, M) >= fft_io_bound(l, M).value - 1e-9
+
+    def test_exact_theorem5_matches_numeric_spectral(self):
+        l, M = 6, 4
+        graph = fft_graph(l)
+        numeric = spectral_bound_unnormalized(graph, M, num_eigenvalues=graph.num_vertices)
+        closed = fft_exact_theorem5_bound(l, M)
+        assert closed == pytest.approx(max(0.0, numeric.raw_value), rel=1e-6, abs=1e-6)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            fft_io_bound(5, 4, alpha=7)
+
+    def test_asymptotic_requires_m_at_least_2(self):
+        with pytest.raises(ValueError):
+            fft_io_bound_asymptotic(10, 1)
+
+    def test_weaker_than_published_tight_bound_but_growing(self):
+        """§5.2: the spectral closed form sits below the tight Hong-Kung bound
+        (it is a lower bound that is a log-factor weaker) and keeps growing
+        with the problem size."""
+        M = 4
+        values = []
+        for l in (14, 16, 18, 20):
+            value = fft_io_bound(l, M).value
+            assert 0 < value < published_fft_bound(l, M)
+            values.append(value)
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+
+class TestPublishedBounds:
+    def test_fft_growth(self):
+        assert published_fft_bound(10, 4) == pytest.approx(10 * 1024 / 2)
+
+    def test_matmul_growth(self):
+        assert published_naive_matmul_bound(8, 16) == pytest.approx(512 / 4)
+
+    def test_strassen_growth(self):
+        value = published_strassen_bound(8, 4)
+        assert value == pytest.approx((8 / 2) ** math.log2(7) * 4)
+
+
+class TestErdosRenyi:
+    def test_dense_regime_formula(self):
+        assert erdos_renyi_io_bound(1000, 0.5, 10, regime="dense") == pytest.approx(500 - 40)
+
+    def test_sparse_regime_positive_for_large_p0(self):
+        n = 5000
+        p = 20 * math.log(n) / (n - 1)  # p0 = 20 > 6
+        assert erdos_renyi_io_bound(n, p, 4, regime="sparse") > 0
+
+    def test_sparse_regime_trivial_below_threshold(self):
+        n = 1000
+        p = 2 * math.log(n) / (n - 1)  # p0 = 2 < 6: concentration fails
+        assert erdos_renyi_io_bound(n, p, 4, regime="sparse") == 0.0
+
+    def test_auto_regime_selection(self):
+        n = 2000
+        sparse_p = 8 * math.log(n) / n
+        dense_p = 0.3
+        assert erdos_renyi_io_bound(n, sparse_p, 4) == pytest.approx(
+            erdos_renyi_io_bound(n, sparse_p, 4, regime="sparse")
+        )
+        assert erdos_renyi_io_bound(n, dense_p, 4) == pytest.approx(
+            erdos_renyi_io_bound(n, dense_p, 4, regime="dense")
+        )
+
+    def test_edge_cases(self):
+        assert erdos_renyi_io_bound(2, 0.5, 4) == 0.0
+        assert erdos_renyi_io_bound(100, 0.0, 4) == 0.0
+        with pytest.raises(ValueError):
+            erdos_renyi_io_bound(100, 0.5, 4, regime="bogus")
+
+    def test_scales_linearly_with_n_in_dense_regime(self):
+        small = erdos_renyi_io_bound(1000, 0.5, 1, regime="dense")
+        large = erdos_renyi_io_bound(4000, 0.5, 1, regime="dense")
+        assert large / small == pytest.approx(4.0, rel=0.05)

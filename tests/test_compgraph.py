@@ -1,0 +1,225 @@
+"""Unit tests for the ComputationGraph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.compgraph import ComputationGraph
+
+
+def build_diamond() -> ComputationGraph:
+    """0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3."""
+    g = ComputationGraph(4)
+    g.add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    return g
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = ComputationGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+        assert g.sources() == []
+        assert g.sinks() == []
+
+    def test_preallocated_vertices(self):
+        g = ComputationGraph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_add_vertex_returns_sequential_ids(self):
+        g = ComputationGraph()
+        assert [g.add_vertex() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_add_vertices_bulk(self):
+        g = ComputationGraph()
+        ids = g.add_vertices(3, op="input")
+        assert ids == [0, 1, 2]
+        assert all(g.op(v) == "input" for v in ids)
+
+    def test_add_edge_and_query(self):
+        g = build_diamond()
+        assert g.num_edges == 4
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert set(g.successors(0)) == {1, 2}
+        assert set(g.predecessors(3)) == {1, 2}
+
+    def test_duplicate_edge_rejected(self):
+        g = ComputationGraph(2)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = ComputationGraph(2)
+        with pytest.raises(ValueError, match="self loop"):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = ComputationGraph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 2)
+        with pytest.raises(ValueError):
+            g.in_degree(5)
+
+    def test_non_integer_vertex_rejected(self):
+        g = ComputationGraph(2)
+        with pytest.raises(TypeError):
+            g.add_edge(0, "a")  # type: ignore[arg-type]
+
+    def test_negative_prealloc_rejected(self):
+        with pytest.raises(ValueError):
+            ComputationGraph(-1)
+
+    def test_from_edges(self):
+        g = ComputationGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+
+class TestDegrees:
+    def test_degrees_diamond(self):
+        g = build_diamond()
+        assert g.out_degree(0) == 2
+        assert g.in_degree(0) == 0
+        assert g.in_degree(3) == 2
+        assert g.degree(1) == 2
+        assert g.max_out_degree == 2
+        assert g.max_in_degree == 2
+
+    def test_degree_vectors(self):
+        g = build_diamond()
+        np.testing.assert_array_equal(g.out_degrees(), [2, 1, 1, 0])
+        np.testing.assert_array_equal(g.in_degrees(), [0, 1, 1, 2])
+        np.testing.assert_array_equal(g.degrees(), [2, 2, 2, 2])
+
+    def test_empty_graph_max_degrees(self):
+        g = ComputationGraph()
+        assert g.max_out_degree == 0
+        assert g.max_in_degree == 0
+
+    def test_sources_and_sinks(self):
+        g = build_diamond()
+        assert g.sources() == [0]
+        assert g.sinks() == [3]
+
+
+class TestMetadata:
+    def test_labels_and_ops(self):
+        g = ComputationGraph()
+        v = g.add_vertex(label="x", op="input")
+        assert g.label(v) == "x"
+        assert g.op(v) == "input"
+        g.set_label(v, "y")
+        g.set_op(v, "const")
+        assert g.label(v) == "y"
+        assert g.op(v) == "const"
+
+    def test_unlabeled_vertex_returns_none(self):
+        g = ComputationGraph(1)
+        assert g.label(0) is None
+        assert g.op(0) is None
+
+    def test_vertices_with_op(self):
+        g = ComputationGraph()
+        a = g.add_vertex(op="input")
+        g.add_vertex(op="mul")
+        b = g.add_vertex(op="input")
+        assert g.vertices_with_op("input") == [a, b]
+
+
+class TestStructure:
+    def test_topological_order_valid(self):
+        g = build_diamond()
+        order = g.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_cycle_detected(self):
+        g = ComputationGraph(3)
+        g.add_edges([(0, 1), (1, 2), (2, 0)])
+        assert not g.is_acyclic()
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order()
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_validate_accepts_dag(self):
+        build_diamond().validate()
+
+    def test_ancestors_descendants(self):
+        g = build_diamond()
+        assert g.ancestors(3) == {0, 1, 2}
+        assert g.descendants(0) == {1, 2, 3}
+        assert g.ancestors(0) == set()
+        assert g.descendants(3) == set()
+
+    def test_weak_connectivity(self):
+        g = build_diamond()
+        assert g.is_weakly_connected()
+        g2 = ComputationGraph(3)
+        g2.add_edge(0, 1)
+        assert not g2.is_weakly_connected()
+        assert g2.weakly_connected_components() == [[0, 1], [2]]
+
+    def test_empty_and_single_vertex_connected(self):
+        assert ComputationGraph().is_weakly_connected()
+        assert ComputationGraph(1).is_weakly_connected()
+
+    def test_longest_path(self):
+        g = build_diamond()
+        assert g.longest_path_length() == 2
+        assert ComputationGraph(3).longest_path_length() == 0
+        assert ComputationGraph().longest_path_length() == 0
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = build_diamond()
+        h = g.copy()
+        h.add_vertex()
+        assert h.num_vertices == 5
+        assert g.num_vertices == 4
+        assert h == ComputationGraph.from_edges(5, g.edges()) or h.num_edges == g.num_edges
+
+    def test_equality_by_structure(self):
+        assert build_diamond() == build_diamond()
+        other = ComputationGraph(4)
+        other.add_edge(0, 1)
+        assert build_diamond() != other
+
+    def test_subgraph(self):
+        g = build_diamond()
+        sub, mapping = g.subgraph([0, 1, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2  # (0,1) and (1,3) survive
+        assert set(mapping.keys()) == {0, 1, 3}
+
+    def test_relabeled_preserves_structure(self):
+        g = build_diamond()
+        perm = [3, 2, 1, 0]
+        h = g.relabeled(perm)
+        assert h.num_edges == g.num_edges
+        assert h.has_edge(3, 2)  # image of (0, 1)
+        with pytest.raises(ValueError):
+            g.relabeled([0, 0, 1, 2])
+
+    def test_reversed(self):
+        g = build_diamond()
+        r = g.reversed()
+        assert r.has_edge(1, 0)
+        assert r.sources() == [3]
+        assert r.sinks() == [0]
+
+    def test_networkx_round_trip(self):
+        g = build_diamond()
+        g.set_label(0, "src")
+        nx_graph = g.to_networkx()
+        back = ComputationGraph.from_networkx(nx_graph)
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+        assert sorted(back.edges()) == sorted(g.edges())

@@ -1,0 +1,145 @@
+"""Tests for the small/didactic, stencil and random graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators.basic import (
+    binary_tree_reduction_graph,
+    chain_graph,
+    diamond_graph,
+    figure2_example_graph,
+    independent_ops_graph,
+    inner_product_graph,
+    prefix_sum_graph,
+)
+from repro.graphs.generators.random_graphs import (
+    erdos_renyi_dag,
+    erdos_renyi_undirected_laplacian,
+    layered_random_dag,
+    random_dag,
+)
+from repro.graphs.generators.stencil import stencil_1d_graph, stencil_2d_graph
+
+
+class TestInnerProduct:
+    def test_figure1_graph(self):
+        """Figure 1: the 2-element inner product has exactly 7 vertices."""
+        g = inner_product_graph(2)
+        assert g.num_vertices == 7
+        assert len(g.sources()) == 4
+        assert len(g.sinks()) == 1
+
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_counts(self, n):
+        g = inner_product_graph(n)
+        assert g.num_vertices == 2 * n + n + (n - 1)
+        assert g.max_in_degree == 2
+
+    def test_acyclic(self):
+        inner_product_graph(4).validate()
+
+
+class TestChainsAndTrees:
+    def test_chain(self):
+        g = chain_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 4
+        assert g.longest_path_length() == 4
+        assert g.max_in_degree == 1
+
+    def test_single_vertex_chain(self):
+        g = chain_graph(1)
+        assert g.num_edges == 0
+
+    @pytest.mark.parametrize("leaves", [1, 2, 3, 7, 8])
+    def test_binary_tree_reduction(self, leaves):
+        g = binary_tree_reduction_graph(leaves)
+        assert g.num_vertices == 2 * leaves - 1
+        assert len(g.sinks()) == 1
+        assert g.max_in_degree == (2 if leaves > 1 else 0)
+
+    def test_diamond(self):
+        g = diamond_graph(4)
+        assert g.num_vertices == 6
+        assert g.max_out_degree == 4
+        assert g.in_degree(g.sinks()[0]) == 4
+
+    def test_independent_ops(self):
+        g = independent_ops_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_prefix_sum(self):
+        g = prefix_sum_graph(4)
+        assert g.num_vertices == 4 + 3
+        assert g.max_in_degree == 2
+
+    def test_figure2_example(self):
+        g = figure2_example_graph()
+        assert g.num_vertices == 7
+        g.validate()
+
+
+class TestStencils:
+    def test_1d_counts(self):
+        g = stencil_1d_graph(width=6, timesteps=3)
+        assert g.num_vertices == 4 * 6
+        assert g.max_in_degree == 3  # radius-1 interior stencil
+
+    def test_1d_radius2(self):
+        g = stencil_1d_graph(width=8, timesteps=1, radius=2)
+        assert g.max_in_degree == 5
+
+    def test_2d_counts(self):
+        g = stencil_2d_graph(width=3, height=3, timesteps=2)
+        assert g.num_vertices == 3 * 9
+        assert g.max_in_degree == 5
+
+    def test_stencils_acyclic(self):
+        stencil_1d_graph(5, 2).validate()
+        stencil_2d_graph(3, 2, 2).validate()
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_dag_acyclic(self):
+        g = erdos_renyi_dag(30, 0.2, seed=0)
+        g.validate()
+        for u, v in g.edges():
+            assert u < v
+
+    def test_erdos_renyi_seeded_reproducible(self):
+        g1 = erdos_renyi_dag(20, 0.3, seed=42)
+        g2 = erdos_renyi_dag(20, 0.3, seed=42)
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi_dag(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi_dag(10, 1.0, seed=0).num_edges == 45
+
+    def test_erdos_renyi_laplacian_properties(self):
+        import numpy as np
+
+        L = erdos_renyi_undirected_laplacian(25, 0.4, seed=1)
+        np.testing.assert_allclose(L, L.T)
+        np.testing.assert_allclose(L.sum(axis=1), 0.0, atol=1e-12)
+        assert np.linalg.eigvalsh(L).min() >= -1e-9
+
+    def test_layered_random_dag(self):
+        g = layered_random_dag(num_layers=4, layer_width=5, in_degree=2, seed=3)
+        g.validate()
+        assert g.num_vertices == 20
+        assert g.max_in_degree <= 2
+        # Layer 0 vertices are inputs.
+        assert all(g.in_degree(v) == 0 for v in range(5))
+
+    def test_random_dag_respects_max_in_degree(self):
+        g = random_dag(40, edge_probability=0.8, max_in_degree=3, seed=5)
+        g.validate()
+        assert g.max_in_degree <= 3
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_dag(5, 1.5)
+        with pytest.raises(TypeError):
+            erdos_renyi_dag(5, "0.5")  # type: ignore[arg-type]

@@ -1,0 +1,93 @@
+"""Tests for the FFT butterfly generator (§5.2, §6.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators.fft import (
+    butterfly_graph,
+    fft_graph,
+    fft_num_vertices,
+    fft_vertex_id,
+)
+
+
+class TestShape:
+    @pytest.mark.parametrize("levels", [0, 1, 2, 3, 4, 5])
+    def test_vertex_count(self, levels):
+        g = fft_graph(levels)
+        assert g.num_vertices == (levels + 1) * 2**levels
+        assert g.num_vertices == fft_num_vertices(levels)
+
+    @pytest.mark.parametrize("levels", [1, 2, 3, 4, 5])
+    def test_edge_count(self, levels):
+        # Every non-input vertex has in-degree exactly 2.
+        g = fft_graph(levels)
+        assert g.num_edges == 2 * levels * 2**levels
+
+    def test_level_zero_is_single_vertex(self):
+        g = fft_graph(0)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    @pytest.mark.parametrize("levels", [2, 3, 4])
+    def test_degrees(self, levels):
+        g = fft_graph(levels)
+        assert g.max_in_degree == 2
+        assert g.max_out_degree == 2
+        size = 2**levels
+        assert len(g.sources()) == size  # inputs
+        assert len(g.sinks()) == size  # outputs
+
+    def test_acyclic_and_connected(self):
+        g = fft_graph(4)
+        g.validate()
+        assert g.is_weakly_connected()
+
+    def test_figure5_example(self):
+        """The 4-point FFT of Figure 5 has 12 vertices in 3 columns."""
+        g = fft_graph(2)
+        assert g.num_vertices == 12
+        assert len(g.sources()) == 4
+        assert len(g.sinks()) == 4
+
+    def test_butterfly_alias(self):
+        assert butterfly_graph(3) == fft_graph(3)
+
+
+class TestStructure:
+    def test_butterfly_parents(self):
+        levels = 3
+        g = fft_graph(levels)
+        # Column 2, row 5 (binary 101): parents are (1, 5) and (1, 5 ^ 2) = (1, 7).
+        v = fft_vertex_id(levels, 2, 5)
+        parents = set(g.predecessors(v))
+        assert parents == {fft_vertex_id(levels, 1, 5), fft_vertex_id(levels, 1, 7)}
+
+    def test_inputs_labeled(self):
+        g = fft_graph(2)
+        assert g.op(fft_vertex_id(2, 0, 0)) == "input"
+        assert g.op(fft_vertex_id(2, 1, 0)) == "butterfly"
+
+    def test_every_output_depends_on_every_input(self):
+        levels = 3
+        g = fft_graph(levels)
+        out = fft_vertex_id(levels, levels, 0)
+        ancestors = g.ancestors(out)
+        inputs = {fft_vertex_id(levels, 0, r) for r in range(2**levels)}
+        assert inputs <= ancestors
+
+    def test_critical_path_length(self):
+        assert fft_graph(4).longest_path_length() == 4
+
+
+class TestValidation:
+    def test_vertex_id_bounds(self):
+        with pytest.raises(ValueError):
+            fft_vertex_id(3, 4, 0)
+        with pytest.raises(ValueError):
+            fft_vertex_id(3, 0, 8)
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            fft_graph(-1)

@@ -1,0 +1,70 @@
+"""Tests for the Bellman-Held-Karp hypercube generator (§5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators.hypercube import bellman_held_karp_graph, hypercube_graph
+from repro.utils.mathutils import binomial
+
+
+class TestShape:
+    @pytest.mark.parametrize("d", [0, 1, 2, 3, 4, 6])
+    def test_vertex_count(self, d):
+        assert hypercube_graph(d).num_vertices == 2**d
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 6])
+    def test_edge_count(self, d):
+        # The d-cube has d * 2^{d-1} edges.
+        assert hypercube_graph(d).num_edges == d * 2 ** (d - 1)
+
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_degrees(self, d):
+        g = hypercube_graph(d)
+        assert g.max_out_degree == d
+        assert g.max_in_degree == d
+        # Out-degree of a mask is the number of unset bits.
+        assert g.out_degree(0) == d
+        assert g.out_degree(2**d - 1) == 0
+
+    def test_single_source_and_sink(self):
+        g = hypercube_graph(4)
+        assert g.sources() == [0]
+        assert g.sinks() == [2**4 - 1]
+
+    def test_acyclic_and_connected(self):
+        g = hypercube_graph(4)
+        g.validate()
+        assert g.is_weakly_connected()
+
+    def test_bhk_alias(self):
+        assert bellman_held_karp_graph(3) == hypercube_graph(3)
+
+    def test_figure4_example(self):
+        """Figure 4: the 3-city BHK graph is the 3-cube with 8 vertices."""
+        g = bellman_held_karp_graph(3)
+        assert g.num_vertices == 8
+        assert g.num_edges == 12
+
+
+class TestStructure:
+    def test_edges_increase_popcount_by_one(self):
+        g = hypercube_graph(4)
+        for u, v in g.edges():
+            assert bin(v).count("1") == bin(u).count("1") + 1
+            assert u & v == u  # v is a superset of u
+
+    def test_level_sizes_are_binomials(self):
+        d = 5
+        g = hypercube_graph(d)
+        for level in range(d + 1):
+            count = sum(1 for v in g.vertices() if bin(v).count("1") == level)
+            assert count == binomial(d, level)
+
+    def test_critical_path_is_dimension(self):
+        assert hypercube_graph(5).longest_path_length() == 5
+
+    def test_labels_are_bitstrings(self):
+        g = hypercube_graph(3)
+        assert g.label(5) == "101"
+        assert g.op(0) == "input"

@@ -1,0 +1,71 @@
+"""Tests for the LU factorisation and triangular-solve generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import spectral_bound
+from repro.graphs.generators.linalg import lu_factorization_graph, triangular_solve_graph
+from repro.pebbling.simulator import best_simulated_io
+
+
+class TestLUFactorization:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_vertex_count(self, n):
+        graph = lu_factorization_graph(n)
+        multipliers = n * (n - 1) // 2
+        updates = sum((n - 1 - k) ** 2 for k in range(n))
+        assert graph.num_vertices == n * n + multipliers + updates
+
+    def test_degrees_and_structure(self):
+        graph = lu_factorization_graph(4)
+        graph.validate()
+        assert graph.is_weakly_connected()
+        assert graph.max_in_degree == 3  # fused update vertices
+        assert len(graph.sources()) == 16
+
+    def test_n1_is_trivial(self):
+        graph = lu_factorization_graph(1)
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            lu_factorization_graph(0)
+
+    def test_bound_sound_against_simulation(self):
+        graph = lu_factorization_graph(5)
+        M = 8
+        lower = spectral_bound(graph, M, num_eigenvalues=60).value
+        upper = best_simulated_io(graph, M, num_random_orders=1).total_io
+        assert lower <= upper + 1e-9
+
+
+class TestTriangularSolve:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6])
+    def test_vertex_count(self, n):
+        graph = triangular_solve_graph(n)
+        inputs = n * (n + 1) // 2 + n
+        operations = n + 2 * (n * (n - 1) // 2)  # divisions + (mul, sub) pairs
+        assert graph.num_vertices == inputs + operations
+
+    def test_structure(self):
+        graph = triangular_solve_graph(5)
+        graph.validate()
+        assert graph.max_in_degree == 2
+        # The last unknown depends on every previous unknown.
+        last_x = [v for v in graph.vertices() if graph.label(v) == "x[4]"][0]
+        ancestors = graph.ancestors(last_x)
+        for i in range(4):
+            xi = [v for v in graph.vertices() if graph.label(v) == f"x[{i}]"][0]
+            assert xi in ancestors
+
+    def test_low_io_workload(self):
+        """Forward substitution is nearly sequential: the bound is trivial for
+        moderate memory sizes."""
+        graph = triangular_solve_graph(8)
+        assert spectral_bound(graph, M=16).value == 0.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            triangular_solve_graph(-1)

@@ -1,0 +1,96 @@
+"""Tests for the naive matrix multiplication generators (§6.2, Figure 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators.matmul import (
+    dot_product_formulation_graph,
+    naive_matmul_graph,
+    naive_matmul_num_vertices,
+)
+
+
+class TestChainReduction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_vertex_count(self, n):
+        g = naive_matmul_graph(n)
+        assert g.num_vertices == naive_matmul_num_vertices(n)
+        assert g.num_vertices == 2 * n * n + n**3 + n * n * (n - 1)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_edge_count(self, n):
+        # Every product has 2 operands, every addition has 2 operands.
+        g = naive_matmul_graph(n)
+        assert g.num_edges == 2 * n**3 + 2 * n * n * (n - 1)
+
+    def test_max_degrees(self):
+        g = naive_matmul_graph(4)
+        assert g.max_in_degree == 2
+        assert g.max_out_degree == 4  # every input feeds n products
+
+    def test_inputs_and_outputs(self):
+        n = 3
+        g = naive_matmul_graph(n)
+        assert len(g.sources()) == 2 * n * n
+        assert len(g.sinks()) == n * n
+
+    def test_acyclic(self):
+        naive_matmul_graph(3).validate()
+
+    def test_n1_graph(self):
+        g = naive_matmul_graph(1)
+        assert g.num_vertices == 3  # a, b, a*b
+        assert len(g.sinks()) == 1
+
+
+class TestFlatReduction:
+    """The paper's Figure 8 granularity: one n-ary sum per output entry."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_vertex_count(self, n):
+        g = naive_matmul_graph(n, reduction="flat")
+        assert g.num_vertices == naive_matmul_num_vertices(n, reduction="flat")
+        assert g.num_vertices == 2 * n * n + n**3 + n * n
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_max_in_degree_is_n(self, n):
+        assert naive_matmul_graph(n, reduction="flat").max_in_degree == n
+
+    def test_outputs(self):
+        g = naive_matmul_graph(3, reduction="flat")
+        assert len(g.sinks()) == 9
+
+
+class TestTreeReduction:
+    def test_same_counts_as_chain(self):
+        chain = naive_matmul_graph(4, reduction="chain")
+        tree = naive_matmul_graph(4, reduction="tree")
+        assert chain.num_vertices == tree.num_vertices
+        assert chain.num_edges == tree.num_edges
+
+    def test_tree_reduces_depth(self):
+        chain = naive_matmul_graph(8, reduction="chain")
+        tree = naive_matmul_graph(8, reduction="tree")
+        assert tree.longest_path_length() < chain.longest_path_length()
+
+
+class TestDotFormulation:
+    def test_counts(self):
+        n = 3
+        g = dot_product_formulation_graph(n)
+        assert g.num_vertices == 2 * n * n + n * n
+        assert g.max_in_degree == 2 * n
+
+    def test_acyclic(self):
+        dot_product_formulation_graph(2).validate()
+
+
+class TestValidation:
+    def test_bad_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            naive_matmul_graph(2, reduction="bogus")
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValueError):
+            naive_matmul_graph(0)

@@ -1,0 +1,74 @@
+"""Tests for the Strassen multiplication generator (§6.2, Figure 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators.strassen import strassen_graph, strassen_num_multiplications
+
+
+class TestCounts:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 7), (4, 49), (8, 343)])
+    def test_num_multiplications_formula(self, n, expected):
+        assert strassen_num_multiplications(n) == expected
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_multiplication_vertices_match_formula(self, n):
+        g = strassen_graph(n)
+        muls = [v for v in g.vertices() if g.op(v) == "mul"]
+        assert len(muls) == strassen_num_multiplications(n)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_inputs_and_outputs(self, n):
+        g = strassen_graph(n)
+        assert len(g.sources()) == 2 * n * n
+        assert len(g.sinks()) == n * n
+
+    def test_n1_is_single_product(self):
+        g = strassen_graph(1)
+        assert g.num_vertices == 3
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_acyclic_and_connected(self, n):
+        g = strassen_graph(n)
+        g.validate()
+        assert g.is_weakly_connected()
+
+    def test_fused_max_in_degree_is_four(self):
+        assert strassen_graph(4, combine="fused").max_in_degree == 4
+
+    def test_binary_max_in_degree_is_two(self):
+        assert strassen_graph(4, combine="binary").max_in_degree == 2
+
+    def test_fused_smaller_than_binary(self):
+        fused = strassen_graph(4, combine="fused")
+        binary = strassen_graph(4, combine="binary")
+        assert fused.num_vertices < binary.num_vertices
+        # Same multiplications either way.
+        assert len([v for v in fused.vertices() if fused.op(v) == "mul"]) == len(
+            [v for v in binary.vertices() if binary.op(v) == "mul"]
+        )
+
+    def test_outputs_labeled(self):
+        g = strassen_graph(2)
+        labels = {g.label(v) for v in g.sinks()}
+        assert labels == {f"C[{i},{j}]" for i in range(2) for j in range(2)}
+
+    def test_growth_rate_is_subcubic(self):
+        """Strassen's graph grows like n^{log2 7} ≈ n^2.81, not n^3."""
+        small = strassen_graph(4).num_vertices
+        large = strassen_graph(8).num_vertices
+        ratio = large / small
+        assert 6.0 < ratio < 8.0  # doubling n multiplies the size by ~7
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            strassen_graph(3)
+
+    def test_bad_combine_rejected(self):
+        with pytest.raises(ValueError):
+            strassen_graph(2, combine="bogus")

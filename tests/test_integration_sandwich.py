@@ -1,0 +1,77 @@
+"""Integration tests: the lower/upper bound sandwich on the paper's graphs.
+
+For every evaluation graph family of §6.2 and several memory sizes, the chain
+
+    convex-min-cut bound, spectral bound   <=   J*_G   <=   simulated I/O
+
+must hold.  These tests exercise the whole stack together (generators,
+Laplacians, eigensolvers, bounds, baselines, scheduler, simulator) on graphs
+large enough to produce non-trivial values but small enough to run in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.convex_mincut import convex_min_cut_bound
+from repro.baselines.exact import minimum_io_upper_bound
+from repro.core.bounds import spectral_bound, spectral_bound_unnormalized
+from repro.graphs.generators import (
+    bellman_held_karp_graph,
+    fft_graph,
+    naive_matmul_graph,
+    strassen_graph,
+)
+from repro.graphs.stats import graph_stats
+
+CASES = [
+    pytest.param(fft_graph(5), 4, id="fft5-M4"),
+    pytest.param(fft_graph(5), 8, id="fft5-M8"),
+    pytest.param(bellman_held_karp_graph(7), 16, id="bhk7-M16"),
+    pytest.param(naive_matmul_graph(4, reduction="flat"), 8, id="matmul4-M8"),
+    pytest.param(strassen_graph(4), 8, id="strassen4-M8"),
+]
+
+
+@pytest.mark.parametrize("graph,M", CASES)
+def test_sandwich(graph, M):
+    stats = graph_stats(graph)
+    assert stats.max_in_degree + 1 <= M, "test case must be feasible"
+
+    upper = minimum_io_upper_bound(graph, M, policies=("belady",), num_random_orders=2)
+    spectral = spectral_bound(graph, M, num_eigenvalues=min(graph.num_vertices, 80))
+    spectral_t5 = spectral_bound_unnormalized(
+        graph, M, num_eigenvalues=min(graph.num_vertices, 80)
+    )
+    convex = convex_min_cut_bound(graph, M)
+
+    assert spectral.value <= upper.total_io + 1e-9
+    assert spectral_t5.value <= upper.total_io + 1e-9
+    assert convex.value <= upper.total_io + 1e-9
+
+
+@pytest.mark.parametrize("levels", [5, 6])
+def test_fft_bound_grows_with_problem_size(levels):
+    """The spectral bound grows with the FFT size for fixed M (Figure 7 shape)."""
+    small = spectral_bound(fft_graph(levels), M=4, num_eigenvalues=60).value
+    large = spectral_bound(fft_graph(levels + 2), M=4, num_eigenvalues=60).value
+    assert large >= small
+
+
+def test_spectral_beats_convex_min_cut_on_large_enough_fft():
+    """§6.4: the spectral bound is tighter than the convex min-cut baseline on
+    the butterfly once the graph is reasonably large."""
+    graph = fft_graph(8)
+    spectral = spectral_bound(graph, M=4, num_eigenvalues=60).value
+    convex = convex_min_cut_bound(graph, M=4, vertices=range(0, graph.num_vertices, 25)).value
+    assert spectral > convex
+
+
+def test_spectral_trivial_cases_match_paper_observations():
+    """Naive matmul at the paper's memory sizes: the convex min-cut baseline is
+    trivial while the spectral bound is at least as informative (§6.4)."""
+    graph = naive_matmul_graph(6, reduction="flat")
+    convex = convex_min_cut_bound(graph, M=32).value
+    spectral = spectral_bound(graph, M=32, num_eigenvalues=60).value
+    assert convex == 0.0
+    assert spectral >= convex

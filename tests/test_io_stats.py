@@ -1,0 +1,69 @@
+"""Tests for graph serialization and descriptive statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import fft_graph, inner_product_graph
+from repro.graphs.io import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.graphs.stats import graph_stats
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        g = inner_product_graph(3)
+        data = graph_to_dict(g)
+        back = graph_from_dict(data)
+        assert back.num_vertices == g.num_vertices
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert back.label(0) == g.label(0)
+        assert back.op(0) == g.op(0)
+
+    def test_file_round_trip(self, tmp_path):
+        g = fft_graph(3)
+        path = tmp_path / "graph.json"
+        save_graph(g, path)
+        back = load_graph(path)
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            graph_from_dict({"format_version": 99, "num_vertices": 0, "edges": []})
+
+    def test_dict_is_json_serialisable(self):
+        import json
+
+        text = json.dumps(graph_to_dict(inner_product_graph(2)))
+        assert "edges" in text
+
+
+class TestStats:
+    def test_inner_product_stats(self):
+        stats = graph_stats(inner_product_graph(2))
+        assert stats.num_vertices == 7
+        assert stats.num_inputs == 4
+        assert stats.num_outputs == 1
+        assert stats.max_in_degree == 2
+        assert stats.critical_path_length == 2
+        assert stats.weakly_connected
+
+    def test_fft_stats(self):
+        stats = graph_stats(fft_graph(3))
+        assert stats.num_vertices == 32
+        assert stats.num_edges == 48
+        assert stats.max_out_degree == 2
+        assert stats.mean_in_degree == pytest.approx(48 / 32)
+
+    def test_empty_graph_stats(self):
+        from repro.graphs.compgraph import ComputationGraph
+
+        stats = graph_stats(ComputationGraph())
+        assert stats.num_vertices == 0
+        assert stats.mean_in_degree == 0.0
+
+    def test_as_dict_and_str(self):
+        stats = graph_stats(inner_product_graph(2))
+        data = stats.as_dict()
+        assert data["num_vertices"] == 7
+        assert "n=7" in str(stats)

@@ -1,0 +1,123 @@
+"""Unit tests for Laplacian / adjacency construction (Section 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.partitions import weighted_edge_boundary
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.generators import fft_graph, inner_product_graph
+from repro.graphs.laplacian import (
+    adjacency_matrix,
+    degree_vector,
+    laplacian,
+    laplacian_quadratic_form,
+    normalized_laplacian,
+    undirected_weights,
+)
+
+
+def small_graph() -> ComputationGraph:
+    """v0 -> v2, v1 -> v2, v2 -> v3 (out-degrees 1, 1, 1, 0)."""
+    g = ComputationGraph(4)
+    g.add_edges([(0, 2), (1, 2), (2, 3)])
+    return g
+
+
+class TestWeights:
+    def test_unnormalized_weights_are_one(self):
+        w = undirected_weights(small_graph(), normalized=False)
+        assert all(v == 1.0 for v in w.values())
+        assert len(w) == 3
+
+    def test_normalized_weights_use_out_degree(self):
+        g = ComputationGraph(3)
+        g.add_edges([(0, 1), (0, 2)])  # out-degree of 0 is 2
+        w = undirected_weights(g, normalized=True)
+        assert w[(0, 1)] == pytest.approx(0.5)
+        assert w[(0, 2)] == pytest.approx(0.5)
+
+
+class TestAdjacency:
+    def test_symmetric_by_default(self):
+        A = adjacency_matrix(small_graph())
+        np.testing.assert_allclose(A, A.T)
+
+    def test_directed_adjacency(self):
+        A = adjacency_matrix(small_graph(), directed=True)
+        assert A[0, 2] == 1.0 and A[2, 0] == 0.0
+
+    def test_sparse_matches_dense(self):
+        g = fft_graph(3)
+        dense = adjacency_matrix(g, normalized=True)
+        sparse = adjacency_matrix(g, normalized=True, sparse=True)
+        assert sp.issparse(sparse)
+        np.testing.assert_allclose(np.asarray(sparse.todense()), dense)
+
+    def test_degree_vector_matches_adjacency_row_sums(self):
+        g = fft_graph(3)
+        A = adjacency_matrix(g, normalized=True)
+        np.testing.assert_allclose(degree_vector(g, normalized=True), A.sum(axis=1))
+
+
+class TestLaplacian:
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_row_sums_zero(self, normalized):
+        L = laplacian(small_graph(), normalized=normalized)
+        np.testing.assert_allclose(L.sum(axis=1), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_symmetric_psd(self, normalized):
+        L = laplacian(fft_graph(3), normalized=normalized)
+        np.testing.assert_allclose(L, L.T)
+        eigenvalues = np.linalg.eigvalsh(L)
+        assert eigenvalues.min() >= -1e-9
+
+    def test_sparse_matches_dense(self):
+        g = inner_product_graph(4)
+        dense = laplacian(g, normalized=True)
+        sparse = laplacian(g, normalized=True, sparse=True)
+        np.testing.assert_allclose(np.asarray(sparse.todense()), dense)
+
+    def test_normalized_alias(self):
+        g = small_graph()
+        np.testing.assert_allclose(normalized_laplacian(g), laplacian(g, normalized=True))
+
+    def test_zero_eigenvalue_for_connected_graph(self):
+        L = laplacian(fft_graph(2), normalized=True)
+        eigenvalues = np.sort(np.linalg.eigvalsh(L))
+        assert eigenvalues[0] == pytest.approx(0.0, abs=1e-9)
+        assert eigenvalues[1] > 1e-6  # connected: single zero eigenvalue
+
+    def test_number_of_zero_eigenvalues_equals_components(self):
+        g = ComputationGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        eigenvalues = np.sort(np.linalg.eigvalsh(laplacian(g, normalized=True)))
+        assert np.sum(np.abs(eigenvalues) < 1e-9) == 2
+
+
+class TestQuadraticForm:
+    """Equation 3: x^T L~ x equals the out-degree-weighted edge boundary."""
+
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_indicator_quadratic_form_equals_boundary(self, normalized):
+        g = fft_graph(3)
+        L = laplacian(g, normalized=normalized)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            subset = [int(v) for v in rng.choice(g.num_vertices, size=10, replace=False)]
+            x = np.zeros(g.num_vertices)
+            x[subset] = 1.0
+            expected = weighted_edge_boundary(g, subset, normalized=normalized)
+            assert laplacian_quadratic_form(L, x) == pytest.approx(expected)
+
+    def test_quadratic_form_sparse(self):
+        g = fft_graph(3)
+        L = laplacian(g, normalized=True, sparse=True)
+        x = np.zeros(g.num_vertices)
+        x[:8] = 1.0
+        expected = weighted_edge_boundary(g, list(range(8)), normalized=True)
+        assert laplacian_quadratic_form(L, x) == pytest.approx(expected)

@@ -1,0 +1,131 @@
+"""Unit tests for evaluation orders and permutation matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.generators import fft_graph, inner_product_graph
+from repro.graphs.orders import (
+    all_topological_orders,
+    count_topological_orders,
+    dfs_topological_order,
+    is_topological_order,
+    natural_topological_order,
+    order_to_schedule_positions,
+    permutation_matrix,
+    priority_topological_order,
+    random_topological_order,
+)
+
+
+def chain(n: int) -> ComputationGraph:
+    g = ComputationGraph(n)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1)
+    return g
+
+
+class TestValidation:
+    def test_valid_order(self):
+        g = chain(4)
+        assert is_topological_order(g, [0, 1, 2, 3])
+
+    def test_invalid_order_wrong_sequence(self):
+        g = chain(4)
+        assert not is_topological_order(g, [1, 0, 2, 3])
+
+    def test_invalid_order_wrong_length(self):
+        g = chain(3)
+        assert not is_topological_order(g, [0, 1])
+        assert not is_topological_order(g, [0, 1, 1])
+
+
+class TestOrderGenerators:
+    @pytest.mark.parametrize("maker", [natural_topological_order, dfs_topological_order])
+    def test_orders_are_topological(self, maker):
+        g = fft_graph(3)
+        assert is_topological_order(g, maker(g))
+
+    def test_random_order_topological_and_seeded(self):
+        g = fft_graph(3)
+        o1 = random_topological_order(g, seed=7)
+        o2 = random_topological_order(g, seed=7)
+        o3 = random_topological_order(g, seed=8)
+        assert is_topological_order(g, o1)
+        assert o1 == o2
+        assert is_topological_order(g, o3)
+
+    def test_priority_order_respects_priority(self):
+        # Two independent chains; priority prefers higher ids first.
+        g = ComputationGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        order = priority_topological_order(g, priority=lambda v: -v)
+        assert order[0] == 2  # highest-priority ready vertex
+        assert is_topological_order(g, order)
+
+    def test_cycle_raises(self):
+        g = ComputationGraph(2)
+        g.add_edge(0, 1)
+        g._succ[1].append(0)  # force a cycle bypassing duplicate checks
+        g._pred[0].append(1)
+        with pytest.raises(ValueError):
+            priority_topological_order(g, priority=lambda v: v)
+
+
+class TestEnumeration:
+    def test_all_orders_of_independent_vertices(self):
+        g = ComputationGraph(3)  # no edges: 3! orders
+        orders = list(all_topological_orders(g))
+        assert len(orders) == 6
+        assert len({tuple(o) for o in orders}) == 6
+
+    def test_all_orders_of_chain_is_unique(self):
+        assert count_topological_orders(chain(5)) == 1
+
+    def test_limit_respected(self):
+        g = ComputationGraph(4)
+        orders = list(all_topological_orders(g, limit=5))
+        assert len(orders) == 5
+
+    def test_diamond_order_count(self):
+        g = ComputationGraph(4)
+        g.add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert count_topological_orders(g) == 2
+
+    def test_inner_product_orders_all_valid(self):
+        g = inner_product_graph(2)
+        for order in all_topological_orders(g, limit=200):
+            assert is_topological_order(g, order)
+
+
+class TestPermutationMatrix:
+    def test_shape_and_content(self):
+        X = permutation_matrix([2, 0, 1])
+        assert X.shape == (3, 3)
+        # vertex 2 at time 0, vertex 0 at time 1, vertex 1 at time 2
+        assert X[0, 2] == 1 and X[1, 0] == 1 and X[2, 1] == 1
+        assert X.sum() == 3
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_matrix([0, 0, 1])
+
+    def test_is_orthogonal(self):
+        X = permutation_matrix([3, 1, 0, 2])
+        np.testing.assert_allclose(X @ X.T, np.eye(4))
+        np.testing.assert_allclose(X.T @ X, np.eye(4))
+
+    def test_reorders_vectors(self):
+        order = [2, 0, 1]
+        X = permutation_matrix(order)
+        y = np.array([10.0, 20.0, 30.0])
+        np.testing.assert_allclose(X @ y, [30.0, 10.0, 20.0])
+
+    def test_positions_inverse(self):
+        order = [2, 0, 3, 1]
+        pos = order_to_schedule_positions(order)
+        for t, v in enumerate(order):
+            assert pos[v] == t

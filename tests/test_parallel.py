@@ -1,0 +1,110 @@
+"""Tests for the parallel model (assignments, per-processor I/O, Theorem 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import parallel_spectral_bound
+from repro.graphs.generators import chain_graph, fft_graph, inner_product_graph
+from repro.parallel.assignment import (
+    contiguous_assignment,
+    random_assignment,
+    round_robin_assignment,
+)
+from repro.parallel.bound import max_processor_simulated_io, parallel_io_per_processor
+
+
+class TestAssignments:
+    def test_contiguous_balanced(self):
+        g = fft_graph(3)
+        assignment = contiguous_assignment(g, 4)
+        loads = assignment.load()
+        assert sum(loads) == g.num_vertices
+        assert max(loads) - min(loads) <= 1
+
+    def test_round_robin_balanced(self):
+        g = fft_graph(3)
+        assignment = round_robin_assignment(g, 3)
+        loads = assignment.load()
+        assert sum(loads) == g.num_vertices
+        assert max(loads) - min(loads) <= 1
+
+    def test_random_assignment_covers_all_vertices(self):
+        g = fft_graph(3)
+        assignment = random_assignment(g, 4, seed=0)
+        assert len(assignment.processor_of) == g.num_vertices
+        assert set(assignment.processor_of) <= set(range(4))
+
+    def test_vertices_of_partition(self):
+        g = inner_product_graph(3)
+        assignment = contiguous_assignment(g, 2)
+        all_vertices = sorted(assignment.vertices_of(0) + assignment.vertices_of(1))
+        assert all_vertices == list(g.vertices())
+        with pytest.raises(ValueError):
+            assignment.vertices_of(5)
+
+    def test_single_processor_owns_everything(self):
+        g = chain_graph(5)
+        assignment = contiguous_assignment(g, 1)
+        assert assignment.vertices_of(0) == list(g.vertices())
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            contiguous_assignment(chain_graph(3), 0)
+
+
+class TestPerProcessorIO:
+    def test_single_processor_matches_sequential_simulation(self):
+        from repro.graphs.orders import natural_topological_order
+        from repro.pebbling.simulator import simulate_order
+
+        g = fft_graph(3)
+        assignment = contiguous_assignment(g, 1)
+        per_proc = parallel_io_per_processor(g, assignment, M=4)
+        assert len(per_proc) == 1
+        sequential = simulate_order(g, natural_topological_order(g), M=4)
+        assert per_proc[0].local_io == sequential.total_io
+        assert per_proc[0].received_values == 0
+        assert per_proc[0].sent_values == 0
+
+    def test_round_robin_communicates_more_than_contiguous_on_chain(self):
+        # On a chain, contiguous blocks cross p-1 edges while round-robin
+        # crosses almost every edge — the canonical locality contrast.
+        g = chain_graph(40)
+        contiguous = parallel_io_per_processor(g, contiguous_assignment(g, 4), M=4)
+        scattered = parallel_io_per_processor(g, round_robin_assignment(g, 4), M=4)
+        assert sum(p.received_values for p in contiguous) == 3
+        assert sum(p.received_values for p in scattered) > sum(
+            p.received_values for p in contiguous
+        )
+
+    def test_max_processor_io(self):
+        g = fft_graph(3)
+        assignment = contiguous_assignment(g, 2)
+        worst = max_processor_simulated_io(g, assignment, M=4)
+        per_proc = parallel_io_per_processor(g, assignment, M=4)
+        assert worst == max(p.total_io for p in per_proc)
+
+    def test_mismatched_assignment_rejected(self):
+        g = fft_graph(3)
+        other = contiguous_assignment(fft_graph(2), 2)
+        with pytest.raises(ValueError):
+            parallel_io_per_processor(g, other, M=4)
+
+
+class TestTheorem6Consistency:
+    def test_lower_bound_below_constructed_upper_bound(self):
+        """Theorem 6 (worst-processor lower bound) must stay below the worst
+        per-processor I/O of a concrete distributed execution."""
+        g = fft_graph(5)
+        for p in (1, 2, 4):
+            lower = parallel_spectral_bound(g, M=4, num_processors=p, num_eigenvalues=60)
+            assignment = contiguous_assignment(g, p)
+            upper = max_processor_simulated_io(g, assignment, M=4)
+            assert lower.value <= upper + 1e-9
+
+    def test_parallel_bound_decreases_with_processors(self):
+        g = fft_graph(6)
+        b1 = parallel_spectral_bound(g, M=4, num_processors=1, num_eigenvalues=40).value
+        b4 = parallel_spectral_bound(g, M=4, num_processors=4, num_eigenvalues=40).value
+        assert b4 <= b1

@@ -1,0 +1,96 @@
+"""Tests for the graph partitioners (METIS substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.partitioner import (
+    contiguous_topological_partition,
+    spectral_bisection_partition,
+)
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.generators import chain_graph, fft_graph, hypercube_graph
+
+
+def assert_is_partition(graph, parts):
+    covered = sorted(v for part in parts for v in part)
+    assert covered == list(graph.vertices())
+
+
+class TestContiguousPartition:
+    def test_respects_max_size(self):
+        g = fft_graph(3)
+        parts = contiguous_topological_partition(g, max_part_size=10)
+        assert_is_partition(g, parts)
+        assert all(len(p) <= 10 for p in parts)
+
+    def test_balanced_sizes(self):
+        g = chain_graph(10)
+        parts = contiguous_topological_partition(g, max_part_size=4)
+        sizes = sorted(len(p) for p in parts)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_part_when_size_large(self):
+        g = chain_graph(5)
+        parts = contiguous_topological_partition(g, max_part_size=100)
+        assert len(parts) == 1
+
+    def test_empty_graph(self):
+        assert contiguous_topological_partition(ComputationGraph(), 4) == []
+
+    def test_parts_are_schedule_prefixes(self):
+        """Each part is contiguous in a topological order, so no edge can go
+        from a later part back into an earlier part."""
+        g = fft_graph(3)
+        parts = contiguous_topological_partition(g, max_part_size=8)
+        part_of = {}
+        for i, part in enumerate(parts):
+            for v in part:
+                part_of[v] = i
+        for u, v in g.edges():
+            assert part_of[u] <= part_of[v]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_topological_partition(chain_graph(3), 0)
+
+
+class TestSpectralBisection:
+    def test_two_way_split_of_hypercube(self):
+        g = hypercube_graph(4)
+        parts = spectral_bisection_partition(g, 2)
+        assert_is_partition(g, parts)
+        assert len(parts) == 2
+        sizes = [len(p) for p in parts]
+        assert min(sizes) >= g.num_vertices // 4  # reasonably balanced
+
+    def test_four_way_split(self):
+        g = fft_graph(3)
+        parts = spectral_bisection_partition(g, 4)
+        assert_is_partition(g, parts)
+        assert len(parts) >= 3  # recursion may merge tiny parts
+
+    def test_single_part(self):
+        g = chain_graph(6)
+        parts = spectral_bisection_partition(g, 1)
+        assert parts == [list(range(6))]
+
+    def test_single_vertex_graph(self):
+        g = ComputationGraph(1)
+        parts = spectral_bisection_partition(g, 2)
+        assert_is_partition(g, parts)
+
+    def test_empty_graph(self):
+        assert spectral_bisection_partition(ComputationGraph(), 2) == []
+
+    def test_chain_split_is_contiguousish(self):
+        """The Fiedler vector of a path orders vertices along the path, so the
+        bisection should produce two halves with a single crossing edge."""
+        g = chain_graph(16)
+        parts = spectral_bisection_partition(g, 2)
+        part_of = {}
+        for i, part in enumerate(parts):
+            for v in part:
+                part_of[v] = i
+        crossing = sum(1 for u, v in g.edges() if part_of[u] != part_of[v])
+        assert crossing == 1

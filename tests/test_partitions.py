@@ -1,0 +1,143 @@
+"""Tests for the balanced-partition machinery (§4.1/4.2, Lemma 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import (
+    balanced_partition_blocks,
+    balanced_partition_sizes,
+    edge_boundary,
+    partition_blocks_for_order,
+    partition_indicator_matrix,
+    partition_projector,
+    read_write_sets,
+    segment_io_lower_bound,
+    weighted_edge_boundary,
+)
+from repro.graphs.generators import fft_graph, inner_product_graph
+from repro.graphs.orders import natural_topological_order
+
+
+class TestBalancedSizes:
+    @pytest.mark.parametrize(
+        "n,k,expected",
+        [
+            (10, 3, [4, 3, 3]),
+            (9, 3, [3, 3, 3]),
+            (7, 2, [4, 3]),
+            (5, 5, [1, 1, 1, 1, 1]),
+            (3, 5, [1, 1, 1, 0, 0]),
+            (0, 2, [0, 0]),
+        ],
+    )
+    def test_sizes(self, n, k, expected):
+        sizes = balanced_partition_sizes(n, k)
+        assert sizes == expected
+        assert sum(sizes) == n
+
+    def test_first_segments_get_extra(self):
+        sizes = balanced_partition_sizes(11, 4)
+        assert sizes == [3, 3, 3, 2]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            balanced_partition_sizes(5, 0)
+
+    def test_blocks_cover_range(self):
+        blocks = balanced_partition_blocks(10, 3)
+        flat = [t for block in blocks for t in block]
+        assert flat == list(range(10))
+
+
+class TestIndicatorMatrices:
+    def test_indicator_shape_and_columns(self):
+        W = partition_indicator_matrix(7, 3)
+        assert W.shape == (7, 3)
+        np.testing.assert_allclose(W.sum(axis=1), 1.0)  # every step in one segment
+        np.testing.assert_allclose(W.sum(axis=0), [3, 2, 2])
+
+    def test_projector_is_block_diagonal_projector_scaled(self):
+        W = partition_projector(6, 2)
+        # W = Ŵ Ŵᵀ has eigenvalues equal to the segment sizes plus zeros.
+        eigenvalues = np.sort(np.linalg.eigvalsh(W))[::-1]
+        np.testing.assert_allclose(eigenvalues[:2], [3, 3])
+        np.testing.assert_allclose(eigenvalues[2:], 0.0, atol=1e-12)
+
+    def test_projector_eigenvalue_floor_property(self):
+        """W(k) has k non-zero eigenvalues, each at least floor(n/k) (Thm 4 proof)."""
+        n, k = 11, 4
+        W = partition_projector(n, k)
+        eigenvalues = np.sort(np.linalg.eigvalsh(W))[::-1]
+        nonzero = eigenvalues[:k]
+        assert np.all(nonzero >= n // k - 1e-12)
+        np.testing.assert_allclose(eigenvalues[k:], 0.0, atol=1e-12)
+
+
+class TestPartitionOfOrder:
+    def test_blocks_follow_schedule(self):
+        order = [4, 2, 0, 1, 3]
+        blocks = partition_blocks_for_order(order, 2)
+        assert blocks == [[4, 2, 0], [1, 3]]
+
+    def test_blocks_cover_all_vertices(self):
+        g = fft_graph(3)
+        order = natural_topological_order(g)
+        blocks = partition_blocks_for_order(order, 5)
+        assert sorted(v for b in blocks for v in b) == list(range(g.num_vertices))
+
+
+class TestBoundaries:
+    def test_edge_boundary_simple(self):
+        g = inner_product_graph(2)
+        # S = the four inputs; boundary = the four edges into the products.
+        boundary = edge_boundary(g, [0, 1, 2, 3])
+        assert len(boundary) == 4
+
+    def test_weighted_boundary_unnormalized_counts_edges(self):
+        g = inner_product_graph(2)
+        assert weighted_edge_boundary(g, [0, 1, 2, 3], normalized=False) == 4
+
+    def test_weighted_boundary_normalized(self):
+        g = inner_product_graph(2)
+        # Every input has out-degree 1, so normalisation does not change it.
+        assert weighted_edge_boundary(g, [0, 1, 2, 3], normalized=True) == pytest.approx(4.0)
+
+    def test_weighted_boundary_whole_graph_is_zero(self):
+        g = fft_graph(3)
+        assert weighted_edge_boundary(g, list(g.vertices())) == 0.0
+        assert weighted_edge_boundary(g, []) == 0.0
+
+    def test_normalized_at_most_unnormalized(self):
+        g = fft_graph(3)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            subset = [int(v) for v in rng.choice(g.num_vertices, size=12, replace=False)]
+            assert weighted_edge_boundary(g, subset, True) <= weighted_edge_boundary(
+                g, subset, False
+            ) + 1e-12
+
+
+class TestReadWriteSets:
+    def test_lemma1_sets_on_inner_product(self):
+        g = inner_product_graph(2)
+        # S = the two product vertices {4, 5}: reads are the four inputs,
+        # writes are both products (both feed the final addition outside S).
+        reads, writes = read_write_sets(g, [4, 5])
+        assert reads == {0, 1, 2, 3}
+        assert writes == {4, 5}
+
+    def test_segment_bound_matches_sets(self):
+        g = inner_product_graph(2)
+        assert segment_io_lower_bound(g, [4, 5], M=2) == 4 + 2 - 2 * 2
+
+    def test_rw_sets_vs_weighted_boundary_inequality(self):
+        """|R_S| + |W_S| >= sum_{(u,v) in ∂S} 1/d_out(u) (Theorem 2 proof)."""
+        g = fft_graph(3)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            size = int(rng.integers(1, g.num_vertices))
+            subset = [int(v) for v in rng.choice(g.num_vertices, size=size, replace=False)]
+            reads, writes = read_write_sets(g, subset)
+            assert len(reads) + len(writes) >= weighted_edge_boundary(g, subset) - 1e-9

@@ -1,0 +1,160 @@
+"""Tests for the two-level-memory simulator and eviction policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.generators import (
+    binary_tree_reduction_graph,
+    chain_graph,
+    diamond_graph,
+    fft_graph,
+    inner_product_graph,
+)
+from repro.graphs.orders import natural_topological_order
+from repro.pebbling.policies import EVICTION_POLICIES, make_policy
+from repro.pebbling.simulator import best_simulated_io, simulate_order
+
+
+class TestSimulatorBasics:
+    def test_chain_needs_no_io(self):
+        g = chain_graph(20)
+        result = simulate_order(g, natural_topological_order(g), M=2)
+        assert result.total_io == 0
+        assert result.reads == 0 and result.writes == 0
+        assert result.max_resident <= 2
+
+    def test_inner_product_fits_in_large_memory(self):
+        g = inner_product_graph(4)
+        result = simulate_order(g, natural_topological_order(g), M=g.num_vertices)
+        assert result.total_io == 0
+        assert result.trivial_reads == 8  # the inputs
+        assert result.trivial_writes >= 1  # the final output
+
+    def test_butterfly_with_tight_memory_incurs_io(self):
+        # The butterfly needs a whole column live at a time; with M=4 the
+        # natural column-major order must spill and re-read values.
+        g = fft_graph(3)
+        result = simulate_order(g, natural_topological_order(g), M=4)
+        assert result.total_io > 0
+        assert result.writes >= 1
+        assert result.reads >= 1
+
+    def test_reads_and_writes_are_paired_for_reused_values(self):
+        g = fft_graph(3)
+        result = simulate_order(g, natural_topological_order(g), M=4)
+        # Every value written while still needed is read back at least once.
+        assert result.reads >= result.writes
+
+    def test_diamond_fits_exactly(self):
+        # With M = width + 1 the diamond runs without any non-trivial I/O:
+        # the source becomes dead right before the sink needs its slot.
+        g = diamond_graph(6)
+        result = simulate_order(g, natural_topological_order(g), M=7)
+        assert result.total_io == 0
+
+    def test_io_monotone_nonincreasing_in_memory(self):
+        g = fft_graph(4)
+        order = natural_topological_order(g)
+        ios = [simulate_order(g, order, M).total_io for M in (3, 4, 8, 16, 64)]
+        assert all(a >= b for a, b in zip(ios, ios[1:]))
+
+    def test_zero_io_when_everything_fits(self):
+        g = fft_graph(3)
+        result = simulate_order(g, natural_topological_order(g), M=g.num_vertices)
+        assert result.total_io == 0
+
+    def test_insufficient_memory_for_operands_rejected(self):
+        g = binary_tree_reduction_graph(4)
+        with pytest.raises(ValueError, match="in-degree"):
+            simulate_order(g, natural_topological_order(g), M=2)
+
+    def test_invalid_order_rejected(self):
+        g = chain_graph(4)
+        with pytest.raises(ValueError, match="topological"):
+            simulate_order(g, [3, 2, 1, 0], M=2)
+
+    def test_validate_order_can_be_skipped(self):
+        g = chain_graph(4)
+        result = simulate_order(g, [0, 1, 2, 3], M=2, validate_order=False)
+        assert result.total_io == 0
+
+    def test_result_metadata(self):
+        g = inner_product_graph(2)
+        result = simulate_order(g, natural_topological_order(g), M=4, policy="lru")
+        assert result.memory_size == 4
+        assert result.policy == "lru"
+        assert result.max_resident <= 4
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_all_policies_run(self, policy):
+        g = fft_graph(3)
+        order = natural_topological_order(g)
+        result = simulate_order(g, order, M=4, policy=policy, seed=1)
+        assert result.total_io >= 0
+
+    def test_belady_no_worse_than_fifo_on_butterfly(self):
+        g = fft_graph(4)
+        order = natural_topological_order(g)
+        belady = simulate_order(g, order, M=4, policy="belady").total_io
+        fifo = simulate_order(g, order, M=4, policy="fifo").total_io
+        lru = simulate_order(g, order, M=4, policy="lru").total_io
+        assert belady <= fifo
+        assert belady <= lru
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("nonsense")
+        g = chain_graph(3)
+        with pytest.raises(ValueError):
+            simulate_order(g, [0, 1, 2], M=2, policy="nonsense")
+
+    def test_policy_factory(self):
+        for name in EVICTION_POLICIES:
+            policy = make_policy(name, seed=0)
+            assert hasattr(policy, "choose_victim")
+
+
+class TestBestSimulated:
+    def test_returns_best_over_schedules(self):
+        g = fft_graph(3)
+        best = best_simulated_io(g, M=4)
+        natural = simulate_order(g, natural_topological_order(g), M=4)
+        assert best.total_io <= natural.total_io
+
+    def test_zero_for_chain(self):
+        assert best_simulated_io(chain_graph(30), M=2).total_io == 0
+
+    def test_custom_schedulers_and_policies(self):
+        g = inner_product_graph(5)
+        result = best_simulated_io(
+            g, M=3, schedulers=("natural", "min-live"), policies=("belady", "lru")
+        )
+        assert result.total_io >= 0
+
+
+class TestConservationProperties:
+    def test_every_write_is_of_a_live_value(self):
+        """Writes only happen for values with remaining uses, so the number of
+        writes can never exceed the number of non-sink vertices."""
+        g = fft_graph(4)
+        order = natural_topological_order(g)
+        result = simulate_order(g, order, M=4)
+        non_sinks = sum(1 for v in g.vertices() if g.out_degree(v) > 0)
+        assert result.writes <= non_sinks
+
+    def test_reads_bounded_by_edges(self):
+        """Each edge can force at most one read of its source per consumer."""
+        g = fft_graph(4)
+        order = natural_topological_order(g)
+        result = simulate_order(g, order, M=4)
+        assert result.reads <= g.num_edges
+
+    def test_single_vertex_graph(self):
+        g = ComputationGraph(1)
+        result = simulate_order(g, [0], M=1)
+        assert result.total_io == 0
+        assert result.max_resident == 1

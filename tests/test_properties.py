@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random DAGs are generated from (seed, size, density) triples; every property
+must hold for *all* of them:
+
+* Laplacians are symmetric PSD with zero row sums (Eq. 3 substrate);
+* the quadratic-form identity of Equation 3;
+* spectral bounds are non-negative, monotone non-increasing in ``M``,
+  monotone non-increasing in the processor count, and invariant under vertex
+  relabelling;
+* every lower bound stays below a simulated execution's I/O (soundness);
+* the simulator conserves basic quantities (reads bounded by edges, I/O
+  monotone in ``M``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import parallel_spectral_bound, spectral_bound
+from repro.core.partitions import weighted_edge_boundary
+from repro.graphs.generators.random_graphs import random_dag
+from repro.graphs.laplacian import laplacian, laplacian_quadratic_form
+from repro.graphs.orders import is_topological_order, random_topological_order
+from repro.pebbling.simulator import simulate_order
+
+# Shared strategy: (n, edge probability, seed) triples defining a random DAG.
+dag_params = st.tuples(
+    st.integers(min_value=2, max_value=24),
+    st.floats(min_value=0.05, max_value=0.9),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def build(params):
+    n, p, seed = params
+    return random_dag(n, edge_probability=p, seed=seed)
+
+
+class TestLaplacianProperties:
+    @given(params=dag_params, normalized=st.booleans())
+    @common_settings
+    def test_laplacian_symmetric_psd_zero_rowsum(self, params, normalized):
+        graph = build(params)
+        lap = laplacian(graph, normalized=normalized)
+        assert np.allclose(lap, lap.T)
+        assert np.allclose(lap.sum(axis=1), 0.0, atol=1e-9)
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() >= -1e-8
+
+    @given(params=dag_params, normalized=st.booleans(), subset_seed=st.integers(0, 1000))
+    @common_settings
+    def test_equation3_quadratic_form(self, params, normalized, subset_seed):
+        graph = build(params)
+        lap = laplacian(graph, normalized=normalized)
+        rng = np.random.default_rng(subset_seed)
+        size = int(rng.integers(0, graph.num_vertices + 1))
+        subset = [int(v) for v in rng.choice(graph.num_vertices, size=size, replace=False)]
+        x = np.zeros(graph.num_vertices)
+        x[subset] = 1.0
+        np.testing.assert_allclose(
+            laplacian_quadratic_form(lap, x),
+            weighted_edge_boundary(graph, subset, normalized=normalized),
+            atol=1e-9,
+        )
+
+
+class TestBoundProperties:
+    @given(params=dag_params, memory=st.integers(min_value=2, max_value=64))
+    @common_settings
+    def test_bound_nonnegative_and_finite(self, params, memory):
+        graph = build(params)
+        result = spectral_bound(graph, memory, num_eigenvalues=min(20, graph.num_vertices))
+        assert result.value >= 0.0
+        assert np.isfinite(result.raw_value)
+
+    @given(params=dag_params)
+    @common_settings
+    def test_bound_monotone_in_memory(self, params):
+        graph = build(params)
+        values = [
+            spectral_bound(graph, M, num_eigenvalues=min(20, graph.num_vertices)).value
+            for M in (2, 4, 8, 16)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(params=dag_params, memory=st.integers(min_value=2, max_value=16))
+    @common_settings
+    def test_parallel_bound_at_most_sequential(self, params, memory):
+        graph = build(params)
+        h = min(20, graph.num_vertices)
+        seq = spectral_bound(graph, memory, num_eigenvalues=h).value
+        par = parallel_spectral_bound(graph, memory, num_processors=2, num_eigenvalues=h).value
+        assert par <= seq + 1e-9
+
+    @given(params=dag_params, perm_seed=st.integers(0, 10_000))
+    @common_settings
+    def test_bound_invariant_under_relabelling(self, params, perm_seed):
+        graph = build(params)
+        rng = np.random.default_rng(perm_seed)
+        perm = [int(x) for x in rng.permutation(graph.num_vertices)]
+        relabeled = graph.relabeled(perm)
+        h = graph.num_vertices
+        a = spectral_bound(graph, 4, num_eigenvalues=h).raw_value
+        b = spectral_bound(relabeled, 4, num_eigenvalues=h).raw_value
+        assert abs(a - b) <= 1e-6 * max(1.0, abs(a))
+
+
+class TestSoundnessProperties:
+    @given(params=dag_params, memory=st.integers(min_value=2, max_value=16), order_seed=st.integers(0, 100))
+    @common_settings
+    def test_lower_bound_below_any_simulated_execution(self, params, memory, order_seed):
+        graph = build(params)
+        if graph.max_in_degree + 1 > memory:
+            return  # infeasible combination: the model cannot run this graph
+        order = random_topological_order(graph, seed=order_seed)
+        simulated = simulate_order(graph, order, memory, policy="belady").total_io
+        lower = spectral_bound(graph, memory, num_eigenvalues=graph.num_vertices).value
+        assert lower <= simulated + 1e-9
+
+
+class TestSimulatorProperties:
+    @given(params=dag_params, memory=st.integers(min_value=2, max_value=32), order_seed=st.integers(0, 100))
+    @common_settings
+    def test_reads_bounded_by_edges_and_io_nonnegative(self, params, memory, order_seed):
+        graph = build(params)
+        if graph.max_in_degree + 1 > memory:
+            return
+        order = random_topological_order(graph, seed=order_seed)
+        result = simulate_order(graph, order, memory)
+        assert 0 <= result.reads <= graph.num_edges
+        assert 0 <= result.writes <= graph.num_vertices
+        assert result.max_resident <= memory
+
+    @given(params=dag_params, order_seed=st.integers(0, 100))
+    @common_settings
+    def test_io_monotone_in_memory(self, params, order_seed):
+        graph = build(params)
+        base = graph.max_in_degree + 1
+        order = random_topological_order(graph, seed=order_seed)
+        ios = [
+            simulate_order(graph, order, M).total_io for M in (base, base + 2, base + 8)
+        ]
+        assert ios[0] >= ios[1] >= ios[2]
+
+    @given(params=dag_params)
+    @common_settings
+    def test_random_orders_are_topological(self, params):
+        graph = build(params)
+        order = random_topological_order(graph, seed=1)
+        assert is_topological_order(graph, order)

@@ -1,0 +1,111 @@
+"""Tests for the quadratic-program view of Theorem 3.
+
+The key identities verified here:
+
+* the trace formulation and the direct edge-boundary formulation of the
+  partition objective agree exactly (Equation 3 lifted to partitions), and
+* the spectral bound of Theorem 4 never exceeds the partition objective of any
+  concrete topological order (the relaxation chain is sound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import spectral_bound
+from repro.core.qp import (
+    best_partition_objective_for_order,
+    partition_objective_for_order,
+    partition_objective_trace_form,
+    schedule_laplacian,
+)
+from repro.graphs.generators import (
+    bellman_held_karp_graph,
+    fft_graph,
+    inner_product_graph,
+    random_dag,
+)
+from repro.graphs.laplacian import laplacian
+from repro.graphs.orders import natural_topological_order, random_topological_order
+
+
+class TestScheduleLaplacian:
+    def test_reindexing(self):
+        g = inner_product_graph(2)
+        L = laplacian(g, normalized=True)
+        order = natural_topological_order(g)
+        Ls = schedule_laplacian(L, order)
+        for t1 in range(len(order)):
+            for t2 in range(len(order)):
+                assert Ls[t1, t2] == pytest.approx(L[order[t1], order[t2]])
+
+    def test_identity_order_is_noop(self):
+        g = fft_graph(2)
+        L = laplacian(g, normalized=True)
+        np.testing.assert_allclose(schedule_laplacian(L, range(g.num_vertices)), L)
+
+
+class TestObjectiveEquivalence:
+    @pytest.mark.parametrize("normalized", [True, False])
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_trace_form_equals_boundary_form(self, normalized, k):
+        g = fft_graph(3)
+        order = random_topological_order(g, seed=k)
+        direct = partition_objective_for_order(g, order, k, M=4, normalized=normalized)
+        trace = partition_objective_trace_form(g, order, k, M=4, normalized=normalized)
+        assert direct == pytest.approx(trace)
+
+    def test_trace_form_on_random_dag(self):
+        g = random_dag(18, edge_probability=0.3, seed=11)
+        order = natural_topological_order(g)
+        for k in (2, 4, 7):
+            assert partition_objective_for_order(g, order, k, M=3) == pytest.approx(
+                partition_objective_trace_form(g, order, k, M=3)
+            )
+
+    def test_invalid_order_rejected(self):
+        g = inner_product_graph(2)
+        bad_order = list(reversed(range(g.num_vertices)))
+        with pytest.raises(ValueError, match="topological"):
+            partition_objective_for_order(g, bad_order, 2, M=2)
+
+
+class TestRelaxationChain:
+    """Theorem 4's bound must never exceed the Lemma-1 bound of any order."""
+
+    @pytest.mark.parametrize(
+        "graph_builder,size",
+        [
+            (fft_graph, 3),
+            (bellman_held_karp_graph, 4),
+            (inner_product_graph, 4),
+        ],
+    )
+    @pytest.mark.parametrize("M", [2, 4])
+    def test_spectral_below_best_partition_of_any_order(self, graph_builder, size, M):
+        graph = graph_builder(size)
+        if graph.max_in_degree + 1 > M:
+            pytest.skip("infeasible memory size for this graph")
+        spectral = spectral_bound(graph, M, num_eigenvalues=graph.num_vertices)
+        for seed in range(3):
+            order = random_topological_order(graph, seed=seed)
+            best_value, _ = best_partition_objective_for_order(graph, order, M)
+            # The partition bound for a concrete order upper-bounds the
+            # order-free spectral relaxation (up to numerical tolerance).
+            assert spectral.raw_value <= best_value + 1e-6
+
+    def test_best_partition_reports_maximiser(self):
+        g = fft_graph(3)
+        order = natural_topological_order(g)
+        value, k = best_partition_objective_for_order(g, order, M=2, k_values=range(1, 9))
+        assert 1 <= k <= 8
+        assert value == pytest.approx(
+            partition_objective_for_order(g, order, k, M=2)
+        )
+
+    def test_empty_graph(self):
+        from repro.graphs.compgraph import ComputationGraph
+
+        value, k = best_partition_objective_for_order(ComputationGraph(), [], M=2)
+        assert value == 0.0 and k == 1

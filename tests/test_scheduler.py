@@ -1,0 +1,92 @@
+"""Tests for schedule heuristics and the exact/brute-force references."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import minimum_io_over_all_orders, minimum_io_upper_bound
+from repro.core.bounds import spectral_bound
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.generators import (
+    binary_tree_reduction_graph,
+    chain_graph,
+    diamond_graph,
+    fft_graph,
+    inner_product_graph,
+)
+from repro.graphs.orders import is_topological_order
+from repro.pebbling.scheduler import SCHEDULERS, greedy_min_live_order, make_schedule
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("name", SCHEDULERS)
+    def test_all_schedulers_produce_valid_orders(self, name):
+        g = fft_graph(3)
+        order = make_schedule(g, name, seed=0)
+        assert is_topological_order(g, order)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule(chain_graph(3), "bogus")
+
+    def test_min_live_prefers_retiring_values(self):
+        """On a reduction tree the min-live heuristic should finish each
+        subtree before starting the next, keeping the live set near log(n)."""
+        g = binary_tree_reduction_graph(8)
+        order = greedy_min_live_order(g)
+        assert is_topological_order(g, order)
+
+    def test_min_live_on_cycle_raises(self):
+        g = ComputationGraph(2)
+        g.add_edge(0, 1)
+        g._succ[1].append(0)
+        g._pred[0].append(1)
+        with pytest.raises(ValueError):
+            greedy_min_live_order(g)
+
+
+class TestExactReferences:
+    def test_exhaustive_minimum_on_chain_is_zero(self):
+        result = minimum_io_over_all_orders(chain_graph(5), M=2)
+        assert result.total_io == 0
+
+    def test_exhaustive_minimum_on_inner_product(self):
+        g = inner_product_graph(2)
+        # With four slots the whole working set fits: no non-trivial I/O.
+        assert minimum_io_over_all_orders(g, M=4).total_io == 0
+        # With three slots, whichever product is computed second forces the
+        # first product to be spilled and re-read: exactly 2 I/Os.
+        assert minimum_io_over_all_orders(g, M=3).total_io == 2
+
+    def test_exhaustive_respects_max_orders_cap(self):
+        g = ComputationGraph(6)  # 6! = 720 orders, cap at 10
+        result = minimum_io_over_all_orders(g, M=2, max_orders=10)
+        assert result.total_io == 0
+
+    def test_empty_graph(self):
+        result = minimum_io_over_all_orders(ComputationGraph(), M=2)
+        assert result.total_io == 0
+
+    def test_heuristic_upper_bound_at_least_exhaustive(self):
+        g = inner_product_graph(3)
+        exhaustive = minimum_io_over_all_orders(g, M=3, max_orders=20000)
+        heuristic = minimum_io_upper_bound(g, M=3)
+        assert heuristic.total_io >= exhaustive.total_io
+
+    @pytest.mark.parametrize(
+        "graph_builder,size,M",
+        [
+            (inner_product_graph, 3, 3),
+            (diamond_graph, 3, 3),
+            (binary_tree_reduction_graph, 6, 3),
+        ],
+    )
+    def test_lower_bounds_below_exhaustive_optimum(self, graph_builder, size, M):
+        """Soundness oracle: the spectral bound never exceeds the minimum
+        simulated I/O over all evaluation orders of a tiny graph."""
+        graph = graph_builder(size)
+        if graph.max_in_degree + 1 > M:
+            pytest.skip("infeasible memory size")
+        optimum = minimum_io_over_all_orders(graph, M, max_orders=20000).total_io
+        lower = spectral_bound(graph, M, num_eigenvalues=graph.num_vertices).value
+        assert lower <= optimum + 1e-9

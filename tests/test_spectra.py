@@ -1,0 +1,137 @@
+"""Tests for the closed-form spectra (hypercube, weighted paths, butterfly).
+
+These are the numerical verifications of the analytical results of Section 5
+and Appendix A: every closed-form spectrum is compared against the dense
+spectrum of the explicitly constructed graph/matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spectra import (
+    butterfly_laplacian_spectrum,
+    butterfly_path_decomposition,
+    butterfly_smallest_eigenvalues,
+    butterfly_spectrum_array,
+    hypercube_laplacian_spectrum,
+    hypercube_spectrum_array,
+    path_spectrum,
+    path_spectrum_one_weighted_end,
+    path_spectrum_two_weighted_ends,
+    weighted_path_laplacian,
+)
+from repro.graphs.generators import fft_graph, hypercube_graph
+from repro.graphs.laplacian import laplacian
+from repro.solvers.dense import dense_spectrum
+
+
+class TestHypercubeSpectrum:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_matches_numeric(self, d):
+        numeric = dense_spectrum(laplacian(hypercube_graph(d), normalized=False))
+        closed = hypercube_spectrum_array(d)
+        np.testing.assert_allclose(np.sort(numeric), closed, atol=1e-8)
+
+    def test_multiplicities_sum_to_vertex_count(self):
+        for d in range(6):
+            total = sum(m for _, m in hypercube_laplacian_spectrum(d))
+            assert total == 2**d
+
+    def test_values_are_even_integers(self):
+        for value, _ in hypercube_laplacian_spectrum(6):
+            assert value == pytest.approx(round(value))
+            assert round(value) % 2 == 0
+
+
+class TestWeightedPathSpectra:
+    """Lemma 11: spectra of P_i, P'_i and P''_i."""
+
+    @pytest.mark.parametrize("i", [1, 2, 3, 5, 8])
+    def test_plain_path(self, i):
+        numeric = np.linalg.eigvalsh(weighted_path_laplacian(i, weighted_ends=0))
+        np.testing.assert_allclose(np.sort(numeric), path_spectrum(i), atol=1e-9)
+
+    @pytest.mark.parametrize("i", [1, 2, 3, 5, 8])
+    def test_one_weighted_end(self, i):
+        numeric = np.linalg.eigvalsh(weighted_path_laplacian(i, weighted_ends=1))
+        np.testing.assert_allclose(
+            np.sort(numeric), path_spectrum_one_weighted_end(i), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("i", [1, 2, 3, 5, 8])
+    def test_two_weighted_ends(self, i):
+        numeric = np.linalg.eigvalsh(weighted_path_laplacian(i, weighted_ends=2))
+        np.testing.assert_allclose(
+            np.sort(numeric), path_spectrum_two_weighted_ends(i), atol=1e-9
+        )
+
+    def test_odd_eigenvalue_relation(self):
+        """λ(P'_i) are the odd-indexed eigenvalues of P_{2i+1} (Lemma 11 proof)."""
+        i = 4
+        full = path_spectrum(2 * i + 1)
+        odd = np.sort(full)[1::2]
+        np.testing.assert_allclose(np.sort(path_spectrum_one_weighted_end(i)), odd, atol=1e-9)
+
+    def test_invalid_weighted_ends(self):
+        with pytest.raises(ValueError):
+            weighted_path_laplacian(3, weighted_ends=3)
+
+
+class TestButterflySpectrum:
+    """Theorem 7: the unwrapped butterfly spectrum including multiplicities."""
+
+    @pytest.mark.parametrize("levels", [0, 1, 2, 3, 4, 5])
+    def test_matches_numeric_butterfly_graph(self, levels):
+        numeric = dense_spectrum(laplacian(fft_graph(levels), normalized=False))
+        closed = butterfly_spectrum_array(levels)
+        assert closed.shape[0] == (levels + 1) * 2**levels
+        np.testing.assert_allclose(np.sort(numeric), closed, atol=1e-7)
+
+    @pytest.mark.parametrize("levels", [1, 2, 3, 4, 6, 8])
+    def test_total_multiplicity(self, levels):
+        total = sum(m for _, m in butterfly_laplacian_spectrum(levels))
+        assert total == (levels + 1) * 2**levels
+
+    def test_b1_is_a_4_cycle(self):
+        np.testing.assert_allclose(butterfly_spectrum_array(1), [0.0, 2.0, 2.0, 4.0], atol=1e-12)
+
+    def test_smallest_eigenvalue_is_zero_and_unique(self):
+        spec = butterfly_spectrum_array(4)
+        assert spec[0] == pytest.approx(0.0, abs=1e-12)
+        assert spec[1] > 1e-6  # the butterfly is connected
+
+    def test_path_decomposition_counts(self):
+        """Lemma 10: the decomposition contains the right number of paths."""
+        levels = 4
+        decomposition = butterfly_path_decomposition(levels)
+        total_vertices = sum(length * count for _, length, count in decomposition)
+        assert total_vertices == (levels + 1) * 2**levels
+        kinds = {kind for kind, _, _ in decomposition}
+        assert kinds == {"P", "P'", "P''"}
+
+    def test_smallest_eigenvalues_helper(self):
+        smallest = butterfly_smallest_eigenvalues(3, 5)
+        assert smallest.shape == (5,)
+        assert np.all(np.diff(smallest) >= -1e-12)
+        with pytest.raises(ValueError):
+            butterfly_smallest_eigenvalues(1, 100)
+
+    def test_spectrum_assembled_from_path_spectra(self):
+        """The multiset union of the decomposition's path spectra is the
+        butterfly spectrum (Lemma 10 + Lemma 11)."""
+        levels = 3
+        values = []
+        for kind, length, count in butterfly_path_decomposition(levels):
+            if kind == "P":
+                spec = path_spectrum(length)
+            elif kind == "P'":
+                spec = path_spectrum_one_weighted_end(length)
+            else:
+                spec = path_spectrum_two_weighted_ends(length)
+            for _ in range(count):
+                values.extend(spec.tolist())
+        np.testing.assert_allclose(
+            np.sort(np.asarray(values)), butterfly_spectrum_array(levels), atol=1e-9
+        )

@@ -1,0 +1,246 @@
+"""Tests for the computation tracer (TracedValue, GraphTracer, custom ops, API)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.api import trace_computation, trace_scalar_function
+from repro.trace.ops import custom_op
+from repro.trace.tracer import GraphTracer
+from repro.trace.value import TracedValue
+
+
+class TestTracedValueArithmetic:
+    def setup_method(self):
+        self.tracer = GraphTracer()
+
+    def test_add_records_vertex_and_value(self):
+        a = self.tracer.input(2.0)
+        b = self.tracer.input(3.0)
+        c = a + b
+        assert isinstance(c, TracedValue)
+        assert c.value == 5.0
+        assert set(self.tracer.graph.predecessors(c.vertex)) == {a.vertex, b.vertex}
+        assert self.tracer.graph.op(c.vertex) == "add"
+
+    @pytest.mark.parametrize(
+        "expr,expected,op",
+        [
+            (lambda a, b: a - b, -1.0, "sub"),
+            (lambda a, b: a * b, 6.0, "mul"),
+            (lambda a, b: a / b, 2.0 / 3.0, "div"),
+            (lambda a, b: a**b, 8.0, "pow"),
+        ],
+    )
+    def test_binary_operators(self, expr, expected, op):
+        a = self.tracer.input(2.0)
+        b = self.tracer.input(3.0)
+        c = expr(a, b)
+        assert c.value == pytest.approx(expected)
+        assert self.tracer.graph.op(c.vertex) == op
+
+    def test_unary_operators(self):
+        a = self.tracer.input(-2.0)
+        assert (-a).value == 2.0
+        assert abs(a).value == 2.0
+        assert self.tracer.graph.op((-a).vertex) == "neg"
+
+    def test_reflected_operators_with_constants(self):
+        a = self.tracer.input(4.0)
+        assert (10 - a).value == 6.0
+        assert (2 * a).value == 8.0
+        assert (8 / a).value == 2.0
+        assert (3 + a).value == 7.0
+
+    def test_constant_operands_memoised(self):
+        a = self.tracer.input(1.0)
+        _ = a + 2.0
+        _ = a * 2.0
+        consts = self.tracer.graph.vertices_with_op("const")
+        assert len(consts) == 1  # the literal 2.0 is shared
+
+    def test_duplicate_operand_single_edge(self):
+        a = self.tracer.input(3.0)
+        sq = a * a
+        assert self.tracer.graph.in_degree(sq.vertex) == 1
+
+    def test_comparisons_use_values(self):
+        a = self.tracer.input(1.0)
+        b = self.tracer.input(2.0)
+        assert a < b and b > a and a <= b and b >= a
+        assert a == 1.0 and float(b) == 2.0
+
+    def test_mixing_tracers_rejected(self):
+        other = GraphTracer()
+        a = self.tracer.input(1.0)
+        b = other.input(1.0)
+        with pytest.raises(ValueError, match="different tracers"):
+            _ = a + b
+
+    def test_non_numeric_operand_rejected(self):
+        a = self.tracer.input(1.0)
+        with pytest.raises(TypeError):
+            _ = a + "x"  # type: ignore[operator]
+
+
+class TestGraphTracer:
+    def test_inputs_by_count_and_values(self):
+        tracer = GraphTracer()
+        xs = tracer.inputs(3)
+        ys = tracer.inputs([1.0, 2.0], prefix="y")
+        assert len(xs) == 3 and len(ys) == 2
+        assert ys[1].value == 2.0
+        assert tracer.graph.label(ys[0].vertex) == "y[0]"
+
+    def test_mark_output_sets_label(self):
+        tracer = GraphTracer()
+        x = tracer.input(1.0)
+        y = x + x
+        tracer.mark_output(y, "result")
+        assert tracer.graph.label(y.vertex) == "result"
+        assert tracer.output_vertices == (y.vertex,)
+
+    def test_mark_output_foreign_value_rejected(self):
+        tracer = GraphTracer()
+        other = GraphTracer()
+        v = other.input(1.0)
+        with pytest.raises(ValueError):
+            tracer.mark_output(v)
+
+    def test_record_with_plain_numbers(self):
+        tracer = GraphTracer()
+        x = tracer.input(2.0)
+        r = tracer.record("fma", (x, 3.0, 4.0), 10.0)
+        assert tracer.graph.in_degree(r.vertex) == 3
+        assert tracer.num_operations == 4  # input, two constants, fma
+
+    def test_graph_is_acyclic(self):
+        tracer = GraphTracer()
+        xs = tracer.inputs(4)
+        total = xs[0]
+        for x in xs[1:]:
+            total = total + x
+        tracer.graph.validate()
+
+    def test_invalid_value_rejected(self):
+        tracer = GraphTracer()
+        with pytest.raises(TypeError):
+            tracer.input("not a number")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            tracer.input(True)  # type: ignore[arg-type]
+
+
+class TestCustomOps:
+    def test_custom_op_traced(self):
+        @custom_op("fma")
+        def fma(a, b, c):
+            return a * b + c
+
+        tracer = GraphTracer()
+        x, y, z = tracer.inputs([2.0, 3.0, 4.0])
+        out = fma(x, y, z)
+        assert out.value == 10.0
+        assert tracer.graph.op(out.vertex) == "fma"
+        assert tracer.graph.in_degree(out.vertex) == 3
+
+    def test_custom_op_plain_numbers_untouched(self):
+        @custom_op()
+        def triple(a):
+            return 3 * a
+
+        assert triple(2.0) == 6.0
+
+    def test_custom_op_mixed_operands(self):
+        @custom_op("axpy")
+        def axpy(alpha, x, y):
+            return alpha * x + y
+
+        tracer = GraphTracer()
+        x, y = tracer.inputs([1.0, 2.0])
+        out = axpy(2.0, x, y)
+        assert out.value == 4.0
+        # alpha becomes a constant vertex, so in-degree is 3.
+        assert tracer.graph.in_degree(out.vertex) == 3
+
+    def test_custom_op_rejects_kwargs_when_traced(self):
+        @custom_op()
+        def f(a, b):
+            return a + b
+
+        tracer = GraphTracer()
+        x = tracer.input(1.0)
+        with pytest.raises(TypeError):
+            f(x, b=2.0)
+
+    def test_custom_op_rejects_cross_tracer(self):
+        @custom_op()
+        def f(a, b):
+            return a + b
+
+        t1, t2 = GraphTracer(), GraphTracer()
+        with pytest.raises(ValueError):
+            f(t1.input(1.0), t2.input(2.0))
+
+
+class TestHighLevelAPI:
+    def test_trace_inner_product(self):
+        def dot(xs, ys):
+            total = xs[0] * ys[0]
+            for a, b in zip(xs[1:], ys[1:]):
+                total = total + a * b
+            return total
+
+        graph, tracer = trace_computation(dot, [1.0, 2.0], [3.0, 4.0])
+        assert graph.num_vertices == 7  # Figure 1
+        assert len(tracer.output_vertices) == 1
+
+    def test_trace_preserves_numerical_result(self):
+        """The traced execution still computes the correct numbers."""
+
+        def poly(x):
+            return 3.0 * x * x + 2.0 * x + 1.0
+
+        tracer = GraphTracer()
+        x = tracer.input(2.0, label="x")
+        result = poly(x)
+        assert result.value == pytest.approx(17.0)
+        graph, _ = trace_computation(poly, 2.0)
+        assert graph.num_vertices > 4
+
+    def test_trace_nested_structure(self):
+        def matvec(matrix, vector):
+            return [sum_row(row, vector) for row in matrix]
+
+        def sum_row(row, vector):
+            total = row[0] * vector[0]
+            for a, b in zip(row[1:], vector[1:]):
+                total = total + a * b
+            return total
+
+        graph, tracer = trace_computation(matvec, [[1.0, 2.0], [3.0, 4.0]], [5.0, 6.0])
+        assert len(tracer.output_vertices) == 2
+        assert graph.num_vertices == 6 + 4 + 2  # inputs + products + adds
+
+    def test_trace_scalar_function(self):
+        graph, _ = trace_scalar_function(lambda a, b, c: a + b + c, 3)
+        assert graph.num_vertices == 5
+        assert len(graph.sinks()) == 1
+
+    def test_trace_scalar_function_invalid_count(self):
+        with pytest.raises(ValueError):
+            trace_scalar_function(lambda: 0.0, -1)
+
+    def test_trace_rejects_bad_templates(self):
+        with pytest.raises(TypeError):
+            trace_computation(lambda x: x, "hello")
+
+    def test_trace_rejects_bad_return_type(self):
+        with pytest.raises(TypeError):
+            trace_computation(lambda x: object(), 1.0)
+
+    def test_dict_outputs_collected(self):
+        def f(x):
+            return {"double": x + x, "square": x * x}
+
+        _, tracer = trace_computation(f, 3.0)
+        assert len(tracer.output_vertices) == 2

@@ -1,0 +1,125 @@
+"""Tests for the shared utilities (validation, RNG, math helpers, logging)."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import enable_progress_logging, get_logger
+from repro.utils.mathutils import (
+    binomial,
+    floor_div,
+    is_power_of_two,
+    log2_int,
+    next_power_of_two,
+)
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_memory_size,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestValidation:
+    def test_positive_int_accepts_and_converts(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_positive_int_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True, None])
+    def test_positive_int_rejects_wrong_type(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+    def test_nonnegative_int(self):
+        assert check_nonnegative_int(0, "x") == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-2, "x")
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0, "p") == 0.0
+        with pytest.raises(ValueError):
+            check_probability(1.2, "p")
+        with pytest.raises(TypeError):
+            check_probability("0.2", "p")
+
+    def test_memory_size(self):
+        assert check_memory_size(8) == 8
+        with pytest.raises(ValueError):
+            check_memory_size(0)
+
+    def test_power_of_two(self):
+        assert check_power_of_two(16, "n") == 16
+        with pytest.raises(ValueError):
+            check_power_of_two(12, "n")
+
+    def test_error_messages_name_parameter(self):
+        with pytest.raises(ValueError, match="fast_mem"):
+            check_positive_int(-1, "fast_mem")
+
+
+class TestMathUtils:
+    def test_binomial(self):
+        assert binomial(5, 2) == 10
+        assert binomial(5, 0) == 1
+        assert binomial(5, 6) == 0
+        assert binomial(5, -1) == 0
+
+    def test_floor_div(self):
+        assert floor_div(7, 2) == 3
+        with pytest.raises(ValueError):
+            floor_div(7, 0)
+
+    def test_power_of_two_helpers(self):
+        assert is_power_of_two(8)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(0)
+        assert next_power_of_two(9) == 16
+        assert next_power_of_two(1) == 1
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+        assert log2_int(32) == 5
+        with pytest.raises(ValueError):
+            log2_int(12)
+
+
+class TestRng:
+    def test_as_rng_from_int_is_deterministic(self):
+        a = as_rng(3).integers(1000)
+        b = as_rng(3).integers(1000)
+        assert a == b
+
+    def test_as_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        first = [r.integers(1000) for r in spawn_rngs(7, 3)]
+        second = [r.integers(1000) for r in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) > 1
+
+    def test_spawn_rngs_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("bounds").name == "repro.bounds"
+
+    def test_enable_progress_logging_idempotent(self):
+        enable_progress_logging(logging.DEBUG)
+        handlers_before = len(get_logger().handlers)
+        enable_progress_logging(logging.INFO)
+        assert len(get_logger().handlers) == handlers_before
