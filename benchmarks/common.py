@@ -12,13 +12,19 @@ paper-scale sweeps (minutes to hours, exactly like the original evaluation).
 
 from __future__ import annotations
 
+import json
 import os
 import sys
-from typing import Callable, List, Sequence
+from pathlib import Path
+from typing import Callable, List, Mapping, Optional, Sequence
 
 from repro.analysis.figures import FigureSeries, linear_fit_r_squared, series_from_rows
 from repro.analysis.reporting import format_table, maybe_write_results
 from repro.analysis.sweep import SweepRow
+from repro.core.engine import BoundEngine
+from repro.core.formula import DEFAULT_NUM_EIGENVALUES
+from repro.graphs.compgraph import ComputationGraph
+from repro.solvers.spectrum_cache import SpectrumCache
 
 __all__ = [
     "large_mode",
@@ -29,6 +35,8 @@ __all__ = [
     "print_dict_rows",
     "run_once",
     "check_series_shape",
+    "engine_for",
+    "write_perf_record",
 ]
 
 
@@ -62,6 +70,33 @@ def bench_print(*args: object) -> None:
 def large_mode() -> bool:
     """True when paper-scale sweeps were requested via REPRO_BENCH_LARGE=1."""
     return os.environ.get("REPRO_BENCH_LARGE", "0") == "1"
+
+
+def engine_for(
+    graph: ComputationGraph,
+    num_eigenvalues: int = DEFAULT_NUM_EIGENVALUES,
+    cache: Optional[SpectrumCache] = None,
+) -> BoundEngine:
+    """The harness's standard way to build a :class:`BoundEngine`.
+
+    Pass an explicit ``cache`` for timing runs that must control exactly
+    which eigensolves are shared (as ``bench_engine_cache.py`` does);
+    otherwise the process-wide default cache is used, so harness engines
+    share eigensolves with every other default-constructed engine.
+    """
+    return BoundEngine(graph, num_eigenvalues=num_eigenvalues, cache=cache)
+
+
+def write_perf_record(name: str, payload: Mapping[str, object]) -> Path:
+    """Persist a JSON perf record (e.g. ``BENCH_engine.json``) at the repo root.
+
+    Performance-tracking records are written unconditionally (unlike the CSV
+    figure data, which is opt-in): they are tiny and give the repository a
+    perf trajectory across PRs.
+    """
+    path = Path(__file__).resolve().parent.parent / name
+    path.write_text(json.dumps(dict(payload), indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def pick(default, large):

@@ -11,6 +11,11 @@ Following §6.4, combinations where the graph's maximum in-degree exceeds
 ``M - 1`` are skipped (the computation could not even hold one operation's
 operands in fast memory), mirroring "we do not display points where the
 maximum in-degree is greater than M".
+
+Spectral methods are executed through one :class:`repro.core.engine
+.BoundEngine` per graph, all sharing a per-sweep spectrum cache: a figure
+sweep performs exactly one eigensolve per (graph, normalisation), no matter
+how many memory sizes or methods it covers.
 """
 
 from __future__ import annotations
@@ -20,8 +25,9 @@ from dataclasses import dataclass, asdict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.baselines.convex_mincut import convex_min_cut_max_value
-from repro.core.bounds import spectral_bounds_for_memory_sizes
+from repro.core.engine import BoundEngine
 from repro.graphs.compgraph import ComputationGraph
+from repro.solvers.spectrum_cache import SpectrumCache
 
 __all__ = ["SweepRow", "sweep", "METHODS"]
 
@@ -50,17 +56,19 @@ class SweepRow:
 
 def _evaluate_spectral(
     method: str,
-    graph: ComputationGraph,
+    engine: BoundEngine,
     memory_sizes: Sequence[int],
-    num_eigenvalues: int,
 ) -> Dict[int, tuple[float, Optional[int], float]]:
-    """Evaluate a spectral method for all memory sizes with one eigensolve."""
-    normalized = method == "spectral"
-    results = spectral_bounds_for_memory_sizes(
-        graph, memory_sizes, num_eigenvalues=num_eigenvalues, normalized=normalized
-    )
+    """Evaluate a spectral method for all memory sizes with one eigensolve.
+
+    The engine's spectrum cache guarantees the eigensolve runs once per
+    (graph, normalisation); its cost lands in the ``elapsed_seconds`` of the
+    point that triggered it, so summing row times never overcounts it.
+    """
+    points = engine.sweep(memory_sizes, methods=(method,))
     return {
-        M: (res.value, res.best_k, res.elapsed_seconds) for M, res in results.items()
+        p.memory_size: (p.result.value, p.result.best_k, p.result.elapsed_seconds)
+        for p in points
     }
 
 
@@ -138,8 +146,14 @@ def sweep(
     max_vertices = max_vertices or {}
     rows: List[SweepRow] = []
     memory_sizes = list(memory_sizes)
+    # One spectrum cache per sweep: every graph gets one engine, and the two
+    # spectral methods on the same graph share it, so each (graph,
+    # normalisation) pair is eigensolved exactly once per sweep.
+    size_params = list(size_params)
+    cache = SpectrumCache(max_entries=max(8, 2 * len(size_params)))
     for size in size_params:
         graph = graph_builder(size)
+        engine = BoundEngine(graph, num_eigenvalues=num_eigenvalues, cache=cache)
         max_in = graph.max_in_degree
         feasible_ms = [
             M for M in memory_sizes if not (skip_infeasible and max_in + 1 > M)
@@ -168,7 +182,7 @@ def sweep(
             if cap is not None and graph.num_vertices > cap:
                 continue
             if method in ("spectral", "spectral-unnormalized"):
-                per_m = _evaluate_spectral(method, graph, feasible_ms, num_eigenvalues)
+                per_m = _evaluate_spectral(method, engine, feasible_ms)
             else:  # convex-min-cut
                 per_m = _evaluate_convex(graph, feasible_ms, convex_vertex_cap)
             for M in feasible_ms:

@@ -1,7 +1,11 @@
 """Core contribution of the paper: spectral I/O lower bounds.
 
 * :mod:`bounds` — Theorems 4 (spectral method), 5 (original-Laplacian
-  variant) and 6 (parallel variant).
+  variant) and 6 (parallel variant) as one-shot public functions.
+* :mod:`engine` — :class:`BoundEngine`, the cached execution engine behind
+  them: one object per graph, one eigensolve per (graph, normalisation),
+  batch ``sweep`` over memory sizes/processor counts.
+* :mod:`formula` — the pure Theorem 4/5/6 arithmetic shared by both.
 * :mod:`partitions` — the balanced ``k``-partition machinery (``Ŵ(k)``,
   ``W(k)``) and edge-boundary counting of Section 4.1/4.2.
 * :mod:`qp` — the quadratic-program view of Theorem 3, used to validate the
@@ -19,6 +23,7 @@ from repro.core.bounds import (
     parallel_spectral_bound,
     spectral_bound_from_eigenvalues,
 )
+from repro.core.engine import BoundEngine, SweepPoint, SWEEP_METHODS
 from repro.core.closed_form import (
     hypercube_io_bound,
     fft_io_bound,
@@ -56,6 +61,9 @@ __all__ = [
     "spectral_bound_unnormalized",
     "parallel_spectral_bound",
     "spectral_bound_from_eigenvalues",
+    "BoundEngine",
+    "SweepPoint",
+    "SWEEP_METHODS",
     "hypercube_io_bound",
     "fft_io_bound",
     "fft_io_bound_asymptotic",

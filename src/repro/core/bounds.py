@@ -9,7 +9,10 @@ The central results:
   where ``L~`` is the Laplacian of the out-degree-normalised undirected graph
   and the eigenvalues are sorted increasingly.  Any ``k`` gives a valid lower
   bound, so the implementation sweeps ``k`` over ``2 .. h`` (``h = 100`` by
-  default, the truncation used in §6.1) and takes the maximum.
+  default, the truncation used in §6.1) and takes the maximum; ``k = 1`` is
+  excluded from the default sweep because ``lambda_1(L~) = 0`` makes its
+  expression ``-2M``, which can never win (an explicit ``k=1`` is still
+  honoured).
 
 * **Theorem 5** — the same statement with the ordinary Laplacian ``L``
   divided by the maximum out-degree; looser but convenient when only
@@ -21,20 +24,30 @@ The central results:
 
 All three bounds clamp at zero: a negative value simply means the relaxation
 is uninformative for that graph and memory size.
+
+Execution is delegated to :class:`repro.core.engine.BoundEngine`: each public
+function here builds a throwaway engine (with a private spectrum cache, so
+the historical one-eigensolve-per-call semantics are preserved), while code
+that evaluates many bounds on the same graph should hold a ``BoundEngine``
+directly — or pass a shared :class:`~repro.solvers.spectrum_cache
+.SpectrumCache` via ``cache=`` — to amortise the eigensolve.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.engine import BoundEngine, KSpec
+from repro.core.formula import (
+    DEFAULT_NUM_EIGENVALUES,
+    evaluate_bound_formula,
+)
 from repro.core.result import ParallelBoundResult, SpectralBoundResult
 from repro.graphs.compgraph import ComputationGraph
-from repro.graphs.laplacian import laplacian
-from repro.solvers.backend import EigenSolverOptions, smallest_eigenvalues
-from repro.utils.validation import check_memory_size, check_positive_int
+from repro.solvers.backend import EigenSolverOptions
+from repro.solvers.spectrum_cache import SpectrumCache
 
 __all__ = [
     "DEFAULT_NUM_EIGENVALUES",
@@ -46,42 +59,34 @@ __all__ = [
     "parallel_spectral_bound",
 ]
 
-#: The paper computes "up to the first 100 values of the graph Laplacian" and
-#: optimises k over {2 .. h} (§6.1); empirically the best k is far below 100.
-DEFAULT_NUM_EIGENVALUES = 100
 
+def _engine(
+    graph: ComputationGraph,
+    num_eigenvalues: int,
+    eig_options: Optional[EigenSolverOptions],
+    sparse: Optional[bool],
+    cache: Optional[SpectrumCache],
+) -> BoundEngine:
+    """Engine used by the one-shot wrappers.
 
-def _k_candidates(
-    n: int, num_eigenvalues: int, k: Optional[Union[int, Sequence[int]]]
-) -> Tuple[int, Iterable[int]]:
-    """Resolve the ``k`` sweep and how many eigenvalues are needed.
-
-    Returns ``(h, candidates)`` where ``h`` is the number of smallest
-    eigenvalues to compute and ``candidates`` the k values to evaluate.
+    With ``cache=None`` each wrapper call gets a private single-entry cache,
+    keeping the historical semantics (every call performs its own
+    eigensolve); callers that want cross-call reuse pass a shared cache.
     """
-    if n == 0:
-        return 0, []
-    if k is None:
-        h = min(max(2, num_eigenvalues), n)
-        return h, range(1, h + 1)
-    if isinstance(k, (int, np.integer)):
-        check_positive_int(int(k), "k")
-        if k > n:
-            raise ValueError(f"k={k} exceeds the number of vertices n={n}")
-        return int(k), [int(k)]
-    ks = [int(x) for x in k]
-    for x in ks:
-        check_positive_int(x, "k")
-        if x > n:
-            raise ValueError(f"k={x} exceeds the number of vertices n={n}")
-    return max(ks), sorted(set(ks))
+    return BoundEngine(
+        graph,
+        num_eigenvalues=num_eigenvalues,
+        eig_options=eig_options,
+        sparse=sparse,
+        cache=cache if cache is not None else SpectrumCache(max_entries=2),
+    )
 
 
 def spectral_bound_from_eigenvalues(
     eigenvalues: Sequence[float],
     num_vertices: int,
     M: int,
-    k: Optional[Union[int, Sequence[int]]] = None,
+    k: KSpec = None,
     num_processors: int = 1,
 ) -> Tuple[float, int, Dict[int, float]]:
     """Evaluate the Theorem 4/6 expression given precomputed eigenvalues.
@@ -96,7 +101,8 @@ def spectral_bound_from_eigenvalues(
     M:
         Fast-memory size.
     k:
-        ``None`` to sweep all available ``k``; an int or a sequence otherwise.
+        ``None`` to sweep ``k = 2 ..`` (all available eigenvalues); an int or
+        a sequence to evaluate specific values.
     num_processors:
         ``p >= 1``; the sequential bound is the ``p = 1`` special case.
 
@@ -105,28 +111,9 @@ def spectral_bound_from_eigenvalues(
     (best_value, best_k, per_k_values)
         ``best_value`` is the raw (un-clamped) maximum over the swept ``k``.
     """
-    check_memory_size(M)
-    check_positive_int(num_processors, "num_processors")
-    lam = np.asarray(list(eigenvalues), dtype=np.float64)
-    n = num_vertices
-    if n == 0 or lam.shape[0] == 0:
-        return 0.0, 1, {}
-    _, candidates = _k_candidates(n, lam.shape[0], k)
-    prefix = np.concatenate([[0.0], np.cumsum(lam)])
-    per_k: Dict[int, float] = {}
-    best_value = -np.inf
-    best_k = 1
-    for kk in candidates:
-        if kk > lam.shape[0]:
-            continue
-        value = (n // (kk * num_processors)) * prefix[kk] - 2.0 * kk * M
-        per_k[kk] = float(value)
-        if value > best_value:
-            best_value = float(value)
-            best_k = kk
-    if not per_k:
-        return 0.0, 1, {}
-    return best_value, best_k, per_k
+    return evaluate_bound_formula(
+        eigenvalues, num_vertices, M, k=k, num_processors=num_processors
+    )
 
 
 def bound_spectrum(
@@ -135,83 +122,60 @@ def bound_spectrum(
     normalized: bool = True,
     eig_options: Optional[EigenSolverOptions] = None,
     sparse: Optional[bool] = None,
+    cache: Optional[SpectrumCache] = None,
 ) -> np.ndarray:
     """The smallest Laplacian eigenvalues a spectral bound needs.
 
     Computes the ``min(num_eigenvalues, n)`` smallest eigenvalues of ``L~``
     (``normalized=True``) or of ``L / max_out_degree`` (``normalized=False``).
     The eigenvalues depend only on the graph — not on the memory size ``M`` —
-    so sweeps over several ``M`` values should compute them once via this
-    function and evaluate :func:`spectral_bound_from_eigenvalues` per ``M``
-    (that is what :func:`spectral_bounds_for_memory_sizes` and the benchmark
-    harness do).
+    so sweeps over several ``M`` values should compute them once (that is
+    what :func:`spectral_bounds_for_memory_sizes` and
+    :class:`~repro.core.engine.BoundEngine` do).
     """
-    n = graph.num_vertices
-    if n == 0:
-        return np.zeros(0)
-    h = min(max(2, num_eigenvalues), n)
-    use_sparse = sparse if sparse is not None else n > 2000
-    lap = laplacian(graph, normalized=normalized, sparse=use_sparse)
-    lam = smallest_eigenvalues(lap, h, options=eig_options)
-    if not normalized:
-        max_out = graph.max_out_degree
-        lam = lam / max_out if max_out else lam * 0.0
-    return lam
+    return _engine(graph, num_eigenvalues, eig_options, sparse, cache).spectrum(
+        normalized=normalized
+    )
 
 
 def spectral_bounds_for_memory_sizes(
     graph: ComputationGraph,
     memory_sizes: Sequence[int],
-    k: Optional[Union[int, Sequence[int]]] = None,
+    k: KSpec = None,
     num_eigenvalues: int = DEFAULT_NUM_EIGENVALUES,
     normalized: bool = True,
     eig_options: Optional[EigenSolverOptions] = None,
     sparse: Optional[bool] = None,
+    cache: Optional[SpectrumCache] = None,
 ) -> Dict[int, SpectralBoundResult]:
     """Spectral bounds for several memory sizes with one eigensolve.
 
     Returns a mapping ``M -> SpectralBoundResult``.  Equivalent to calling
     :func:`spectral_bound` per ``M`` but amortises the (dominant) eigenvalue
-    computation, which the benchmark sweeps rely on.
+    computation.  The eigensolve cost lands in the ``elapsed_seconds`` of the
+    first result only (the call that performed it); every result reports it
+    separately in ``eig_elapsed_seconds``, so summing ``elapsed_seconds``
+    over the sweep attributes the eigensolve exactly once.
     """
-    start = time.perf_counter()
-    lam = bound_spectrum(
-        graph,
-        num_eigenvalues=num_eigenvalues,
-        normalized=normalized,
-        eig_options=eig_options,
-        sparse=sparse,
-    )
-    eig_elapsed = time.perf_counter() - start
-    n = graph.num_vertices
+    engine = _engine(graph, num_eigenvalues, eig_options, sparse, cache)
     results: Dict[int, SpectralBoundResult] = {}
     for M in memory_sizes:
-        check_memory_size(M)
-        step_start = time.perf_counter()
-        raw_best, best_k, per_k = spectral_bound_from_eigenvalues(lam, n, M, k=k)
-        results[int(M)] = SpectralBoundResult(
-            value=max(0.0, raw_best),
-            raw_value=raw_best,
-            best_k=best_k,
-            num_vertices=n,
-            memory_size=int(M),
-            normalized=normalized,
-            num_eigenvalues=int(lam.shape[0]),
-            eigenvalues=tuple(float(x) for x in lam),
-            per_k_values=per_k,
-            elapsed_seconds=eig_elapsed + (time.perf_counter() - step_start),
-        )
+        if normalized:
+            results[int(M)] = engine.spectral(M, k=k)
+        else:
+            results[int(M)] = engine.unnormalized(M, k=k)
     return results
 
 
 def spectral_bound(
     graph: ComputationGraph,
     M: int,
-    k: Optional[Union[int, Sequence[int]]] = None,
+    k: KSpec = None,
     num_eigenvalues: int = DEFAULT_NUM_EIGENVALUES,
     normalized: bool = True,
     eig_options: Optional[EigenSolverOptions] = None,
     sparse: Optional[bool] = None,
+    cache: Optional[SpectrumCache] = None,
 ) -> SpectralBoundResult:
     """Spectral I/O lower bound for a computation graph (Theorem 4).
 
@@ -223,9 +187,9 @@ def spectral_bound(
         Fast-memory size in elements.
     k:
         Number of partition segments.  ``None`` (default) sweeps
-        ``k = 1 .. min(num_eigenvalues, n)`` and returns the best bound; an
-        integer evaluates one specific ``k``; a sequence sweeps exactly those
-        values.
+        ``k = 2 .. min(num_eigenvalues, n)`` (§6.1) and returns the best
+        bound; an integer evaluates one specific ``k``; a sequence sweeps
+        exactly those values.
     num_eigenvalues:
         The truncation ``h``: how many of the smallest Laplacian eigenvalues
         to compute when sweeping (default 100, as in §6.1 of the paper).
@@ -237,6 +201,9 @@ def spectral_bound(
     sparse:
         Force sparse (True) or dense (False) Laplacian assembly; ``None``
         decides by graph size.
+    cache:
+        Optional shared :class:`SpectrumCache`; by default each call solves
+        independently.
 
     Returns
     -------
@@ -244,62 +211,20 @@ def spectral_bound(
         The bound (clamped at zero), the best ``k``, the eigenvalues used and
         the full ``k``-sweep for diagnostics.
     """
-    check_memory_size(M)
-    start = time.perf_counter()
-    n = graph.num_vertices
-    if n == 0:
-        return SpectralBoundResult(
-            value=0.0,
-            raw_value=0.0,
-            best_k=1,
-            num_vertices=0,
-            memory_size=M,
-            normalized=normalized,
-            num_eigenvalues=0,
-            eigenvalues=(),
-            per_k_values={},
-            elapsed_seconds=time.perf_counter() - start,
-        )
-
-    h, _ = _k_candidates(n, num_eigenvalues, k)
-    use_sparse = sparse if sparse is not None else n > 2000
-    lap = laplacian(graph, normalized=normalized, sparse=use_sparse)
-    lam = smallest_eigenvalues(lap, h, options=eig_options)
-
-    scale = 1.0
-    if not normalized:
-        max_out = graph.max_out_degree
-        if max_out == 0:
-            # No edges: the Laplacian is zero and the bound is trivially zero.
-            scale = 0.0
-        else:
-            scale = 1.0 / max_out
-    raw_best, best_k, per_k = spectral_bound_from_eigenvalues(
-        lam * scale if scale != 1.0 else lam, n, M, k=k
-    )
-
-    elapsed = time.perf_counter() - start
-    return SpectralBoundResult(
-        value=max(0.0, raw_best),
-        raw_value=raw_best,
-        best_k=best_k,
-        num_vertices=n,
-        memory_size=M,
-        normalized=normalized,
-        num_eigenvalues=int(lam.shape[0]),
-        eigenvalues=tuple(float(x) for x in lam),
-        per_k_values=per_k,
-        elapsed_seconds=elapsed,
-    )
+    engine = _engine(graph, num_eigenvalues, eig_options, sparse, cache)
+    if normalized:
+        return engine.spectral(M, k=k)
+    return engine.unnormalized(M, k=k)
 
 
 def spectral_bound_unnormalized(
     graph: ComputationGraph,
     M: int,
-    k: Optional[Union[int, Sequence[int]]] = None,
+    k: KSpec = None,
     num_eigenvalues: int = DEFAULT_NUM_EIGENVALUES,
     eig_options: Optional[EigenSolverOptions] = None,
     sparse: Optional[bool] = None,
+    cache: Optional[SpectrumCache] = None,
 ) -> SpectralBoundResult:
     """Theorem 5 variant: ordinary Laplacian ``L`` scaled by ``1/max d_out``.
 
@@ -315,6 +240,7 @@ def spectral_bound_unnormalized(
         normalized=False,
         eig_options=eig_options,
         sparse=sparse,
+        cache=cache,
     )
 
 
@@ -322,11 +248,12 @@ def parallel_spectral_bound(
     graph: ComputationGraph,
     M: int,
     num_processors: int,
-    k: Optional[Union[int, Sequence[int]]] = None,
+    k: KSpec = None,
     num_eigenvalues: int = DEFAULT_NUM_EIGENVALUES,
     normalized: bool = True,
     eig_options: Optional[EigenSolverOptions] = None,
     sparse: Optional[bool] = None,
+    cache: Optional[SpectrumCache] = None,
 ) -> ParallelBoundResult:
     """Parallel spectral bound (Theorem 6).
 
@@ -335,43 +262,5 @@ def parallel_spectral_bound(
     (communication with slow memory or with other processors).  The
     sequential bound is recovered with ``p = 1``.
     """
-    check_memory_size(M)
-    check_positive_int(num_processors, "num_processors")
-    start = time.perf_counter()
-    n = graph.num_vertices
-    if n == 0:
-        return ParallelBoundResult(
-            value=0.0,
-            raw_value=0.0,
-            best_k=1,
-            num_vertices=0,
-            memory_size=M,
-            num_processors=num_processors,
-            num_eigenvalues=0,
-            eigenvalues=(),
-            per_k_values={},
-            elapsed_seconds=time.perf_counter() - start,
-        )
-    h, _ = _k_candidates(n, num_eigenvalues, k)
-    use_sparse = sparse if sparse is not None else n > 2000
-    lap = laplacian(graph, normalized=normalized, sparse=use_sparse)
-    lam = smallest_eigenvalues(lap, h, options=eig_options)
-    if not normalized:
-        max_out = graph.max_out_degree
-        lam = lam / max_out if max_out else lam * 0.0
-    raw_best, best_k, per_k = spectral_bound_from_eigenvalues(
-        lam, n, M, k=k, num_processors=num_processors
-    )
-    elapsed = time.perf_counter() - start
-    return ParallelBoundResult(
-        value=max(0.0, raw_best),
-        raw_value=raw_best,
-        best_k=best_k,
-        num_vertices=n,
-        memory_size=M,
-        num_processors=num_processors,
-        num_eigenvalues=int(lam.shape[0]),
-        eigenvalues=tuple(float(x) for x in lam),
-        per_k_values=per_k,
-        elapsed_seconds=elapsed,
-    )
+    engine = _engine(graph, num_eigenvalues, eig_options, sparse, cache)
+    return engine.parallel(M, num_processors, k=k, normalized=normalized)

@@ -45,7 +45,15 @@ class SpectralBoundResult:
     per_k_values:
         Mapping ``k -> bound value`` over the swept ``k`` values.
     elapsed_seconds:
-        Wall-clock time of the bound computation (eigensolve included).
+        Wall-clock time of this bound computation.  Includes the eigensolve
+        only when this call actually performed one; calls served from a
+        spectrum cache pay (and report) just the formula evaluation, so
+        summing ``elapsed_seconds`` over a sweep counts the eigensolve
+        exactly once.
+    eig_elapsed_seconds:
+        Wall-clock cost of the eigensolve behind the spectrum this result
+        used, reported on every result for attribution (it is *shared*
+        across results from the same sweep, not additive).
     """
 
     value: float
@@ -58,6 +66,7 @@ class SpectralBoundResult:
     eigenvalues: Tuple[float, ...] = field(repr=False)
     per_k_values: Dict[int, float] = field(repr=False, default_factory=dict)
     elapsed_seconds: float = 0.0
+    eig_elapsed_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view with the eigenvalues dropped (for CSV output)."""
@@ -89,6 +98,7 @@ class ParallelBoundResult:
     eigenvalues: Tuple[float, ...] = field(repr=False)
     per_k_values: Dict[int, float] = field(repr=False, default_factory=dict)
     elapsed_seconds: float = 0.0
+    eig_elapsed_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         data = asdict(self)

@@ -7,6 +7,7 @@ operand of ``v`` (Section 3 of the paper).
 """
 
 from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.csr import CSRView, build_csr_view
 from repro.graphs.laplacian import (
     adjacency_matrix,
     degree_vector,
@@ -24,6 +25,8 @@ from repro.graphs.orders import (
 
 __all__ = [
     "ComputationGraph",
+    "CSRView",
+    "build_csr_view",
     "adjacency_matrix",
     "degree_vector",
     "laplacian",

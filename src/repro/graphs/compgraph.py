@@ -7,21 +7,25 @@ of ``v``.  Sources are the inputs of the computation and sinks are its
 outputs.
 
 The class is deliberately lightweight: vertices are dense integers
-``0 .. n-1`` allocated sequentially, adjacency is stored as Python lists, and
-heavier linear-algebra views (adjacency/Laplacian matrices) live in
-:mod:`repro.graphs.laplacian`.  This keeps graph *construction* cheap — the
-generators in :mod:`repro.graphs.generators` build graphs with hundreds of
-thousands of vertices — while the numerical work is delegated to
-NumPy/SciPy.
+``0 .. n-1`` allocated sequentially, adjacency is stored as Python lists for
+cheap incremental construction, and heavier linear-algebra views
+(adjacency/Laplacian matrices) live in :mod:`repro.graphs.laplacian`.
+Numerical passes never iterate edges in Python: :meth:`ComputationGraph.freeze`
+produces a cached, immutable :class:`~repro.graphs.csr.CSRView` (edge array +
+CSR structure + structural fingerprint) that all vectorized code shares, and
+:meth:`ComputationGraph.add_edges_array` lets the generators construct graphs
+from bulk NumPy edge arrays instead of per-edge calls.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
+from repro.graphs.csr import CSRView, pack_edge_key, pack_edge_keys, unpack_edge_key
 from repro.utils.validation import check_nonnegative_int
 
 __all__ = ["ComputationGraph"]
@@ -48,7 +52,7 @@ class ComputationGraph:
       :meth:`topological_order`, which raises on cyclic graphs.
     """
 
-    __slots__ = ("_succ", "_pred", "_labels", "_ops", "_num_edges", "_edge_set")
+    __slots__ = ("_succ", "_pred", "_labels", "_ops", "_num_edges", "_edge_set", "_frozen")
 
     def __init__(self, num_vertices: int = 0) -> None:
         check_nonnegative_int(num_vertices, "num_vertices")
@@ -57,7 +61,10 @@ class ComputationGraph:
         self._labels: Dict[int, str] = {}
         self._ops: Dict[int, str] = {}
         self._num_edges: int = 0
-        self._edge_set: Set[Tuple[int, int]] = set()
+        # Edges are stored as packed integer keys (see repro.graphs.csr) for
+        # O(1) membership tests and cheap bulk updates from edge arrays.
+        self._edge_set: Set[int] = set()
+        self._frozen: Optional[CSRView] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -79,12 +86,21 @@ class ComputationGraph:
             self._labels[vid] = label
         if op is not None:
             self._ops[vid] = op
+        self._frozen = None
         return vid
 
     def add_vertices(self, count: int, op: Optional[str] = None) -> List[int]:
         """Add ``count`` vertices sharing the same optional op name."""
         check_nonnegative_int(count, "count")
-        return [self.add_vertex(op=op) for _ in range(count)]
+        start = len(self._succ)
+        self._succ.extend([] for _ in range(count))
+        self._pred.extend([] for _ in range(count))
+        ids = list(range(start, start + count))
+        if op is not None:
+            for vid in ids:
+                self._ops[vid] = op
+        self._frozen = None
+        return ids
 
     def add_edge(self, u: int, v: int) -> None:
         """Add the directed edge ``u -> v`` (``u`` is an operand of ``v``)."""
@@ -92,25 +108,91 @@ class ComputationGraph:
         self._check_vertex(v)
         if u == v:
             raise ValueError(f"self loop on vertex {u} is not a valid computation edge")
-        if (u, v) in self._edge_set:
+        key = pack_edge_key(u, v)
+        if key in self._edge_set:
             raise ValueError(f"duplicate edge ({u}, {v})")
         self._succ[u].append(v)
         self._pred[v].append(u)
-        self._edge_set.add((u, v))
+        self._edge_set.add(key)
         self._num_edges += 1
+        self._frozen = None
 
     def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
         """Add many edges at once."""
         for u, v in edges:
             self.add_edge(u, v)
 
+    def add_edges_array(self, edges: np.ndarray) -> None:
+        """Bulk-add edges from an ``(m, 2)`` integer array.
+
+        This is the fast path the generators use: validation (range checks,
+        self loops, duplicates — both inside the batch and against existing
+        edges) is vectorized, and the adjacency lists are extended per-vertex
+        group rather than per edge.  Semantically equivalent to calling
+        :meth:`add_edge` for every row, but orders of magnitude faster for
+        large batches.
+        """
+        arr = np.asarray(edges)
+        if arr.size == 0:
+            return
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(
+                f"edges must be an (m, 2) array, got shape {arr.shape}"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError(f"edge array must be integer-typed, got dtype {arr.dtype}")
+        arr = arr.astype(np.int64, copy=False)
+        n = self.num_vertices
+        u, v = arr[:, 0], arr[:, 1]
+        if arr.min() < 0 or arr.max() >= n:
+            bad = arr[(arr.min(axis=1) < 0) | (arr.max(axis=1) >= n)][0]
+            raise ValueError(
+                f"edge ({int(bad[0])}, {int(bad[1])}) out of range for graph "
+                f"with {n} vertices"
+            )
+        loops = u == v
+        if loops.any():
+            vertex = int(u[np.argmax(loops)])
+            raise ValueError(
+                f"self loop on vertex {vertex} is not a valid computation edge"
+            )
+        keys = pack_edge_keys(u, v)
+        unique_keys = np.unique(keys)
+        if unique_keys.shape[0] != keys.shape[0]:
+            counts = np.bincount(np.searchsorted(unique_keys, keys))
+            dup = unpack_edge_key(unique_keys[np.argmax(counts > 1)])
+            raise ValueError(f"duplicate edge {dup}")
+        key_list = keys.tolist()
+        if self._edge_set:
+            clash = self._edge_set.intersection(key_list)
+            if clash:
+                raise ValueError(f"duplicate edge {unpack_edge_key(min(clash))}")
+
+        # Extend adjacency lists grouped by endpoint (stable order preserves
+        # the batch's relative edge order within each vertex's list).
+        order = np.argsort(u, kind="stable")
+        groups_u, starts_u = np.unique(u[order], return_index=True)
+        for uu, chunk in zip(groups_u.tolist(), np.split(v[order], starts_u[1:])):
+            self._succ[uu].extend(chunk.tolist())
+        order = np.argsort(v, kind="stable")
+        groups_v, starts_v = np.unique(v[order], return_index=True)
+        for vv, chunk in zip(groups_v.tolist(), np.split(u[order], starts_v[1:])):
+            self._pred[vv].extend(chunk.tolist())
+
+        self._edge_set.update(key_list)
+        self._num_edges += arr.shape[0]
+        self._frozen = None
+
     @classmethod
     def from_edges(
         cls, num_vertices: int, edges: Iterable[Tuple[int, int]]
     ) -> "ComputationGraph":
-        """Build a graph from a vertex count and an edge iterable."""
+        """Build a graph from a vertex count and an edge iterable or array."""
         graph = cls(num_vertices)
-        graph.add_edges(edges)
+        if isinstance(edges, np.ndarray):
+            graph.add_edges_array(edges)
+        else:
+            graph.add_edges(edges)
         return graph
 
     # ------------------------------------------------------------------
@@ -141,7 +223,9 @@ class ComputationGraph:
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` if the directed edge ``u -> v`` exists."""
-        return (u, v) in self._edge_set
+        if u < 0 or v < 0:
+            return False
+        return pack_edge_key(u, v) in self._edge_set
 
     def successors(self, v: int) -> Sequence[int]:
         """Vertices that consume the result of ``v``."""
@@ -227,6 +311,58 @@ class ComputationGraph:
     def vertices_with_op(self, op: str) -> List[int]:
         """All vertices whose op name equals ``op``."""
         return [v for v in self.vertices() if self._ops.get(v) == op]
+
+    def set_labels(self, labels: Mapping[int, str]) -> None:
+        """Attach/replace labels on many vertices at once."""
+        for v in labels:
+            self._check_vertex(v)
+        self._labels.update(labels)
+
+    def set_ops(self, ops: Mapping[int, str]) -> None:
+        """Attach/replace operation names on many vertices at once."""
+        for v in ops:
+            self._check_vertex(v)
+        self._ops.update(ops)
+
+    # ------------------------------------------------------------------
+    # frozen array views
+    # ------------------------------------------------------------------
+    def freeze(self) -> CSRView:
+        """Return the cached :class:`~repro.graphs.csr.CSRView` of this graph.
+
+        The view holds the immutable edge array, the successor CSR structure,
+        degree vectors and the structural :meth:`fingerprint`.  It is built at
+        most once per structural state: any mutation (``add_vertex``,
+        ``add_edge``, ``add_edges_array``) invalidates the cache and the next
+        ``freeze()`` rebuilds it.
+        """
+        if self._frozen is None:
+            n = self.num_vertices
+            m = self._num_edges
+            counts = np.fromiter((len(s) for s in self._succ), dtype=np.int64, count=n)
+            u = np.repeat(np.arange(n, dtype=np.int64), counts)
+            v = np.fromiter(
+                (w for succ in self._succ for w in succ), dtype=np.int64, count=m
+            )
+            self._frozen = CSRView(n, np.stack([u, v], axis=1) if m else np.empty((0, 2), dtype=np.int64))
+        return self._frozen
+
+    def csr(self) -> sp.csr_matrix:
+        """Directed unweighted adjacency as a SciPy CSR matrix (cached)."""
+        return self.freeze().scipy_csr
+
+    def edge_array(self) -> np.ndarray:
+        """Immutable ``(m, 2)`` edge array sorted lexicographically."""
+        return self.freeze().edges
+
+    def fingerprint(self) -> str:
+        """Structural hash of ``(n, sorted edges)``; see :class:`CSRView`.
+
+        Equal fingerprints mean equal vertex count and directed edge set
+        (labels and ops excluded), which makes the fingerprint a safe cache
+        key for spectra and bounds.
+        """
+        return self.freeze().fingerprint
 
     # ------------------------------------------------------------------
     # structure: traversal, acyclicity, reachability
@@ -361,10 +497,17 @@ class ComputationGraph:
     # derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "ComputationGraph":
-        """Deep copy of the graph (metadata included)."""
-        other = ComputationGraph(self.num_vertices)
-        for u, v in self.edges():
-            other.add_edge(u, v)
+        """Deep copy of the graph (metadata included).
+
+        The copy is traversal-identical: successor/predecessor list order is
+        preserved exactly, so order-sensitive consumers (schedulers, pebbling
+        simulations) behave the same on the copy as on the original.
+        """
+        other = ComputationGraph(0)
+        other._succ = [list(s) for s in self._succ]
+        other._pred = [list(p) for p in self._pred]
+        other._edge_set = set(self._edge_set)
+        other._num_edges = self._num_edges
         other._labels = dict(self._labels)
         other._ops = dict(self._ops)
         return other
@@ -376,16 +519,19 @@ class ComputationGraph:
         -------
         (subgraph, mapping)
             ``mapping`` maps original vertex ids to the ids in the subgraph.
+            Adjacency lists of the subgraph are in sorted (not original
+            insertion) order.
         """
         keep = sorted(set(vertices))
         for v in keep:
             self._check_vertex(v)
         mapping = {v: i for i, v in enumerate(keep)}
         sub = ComputationGraph(len(keep))
-        for v in keep:
-            for w in self._succ[v]:
-                if w in mapping:
-                    sub.add_edge(mapping[v], mapping[w])
+        if keep and self._num_edges:
+            lookup = np.full(self.num_vertices, -1, dtype=np.int64)
+            lookup[keep] = np.arange(len(keep), dtype=np.int64)
+            edges = lookup[self.freeze().edges]
+            sub.add_edges_array(edges[(edges >= 0).all(axis=1)])
         for v in keep:
             if v in self._labels:
                 sub._labels[mapping[v]] = self._labels[v]
@@ -398,15 +544,16 @@ class ComputationGraph:
 
         ``permutation`` must be a permutation of ``0 .. n-1``.  Relabelling is
         used in tests to check that the spectral bounds are invariant under
-        vertex renaming.
+        vertex renaming.  Adjacency lists of the result are in sorted order.
         """
         n = self.num_vertices
         perm = list(permutation)
         if sorted(perm) != list(range(n)):
             raise ValueError("permutation must be a permutation of range(n)")
         other = ComputationGraph(n)
-        for u, v in self.edges():
-            other.add_edge(perm[u], perm[v])
+        if self._num_edges:
+            perm_arr = np.asarray(perm, dtype=np.int64)
+            other.add_edges_array(perm_arr[self.freeze().edges])
         for v, lab in self._labels.items():
             other._labels[perm[v]] = lab
         for v, op in self._ops.items():
@@ -414,10 +561,18 @@ class ComputationGraph:
         return other
 
     def reversed(self) -> "ComputationGraph":
-        """Return the graph with every edge direction flipped."""
-        other = ComputationGraph(self.num_vertices)
-        for u, v in self.edges():
-            other.add_edge(v, u)
+        """Return the graph with every edge direction flipped.
+
+        Successor lists of the result are the predecessor lists of the
+        original (and vice versa), in their original order.
+        """
+        other = ComputationGraph(0)
+        other._succ = [list(p) for p in self._pred]
+        other._pred = [list(s) for s in self._succ]
+        if self._num_edges:
+            edges = self.freeze().edges
+            other._edge_set = set(pack_edge_keys(edges[:, 1], edges[:, 0]).tolist())
+        other._num_edges = self._num_edges
         other._labels = dict(self._labels)
         other._ops = dict(self._ops)
         return other

@@ -1,0 +1,207 @@
+"""Frozen, array-backed views of computation graphs.
+
+The generators build :class:`~repro.graphs.compgraph.ComputationGraph`
+objects incrementally (Python adjacency lists are the right structure for
+construction), but every *numerical* pass — Laplacian assembly, degree
+vectors, spectral bounds — wants the whole edge set at once as NumPy arrays.
+:class:`CSRView` is that representation: an immutable ``(m, 2)`` edge array
+sorted lexicographically, the successor structure in compressed-sparse-row
+(CSR) form, cached degree vectors, and a structural :attr:`fingerprint` that
+identifies the graph up to vertex *identity* (two graphs share a fingerprint
+iff they have the same vertex count and the same directed edge set).
+
+``ComputationGraph.freeze()`` builds a view once and caches it until the
+graph is mutated; all the vectorized linear-algebra code in
+:mod:`repro.graphs.laplacian` and the spectrum cache in
+:mod:`repro.solvers.spectrum_cache` key off this view, so a graph is scanned
+edge-by-edge in Python at most zero times after construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import cached_property
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "CSRView",
+    "build_csr_view",
+    "EDGE_KEY_BITS",
+    "pack_edge_key",
+    "pack_edge_keys",
+    "unpack_edge_key",
+]
+
+#: Width of one vertex id inside a packed ``(u << BITS) | v`` edge key.  The
+#: packed form is shared by duplicate detection, ``has_edge`` and the
+#: undirected-weight grouping; every user must go through the helpers below
+#: so the invariant lives in one place.
+EDGE_KEY_BITS = 32
+_EDGE_KEY_MASK = (1 << EDGE_KEY_BITS) - 1
+#: Keys are built in signed int64 arithmetic, so the *left* operand of the
+#: shift must stay below 2^(63 - EDGE_KEY_BITS) = 2^31 to avoid overflow;
+#: vertex ids are therefore capped one bit tighter than the key width.
+MAX_PACKABLE_VERTEX_ID = (1 << (63 - EDGE_KEY_BITS)) - 1
+
+
+def pack_edge_key(u: int, v: int) -> int:
+    """Pack one vertex pair into a single integer key."""
+    u, v = int(u), int(v)
+    if u > MAX_PACKABLE_VERTEX_ID or v > MAX_PACKABLE_VERTEX_ID:
+        raise ValueError(
+            f"vertex ids must be <= {MAX_PACKABLE_VERTEX_ID} to be packed into edge keys"
+        )
+    return (u << EDGE_KEY_BITS) | v
+
+
+def pack_edge_keys(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Pack vertex-id arrays into int64 edge keys, validating the width.
+
+    Raises ``ValueError`` for ids above :data:`MAX_PACKABLE_VERTEX_ID`
+    (graphs that large need a wider key first) — the int64 shift would wrap
+    silently otherwise and desynchronise from the scalar
+    :func:`pack_edge_key`.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.size and (
+        int(u.min()) < 0
+        or int(v.min()) < 0
+        or int(u.max()) > MAX_PACKABLE_VERTEX_ID
+        or int(v.max()) > MAX_PACKABLE_VERTEX_ID
+    ):
+        raise ValueError(
+            f"vertex ids must be in [0, {MAX_PACKABLE_VERTEX_ID}] to be packed "
+            f"into edge keys"
+        )
+    return (u << np.int64(EDGE_KEY_BITS)) | v
+
+
+def unpack_edge_key(key: int) -> Tuple[int, int]:
+    """Invert :func:`pack_edge_key` / one element of :func:`pack_edge_keys`."""
+    return int(key) >> EDGE_KEY_BITS, int(key) & _EDGE_KEY_MASK
+
+
+class CSRView:
+    """Immutable array view of a directed graph.
+
+    Attributes
+    ----------
+    num_vertices:
+        Number of vertices ``n``.
+    num_edges:
+        Number of directed edges ``m``.
+    edges:
+        ``(m, 2)`` int64 array of directed edges sorted lexicographically by
+        ``(u, v)``; marked read-only.
+    indptr, indices:
+        Successor structure in CSR form: the successors of ``u`` are
+        ``indices[indptr[u]:indptr[u + 1]]`` (sorted ascending).
+    out_degrees, in_degrees:
+        Int64 degree vectors indexed by vertex id; marked read-only.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "edges",
+        "indptr",
+        "indices",
+        "out_degrees",
+        "in_degrees",
+        "__dict__",  # for cached_property
+    )
+
+    def __init__(self, num_vertices: int, edges: np.ndarray) -> None:
+        # Always copy: the view must own its storage so the caller cannot
+        # mutate `edges` (and thereby the fingerprint) behind its back.
+        edges = np.array(edges, dtype=np.int64, copy=True).reshape(-1, 2)
+        if edges.size and (int(edges.min()) < 0 or int(edges.max()) >= num_vertices):
+            bad = edges[(edges.min(axis=1) < 0) | (edges.max(axis=1) >= num_vertices)][0]
+            raise ValueError(
+                f"edge ({int(bad[0])}, {int(bad[1])}) out of range for a view "
+                f"with {num_vertices} vertices"
+            )
+        if edges.shape[0] > 1:
+            order = np.lexsort((edges[:, 1], edges[:, 0]))
+            edges = edges[order]
+        edges = np.ascontiguousarray(edges)
+        edges.flags.writeable = False
+        self.num_vertices = int(num_vertices)
+        self.num_edges = int(edges.shape[0])
+        self.edges = edges
+        out_deg = np.bincount(edges[:, 0], minlength=num_vertices).astype(np.int64)
+        in_deg = np.bincount(edges[:, 1], minlength=num_vertices).astype(np.int64)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(out_deg, out=indptr[1:])
+        indices = edges[:, 1].copy()
+        for arr in (out_deg, in_deg, indptr, indices):
+            arr.flags.writeable = False
+        self.out_degrees = out_deg
+        self.in_degrees = in_deg
+        self.indptr = indptr
+        self.indices = indices
+
+    # ------------------------------------------------------------------
+    # derived, cached
+    # ------------------------------------------------------------------
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable structural hash of ``(n, sorted edge array)``.
+
+        Two graphs have equal fingerprints exactly when they have the same
+        vertex count and the same directed edge set, so the fingerprint is a
+        safe cache key for anything derived from the graph structure alone
+        (Laplacians, spectra, bounds).  Vertex labels/ops do not participate.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.num_vertices.to_bytes(8, "little"))
+        digest.update(self.edges.astype("<i8", copy=False).tobytes())
+        return digest.hexdigest()
+
+    @cached_property
+    def total_degrees(self) -> np.ndarray:
+        """Undirected degree vector ``d_out + d_in`` (read-only)."""
+        deg = self.out_degrees + self.in_degrees
+        deg.flags.writeable = False
+        return deg
+
+    @cached_property
+    def scipy_csr(self) -> sp.csr_matrix:
+        """Directed unweighted adjacency as a SciPy CSR matrix."""
+        n = self.num_vertices
+        data = np.ones(self.num_edges, dtype=np.float64)
+        return sp.csr_matrix((data, self.indices, self.indptr), shape=(n, n))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def successor_slice(self, v: int) -> np.ndarray:
+        """Successors of ``v`` as a read-only array slice."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    @property
+    def max_out_degree(self) -> int:
+        return int(self.out_degrees.max()) if self.num_vertices else 0
+
+    @property
+    def max_in_degree(self) -> int:
+        return int(self.in_degrees.max()) if self.num_vertices else 0
+
+    def edge_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(u, v)`` columns of the edge array (read-only views)."""
+        return self.edges[:, 0], self.edges[:, 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRView(n={self.num_vertices}, m={self.num_edges}, "
+            f"fingerprint={self.fingerprint[:12]}...)"
+        )
+
+
+def build_csr_view(num_vertices: int, edges: np.ndarray) -> CSRView:
+    """Build a :class:`CSRView` from a vertex count and an ``(m, 2)`` array."""
+    return CSRView(num_vertices, edges)

@@ -14,6 +14,8 @@ setting ("max in-degree 2" in Figure 7).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graphs.compgraph import ComputationGraph
 from repro.utils.validation import check_nonnegative_int
 
@@ -60,16 +62,28 @@ def fft_graph(levels: int) -> ComputationGraph:
     check_nonnegative_int(levels, "levels")
     size = 1 << levels
     graph = ComputationGraph(fft_num_vertices(levels))
-    for row in range(size):
-        graph.set_op(fft_vertex_id(levels, 0, row), "input")
-        graph.set_label(fft_vertex_id(levels, 0, row), f"x[{row}]")
+    graph.set_ops({row: "input" for row in range(size)})
+    graph.set_labels({row: f"x[{row}]" for row in range(size)})
+    if levels == 0:
+        return graph
+    # One bulk edge batch: per column, vertex (c, r) consumes (c-1, r) and
+    # (c-1, r XOR 2^{c-1}).  The straight and crossing edges of each row are
+    # interleaved (straight first) so the batch reproduces the historical
+    # per-edge insertion sequence exactly — successor *and* predecessor
+    # order match the per-edge build, keeping seeded schedules and pebbling
+    # results reproducible across releases.
+    rows = np.arange(size, dtype=np.int64)
+    blocks = []
     for column in range(1, levels + 1):
         stride = 1 << (column - 1)
-        for row in range(size):
-            v = fft_vertex_id(levels, column, row)
-            graph.set_op(v, "butterfly")
-            graph.add_edge(fft_vertex_id(levels, column - 1, row), v)
-            graph.add_edge(fft_vertex_id(levels, column - 1, row ^ stride), v)
+        targets = column * size + rows
+        straight = np.stack([(column - 1) * size + rows, targets], axis=1)
+        crossing = np.stack([(column - 1) * size + (rows ^ stride), targets], axis=1)
+        blocks.append(np.stack([straight, crossing], axis=1).reshape(-1, 2))
+    graph.add_edges_array(np.concatenate(blocks))
+    graph.set_ops(
+        {int(v): "butterfly" for v in range(size, fft_num_vertices(levels))}
+    )
     return graph
 
 

@@ -17,6 +17,8 @@ possible.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graphs.compgraph import ComputationGraph
 from repro.utils.validation import check_nonnegative_int
 
@@ -33,15 +35,24 @@ def hypercube_graph(dimension: int) -> ComputationGraph:
     check_nonnegative_int(dimension, "dimension")
     n = 1 << dimension
     graph = ComputationGraph(n)
-    for mask in range(n):
-        graph.set_label(mask, format(mask, f"0{max(dimension, 1)}b"))
-        if mask == 0:
-            graph.set_op(mask, "input")
-        else:
-            graph.set_op(mask, "dp-update")
-        for bit in range(dimension):
-            if not mask & (1 << bit):
-                graph.add_edge(mask, mask | (1 << bit))
+    width = max(dimension, 1)
+    graph.set_labels({mask: format(mask, f"0{width}b") for mask in range(n)})
+    graph.set_ops({mask: "input" if mask == 0 else "dp-update" for mask in range(n)})
+    if dimension == 0:
+        return graph
+    # Bulk edges: for each bit, every mask with that bit clear points to the
+    # mask with the bit set (orientation by increasing popcount).  The batch
+    # is sorted by (target, source) so each vertex's successor/predecessor
+    # order matches the historical per-edge build (masks outer, bits inner),
+    # keeping order-sensitive consumers (pebbling schedules) unchanged.
+    masks = np.arange(n, dtype=np.int64)
+    blocks = []
+    for bit in range(dimension):
+        flag = np.int64(1 << bit)
+        sources = masks[(masks & flag) == 0]
+        blocks.append(np.stack([sources, sources | flag], axis=1))
+    edges = np.concatenate(blocks)
+    graph.add_edges_array(edges[np.lexsort((edges[:, 0], edges[:, 1]))])
     return graph
 
 

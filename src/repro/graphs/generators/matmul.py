@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.graphs.compgraph import ComputationGraph
 from repro.utils.validation import check_positive_int
 
@@ -68,21 +70,116 @@ def naive_matmul_graph(n: int, reduction: str = "chain") -> ComputationGraph:
     """
     check_positive_int(n, "n")
     _check_reduction(reduction)
-    graph = ComputationGraph()
+    # Vertex ids are allocated arithmetically (matching the historical
+    # per-vertex construction order) so all edges can be emitted as bulk
+    # arrays: inputs A then B, then per output entry (i, j) a contiguous
+    # block of n product vertices followed by its reduction vertices.
+    if n == 1:
+        block = 1
+    elif reduction == "flat":
+        block = n + 1
+    else:
+        block = 2 * n - 1
+    base = 2 * n * n
+    graph = ComputationGraph(naive_matmul_num_vertices(n, reduction))
 
-    a = [[graph.add_vertex(label=f"A[{i},{k}]", op="input") for k in range(n)] for i in range(n)]
-    b = [[graph.add_vertex(label=f"B[{k},{j}]", op="input") for j in range(n)] for k in range(n)]
+    graph.set_labels(
+        {i * n + k: f"A[{i},{k}]" for i in range(n) for k in range(n)}
+    )
+    graph.set_labels(
+        {n * n + k * n + j: f"B[{k},{j}]" for k in range(n) for j in range(n)}
+    )
+    graph.set_ops({v: "input" for v in range(2 * n * n)})
 
-    for i in range(n):
-        for j in range(n):
-            products: List[int] = []
-            for k in range(n):
-                p = graph.add_vertex(label=f"P[{i},{j},{k}]", op="mul")
-                graph.add_edge(a[i][k], p)
-                graph.add_edge(b[k][j], p)
-                products.append(p)
-            _reduce(graph, products, reduction, label=f"C[{i},{j}]")
+    # Product vertices: P[i, j, k] = base + (i*n + j)*block + k, consuming
+    # A[i, k] and B[k, j] (operand order A then B, as in the per-edge build).
+    ii, jj, kk = np.meshgrid(
+        np.arange(n, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        indexing="ij",
+    )
+    ii, jj, kk = ii.ravel(), jj.ravel(), kk.ravel()
+    pid = base + (ii * n + jj) * block + kk
+    a_edges = np.stack([ii * n + kk, pid], axis=1)
+    b_edges = np.stack([n * n + kk * n + jj, pid], axis=1)
+    blocks = [a_edges, b_edges]
+    graph.set_labels(
+        {
+            int(p): f"P[{i},{j},{k}]"
+            for p, i, j, k in zip(pid.tolist(), ii.tolist(), jj.tolist(), kk.tolist())
+        }
+    )
+    graph.set_ops({int(p): "mul" for p in pid.tolist()})
+
+    cells = (
+        np.arange(n, dtype=np.int64)[:, None] * n + np.arange(n, dtype=np.int64)[None, :]
+    ).ravel()
+    cell_base = base + cells * block
+    if n > 1:
+        blocks.extend(_reduction_edge_blocks(graph, cell_base, n, reduction))
+    graph.add_edges_array(np.concatenate(blocks))
+    graph.set_labels(
+        {
+            int(cell_base[i * n + j] + block - 1): f"C[{i},{j}]"
+            for i in range(n)
+            for j in range(n)
+        }
+    )
     return graph
+
+
+def _reduction_edge_blocks(
+    graph: ComputationGraph, cell_base: np.ndarray, n: int, reduction: str
+) -> List[np.ndarray]:
+    """Edge blocks of the dot-product reductions for every output entry.
+
+    ``cell_base`` holds the first product id of every ``(i, j)`` block; the
+    reduction vertices occupy offsets ``n .. block - 1`` inside each block.
+    The offset pattern is identical across blocks, so each reduction shape is
+    expressed once in offsets and broadcast over all ``n^2`` entries.
+    """
+    blocks: List[np.ndarray] = []
+
+    def offset_edges(source_offsets: np.ndarray, target_offsets: np.ndarray) -> np.ndarray:
+        sources = (cell_base[:, None] + source_offsets[None, :]).ravel()
+        targets = (cell_base[:, None] + target_offsets[None, :]).ravel()
+        return np.stack([sources, targets], axis=1)
+
+    if reduction == "flat":
+        ops = {int(v): "sum" for v in (cell_base + n).tolist()}
+        graph.set_ops(ops)
+        blocks.append(
+            offset_edges(np.arange(n, dtype=np.int64), np.full(n, n, dtype=np.int64))
+        )
+        return blocks
+
+    add_ids = (cell_base[:, None] + np.arange(n, 2 * n - 1, dtype=np.int64)[None, :]).ravel()
+    graph.set_ops({int(v): "add" for v in add_ids.tolist()})
+
+    if reduction == "chain":
+        # s_t consumes the running accumulator (p_0 for t = 0, s_{t-1} after)
+        # and product p_{t+1}; accumulator operand first.
+        t = np.arange(n - 1, dtype=np.int64)
+        acc_offsets = np.where(t == 0, 0, n + t - 1)
+        add_offsets = n + t
+        blocks.append(offset_edges(acc_offsets, add_offsets))
+        blocks.append(offset_edges(t + 1, add_offsets))
+        return blocks
+
+    # Balanced binary tree: pair up the frontier level by level; the leftover
+    # odd element is carried to the end of the next level's frontier.
+    frontier = np.arange(n, dtype=np.int64)
+    next_offset = np.int64(n)
+    while frontier.shape[0] > 1:
+        pairs = frontier.shape[0] // 2
+        new_offsets = next_offset + np.arange(pairs, dtype=np.int64)
+        blocks.append(offset_edges(frontier[0 : 2 * pairs : 2], new_offsets))
+        blocks.append(offset_edges(frontier[1 : 2 * pairs : 2], new_offsets))
+        leftover = frontier[2 * pairs :]
+        frontier = np.concatenate([new_offsets, leftover])
+        next_offset += pairs
+    return blocks
 
 
 def dot_product_formulation_graph(n: int) -> ComputationGraph:
@@ -95,53 +192,31 @@ def dot_product_formulation_graph(n: int) -> ComputationGraph:
     an ablation of operation granularity.
     """
     check_positive_int(n, "n")
-    graph = ComputationGraph()
-    a = [[graph.add_vertex(label=f"A[{i},{k}]", op="input") for k in range(n)] for i in range(n)]
-    b = [[graph.add_vertex(label=f"B[{k},{j}]", op="input") for j in range(n)] for k in range(n)]
-    for i in range(n):
-        for j in range(n):
-            c = graph.add_vertex(label=f"C[{i},{j}]", op="dot")
-            for k in range(n):
-                graph.add_edge(a[i][k], c)
-                graph.add_edge(b[k][j], c)
+    graph = ComputationGraph(2 * n * n + n * n)
+    graph.set_labels(
+        {i * n + k: f"A[{i},{k}]" for i in range(n) for k in range(n)}
+    )
+    graph.set_labels(
+        {n * n + k * n + j: f"B[{k},{j}]" for k in range(n) for j in range(n)}
+    )
+    graph.set_ops({v: "input" for v in range(2 * n * n)})
+    ii, jj = np.meshgrid(
+        np.arange(n, dtype=np.int64), np.arange(n, dtype=np.int64), indexing="ij"
+    )
+    ii, jj = ii.ravel(), jj.ravel()
+    cid = 2 * n * n + ii * n + jj
+    graph.set_labels(
+        {int(c): f"C[{i},{j}]" for c, i, j in zip(cid.tolist(), ii.tolist(), jj.tolist())}
+    )
+    graph.set_ops({int(c): "dot" for c in cid.tolist()})
+    # Operand order per output entry alternates A[i, k], B[k, j] over k, as in
+    # the per-edge build: emit one (A-block, B-block) pair per k.
+    blocks: List[np.ndarray] = []
+    for k in range(n):
+        blocks.append(np.stack([ii * n + k, cid], axis=1))
+        blocks.append(np.stack([n * n + k * n + jj, cid], axis=1))
+    graph.add_edges_array(np.concatenate(blocks))
     return graph
-
-
-def _reduce(graph: ComputationGraph, values: List[int], reduction: str, label: str) -> int:
-    """Accumulate ``values`` into one result vertex; returns the result id."""
-    if len(values) == 1:
-        # A 1x1 multiplication: the single product *is* the output entry.
-        graph.set_label(values[0], label)
-        return values[0]
-    if reduction == "flat":
-        s = graph.add_vertex(op="sum")
-        for v in values:
-            graph.add_edge(v, s)
-        graph.set_label(s, label)
-        return s
-    if reduction == "chain":
-        acc = values[0]
-        for v in values[1:]:
-            nxt = graph.add_vertex(op="add")
-            graph.add_edge(acc, nxt)
-            graph.add_edge(v, nxt)
-            acc = nxt
-        graph.set_label(acc, label)
-        return acc
-    # Balanced binary tree reduction.
-    frontier = list(values)
-    while len(frontier) > 1:
-        nxt_frontier: List[int] = []
-        for idx in range(0, len(frontier) - 1, 2):
-            s = graph.add_vertex(op="add")
-            graph.add_edge(frontier[idx], s)
-            graph.add_edge(frontier[idx + 1], s)
-            nxt_frontier.append(s)
-        if len(frontier) % 2 == 1:
-            nxt_frontier.append(frontier[-1])
-        frontier = nxt_frontier
-    graph.set_label(frontier[0], label)
-    return frontier[0]
 
 
 def _check_reduction(reduction: str) -> None:

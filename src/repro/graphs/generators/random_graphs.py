@@ -43,11 +43,10 @@ def erdos_renyi_dag(n: int, p: float, seed: SeedLike = None) -> ComputationGraph
     graph = ComputationGraph(n)
     if p == 0.0 or n == 1:
         return graph
-    # Vectorised sampling of the upper triangle.
+    # Vectorised sampling of the upper triangle, added as one edge batch.
     iu, ju = np.triu_indices(n, k=1)
     mask = rng.random(iu.shape[0]) < p
-    for u, v in zip(iu[mask], ju[mask]):
-        graph.add_edge(int(u), int(v))
+    graph.add_edges_array(np.stack([iu[mask], ju[mask]], axis=1))
     return graph
 
 
@@ -89,16 +88,28 @@ def layered_random_dag(
     rng = as_rng(seed)
     graph = ComputationGraph(num_layers * layer_width)
     k = min(in_degree, layer_width)
-    for layer in range(num_layers):
+    graph.set_ops({v: "input" for v in range(layer_width)})
+    graph.set_ops(
+        {v: "op" for v in range(layer_width, num_layers * layer_width)}
+    )
+    # Parents are drawn exactly as the historical per-edge build did (one
+    # rng.choice per vertex), so seeded graphs are byte-identical across
+    # releases; only the graph mutation is batched.
+    sources: list = []
+    targets: list = []
+    for layer in range(1, num_layers):
         for i in range(layer_width):
             v = layer * layer_width + i
-            if layer == 0:
-                graph.set_op(v, "input")
-                continue
-            graph.set_op(v, "op")
             parents = rng.choice(layer_width, size=k, replace=False)
-            for p_idx in parents:
-                graph.add_edge((layer - 1) * layer_width + int(p_idx), v)
+            sources.extend(((layer - 1) * layer_width + parents).tolist())
+            targets.extend([v] * k)
+    if sources:
+        graph.add_edges_array(
+            np.stack(
+                [np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)],
+                axis=1,
+            )
+        )
     return graph
 
 
@@ -122,10 +133,18 @@ def random_dag(
         check_positive_int(max_in_degree, "max_in_degree")
     rng = as_rng(seed)
     graph = ComputationGraph(n)
+    blocks = []
     for v in range(1, n):
         candidates = np.nonzero(rng.random(v) < edge_probability)[0]
         if max_in_degree is not None and candidates.shape[0] > max_in_degree:
             candidates = rng.choice(candidates, size=max_in_degree, replace=False)
-        for u in candidates:
-            graph.add_edge(int(u), v)
+        if candidates.shape[0]:
+            blocks.append(
+                np.stack(
+                    [candidates.astype(np.int64), np.full(candidates.shape[0], v, dtype=np.int64)],
+                    axis=1,
+                )
+            )
+    if blocks:
+        graph.add_edges_array(np.concatenate(blocks))
     return graph

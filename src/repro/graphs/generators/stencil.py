@@ -12,6 +12,8 @@ the method is and is not tight.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graphs.compgraph import ComputationGraph
 from repro.utils.validation import check_positive_int
 
@@ -30,20 +32,26 @@ def stencil_1d_graph(width: int, timesteps: int, radius: int = 1) -> Computation
     check_positive_int(timesteps, "timesteps")
     check_positive_int(radius, "radius")
     graph = ComputationGraph((timesteps + 1) * width)
-
-    def vid(t: int, i: int) -> int:
-        return t * width + i
-
-    for i in range(width):
-        graph.set_op(vid(0, i), "input")
+    graph.set_ops({i: "input" for i in range(width)})
+    graph.set_ops(
+        {v: "stencil" for v in range(width, (timesteps + 1) * width)}
+    )
+    # Bulk edges per timestep: position i at time t consumes positions
+    # i - radius .. i + radius at time t - 1, clipped to the domain.  The
+    # batch is ordered position-major / offset-minor, matching the
+    # historical per-edge insertion order exactly.
+    ii, oo = np.meshgrid(
+        np.arange(width, dtype=np.int64),
+        np.arange(-radius, radius + 1, dtype=np.int64),
+        indexing="ij",
+    )
+    ii, jj = ii.ravel(), (ii + oo).ravel()
+    valid = (jj >= 0) & (jj < width)
+    ii, jj = ii[valid], jj[valid]
+    blocks = []
     for t in range(1, timesteps + 1):
-        for i in range(width):
-            v = vid(t, i)
-            graph.set_op(v, "stencil")
-            for off in range(-radius, radius + 1):
-                j = i + off
-                if 0 <= j < width:
-                    graph.add_edge(vid(t - 1, j), v)
+        blocks.append(np.stack([(t - 1) * width + jj, t * width + ii], axis=1))
+    graph.add_edges_array(np.concatenate(blocks))
     return graph
 
 
@@ -58,22 +66,32 @@ def stencil_2d_graph(width: int, height: int, timesteps: int) -> ComputationGrap
     check_positive_int(width, "width")
     check_positive_int(height, "height")
     check_positive_int(timesteps, "timesteps")
-    graph = ComputationGraph((timesteps + 1) * width * height)
-
-    def vid(t: int, i: int, j: int) -> int:
-        return t * width * height + i * height + j
-
-    for i in range(width):
-        for j in range(height):
-            graph.set_op(vid(0, i, j), "input")
-    offsets = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)]
+    plane = width * height
+    graph = ComputationGraph((timesteps + 1) * plane)
+    graph.set_ops({v: "input" for v in range(plane)})
+    graph.set_ops({v: "stencil" for v in range(plane, (timesteps + 1) * plane)})
+    # Bulk edges per timestep over the flattened grid, ordered cell-major /
+    # offset-minor like the historical per-edge build.
+    offsets = np.array(
+        [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)], dtype=np.int64
+    )
+    ii, jj, kk = np.meshgrid(
+        np.arange(width, dtype=np.int64),
+        np.arange(height, dtype=np.int64),
+        np.arange(offsets.shape[0], dtype=np.int64),
+        indexing="ij",
+    )
+    ii, jj, kk = ii.ravel(), jj.ravel(), kk.ravel()
+    aa, bb = ii + offsets[kk, 0], jj + offsets[kk, 1]
+    valid = (aa >= 0) & (aa < width) & (bb >= 0) & (bb < height)
+    ii, jj, aa, bb = ii[valid], jj[valid], aa[valid], bb[valid]
+    blocks = []
     for t in range(1, timesteps + 1):
-        for i in range(width):
-            for j in range(height):
-                v = vid(t, i, j)
-                graph.set_op(v, "stencil")
-                for di, dj in offsets:
-                    a, b = i + di, j + dj
-                    if 0 <= a < width and 0 <= b < height:
-                        graph.add_edge(vid(t - 1, a, b), v)
+        blocks.append(
+            np.stack(
+                [(t - 1) * plane + aa * height + bb, t * plane + ii * height + jj],
+                axis=1,
+            )
+        )
+    graph.add_edges_array(np.concatenate(blocks))
     return graph

@@ -30,7 +30,9 @@ Two granularities for the output-quadrant combinations are supported:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from repro.graphs.compgraph import ComputationGraph
 from repro.utils.validation import check_power_of_two
@@ -90,25 +92,28 @@ def _submatrix(m: Matrix, size: int, quadrant_row: int, quadrant_col: int) -> Ma
 
 
 def _elementwise(graph: ComputationGraph, x: Matrix, y: Matrix, op: str) -> Matrix:
-    """Elementwise add/sub of two equally indexed matrices; one vertex each."""
-    out: Matrix = {}
-    for key in x:
-        v = graph.add_vertex(op=op)
-        graph.add_edge(x[key], v)
-        graph.add_edge(y[key], v)
-        out[key] = v
-    return out
+    """Elementwise add/sub of two equally indexed matrices; one vertex each.
+
+    Vertices and edges are emitted in bulk: one ``add_vertices`` call and one
+    edge-array batch per elementwise operation instead of per element.
+    """
+    return _fused_combination(graph, [x, y], op)
 
 
-def _fused_combination(graph: ComputationGraph, operands: list[Matrix], op: str) -> Matrix:
-    """Elementwise combination of several matrices as single vertices."""
-    out: Matrix = {}
-    for key in operands[0]:
-        v = graph.add_vertex(op=op)
-        for matrix in operands:
-            graph.add_edge(matrix[key], v)
-        out[key] = v
-    return out
+def _fused_combination(graph: ComputationGraph, operands: List[Matrix], op: str) -> Matrix:
+    """Elementwise combination of several matrices as single bulk vertices."""
+    keys = list(operands[0])
+    ids = graph.add_vertices(len(keys), op=op)
+    targets = np.asarray(ids, dtype=np.int64)
+    blocks = [
+        np.stack(
+            [np.fromiter((matrix[key] for key in keys), dtype=np.int64, count=len(keys)), targets],
+            axis=1,
+        )
+        for matrix in operands
+    ]
+    graph.add_edges_array(np.concatenate(blocks))
+    return dict(zip(keys, ids))
 
 
 def _combine(graph: ComputationGraph, size: int, c11: Matrix, c12: Matrix, c21: Matrix, c22: Matrix) -> Matrix:

@@ -14,6 +14,9 @@ Lanczos-Arnoldi; this subpackage therefore provides
 * :mod:`backend` — a single entry point,
   :func:`repro.solvers.backend.smallest_eigenvalues`, that picks a backend
   automatically and cross-checks are exercised in the tests.
+* :mod:`spectrum_cache` — an LRU cache of eigensolves keyed by the graph's
+  structural fingerprint, shared by all bound computations so repeated
+  bounds on the same graph solve once.
 """
 
 from repro.solvers.backend import smallest_eigenvalues, EigenSolverOptions
@@ -23,10 +26,18 @@ from repro.solvers.power_iteration import (
     power_iteration_largest_eigenvalue,
     power_iteration_smallest_eigenvalues,
 )
+from repro.solvers.spectrum_cache import (
+    CachedSpectrum,
+    SpectrumCache,
+    default_spectrum_cache,
+)
 
 __all__ = [
     "smallest_eigenvalues",
     "EigenSolverOptions",
+    "CachedSpectrum",
+    "SpectrumCache",
+    "default_spectrum_cache",
     "dense_spectrum",
     "dense_smallest_eigenvalues",
     "lanczos_smallest_eigenvalues",

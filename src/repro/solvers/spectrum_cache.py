@@ -1,0 +1,218 @@
+"""Shared cache of Laplacian spectra keyed by graph structure.
+
+Every spectral bound (Theorems 4, 5, 6) consumes the same quantity: the ``h``
+smallest eigenvalues of a graph's (normalised or ordinary) Laplacian.  The
+eigensolve dominates the cost of a bound by orders of magnitude, yet it
+depends only on the graph structure, the normalisation, and the solver
+configuration — not on the memory size ``M``, the number of processors ``p``,
+or the ``k`` sweep.  :class:`SpectrumCache` therefore memoises eigensolves
+under the key ``(fingerprint, normalized, h, sparse assembly, solver
+options)``, where ``fingerprint`` is the structural hash from
+:meth:`repro.graphs.compgraph.ComputationGraph.fingerprint`.
+
+Properties:
+
+* **LRU budget** — the cache holds at most ``max_entries`` spectra (each is a
+  tiny float vector, but fingerprinted graphs can be numerous in a sweep).
+* **Prefix serving** — a request for ``h`` eigenvalues is served from any
+  cached entry with the same graph/normalisation/options and ``h' >= h`` by
+  slicing (eigenvalues are ascending), so shrinking the truncation never
+  re-solves.
+* **Counters** — ``hits`` / ``misses`` are exposed; every miss corresponds to
+  exactly one eigensolve, which is what the engine tests assert.
+* **Unnormalised scaling included** — for ``normalized=False`` the cache
+  stores ``lambda(L) / max_out_degree`` (the Theorem 5 quantity), so callers
+  always receive eigenvalues ready to plug into the bound formula.
+
+The module-level :func:`default_spectrum_cache` is shared by all
+:class:`~repro.core.engine.BoundEngine` instances that are not given an
+explicit cache, so repeated bound computations on the same graph anywhere in
+a process reuse eigensolves.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.laplacian import laplacian
+from repro.solvers.backend import EigenSolverOptions, smallest_eigenvalues
+
+__all__ = ["CachedSpectrum", "SpectrumCache", "default_spectrum_cache"]
+
+#: Graphs larger than this default to sparse Laplacian assembly (mirrors the
+#: heuristic the bound functions have always used).
+SPARSE_CUTOFF = 2000
+
+
+@dataclass(frozen=True)
+class CachedSpectrum:
+    """One spectrum lookup result.
+
+    Attributes
+    ----------
+    eigenvalues:
+        The requested smallest eigenvalues, ascending, read-only.  For
+        ``normalized=False`` they are already divided by the maximum
+        out-degree (the Theorem 5 scaling).
+    solve_seconds:
+        Wall-clock cost of the eigensolve that produced the underlying cache
+        entry.  On a cache hit this is the cost of the *original* solve, not
+        of this lookup — it attributes the eigensolve cost without repeating
+        it per lookup.
+    cache_hit:
+        True when the spectrum was served from the cache.
+    """
+
+    eigenvalues: np.ndarray
+    solve_seconds: float
+    cache_hit: bool
+
+
+class SpectrumCache:
+    """LRU cache of smallest-eigenvalue computations for graph Laplacians.
+
+    Parameters
+    ----------
+    max_entries:
+        Size budget: least-recently-used entries are evicted beyond this
+        count.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple, Tuple[np.ndarray, float]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # stats / management
+    # ------------------------------------------------------------------
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def hits(self) -> int:
+        """Number of lookups served without an eigensolve."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of lookups that required an eigensolve."""
+        return self._misses
+
+    @property
+    def num_eigensolves(self) -> int:
+        """Alias for :attr:`misses`: each miss performs exactly one solve."""
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def spectrum(
+        self,
+        graph: ComputationGraph,
+        num_eigenvalues: int,
+        normalized: bool = True,
+        eig_options: Optional[EigenSolverOptions] = None,
+        sparse: Optional[bool] = None,
+    ) -> CachedSpectrum:
+        """The ``num_eigenvalues`` smallest Laplacian eigenvalues of ``graph``.
+
+        Serves from the cache when possible (exact key, or a prefix of a
+        larger cached spectrum); otherwise assembles the Laplacian, solves,
+        stores and returns.  ``normalized=False`` returns the Theorem 5
+        quantity ``lambda(L) / max_out_degree``.
+        """
+        n = graph.num_vertices
+        h = int(num_eigenvalues)
+        if h < 0:
+            raise ValueError(f"num_eigenvalues must be non-negative, got {h}")
+        if h > n:
+            raise ValueError(f"requested {h} eigenvalues from an n={n} graph")
+        if n == 0 or h == 0:
+            return CachedSpectrum(np.zeros(0), 0.0, True)
+        options = eig_options or EigenSolverOptions()
+        # Resolve the sparse/dense assembly choice *before* keying: the two
+        # paths can use different solver backends (dense LAPACK vs ARPACK),
+        # so their spectra must never be served interchangeably.  Keying on
+        # the resolved flag also lets sparse=None share entries with an
+        # explicit request that resolves the same way.
+        use_sparse = sparse if sparse is not None else n > SPARSE_CUTOFF
+        base_key = (graph.fingerprint(), bool(normalized), bool(use_sparse), options)
+        key = base_key + (h,)
+
+        with self._lock:
+            found = self._entries.get(key)
+            if found is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return CachedSpectrum(found[0], found[1], True)
+            # Prefix serving: any cached spectrum of the same graph /
+            # normalisation / assembly / options with h' >= h contains the
+            # answer.
+            for other_key, (values, solve_seconds) in self._entries.items():
+                if other_key[:4] == base_key and other_key[4] >= h:
+                    self._entries.move_to_end(other_key)
+                    self._hits += 1
+                    prefix = values[:h]
+                    prefix.flags.writeable = False
+                    return CachedSpectrum(prefix, solve_seconds, True)
+
+        # Solve outside the lock: concurrent misses on the same key may solve
+        # twice, which is wasteful but never wrong (results are identical for
+        # deterministic backends).
+        values, solve_seconds = self._solve(graph, h, normalized, options, use_sparse)
+        with self._lock:
+            self._entries[key] = (values, solve_seconds)
+            self._entries.move_to_end(key)
+            self._misses += 1
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+        return CachedSpectrum(values, solve_seconds, False)
+
+    @staticmethod
+    def _solve(
+        graph: ComputationGraph,
+        h: int,
+        normalized: bool,
+        options: EigenSolverOptions,
+        use_sparse: bool,
+    ) -> Tuple[np.ndarray, float]:
+        start = time.perf_counter()
+        lap = laplacian(graph, normalized=normalized, sparse=use_sparse)
+        values = smallest_eigenvalues(lap, h, options=options)
+        if not normalized:
+            max_out = graph.freeze().max_out_degree
+            values = values / max_out if max_out else values * 0.0
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        values.flags.writeable = False
+        return values, time.perf_counter() - start
+
+
+_DEFAULT_CACHE = SpectrumCache(max_entries=128)
+
+
+def default_spectrum_cache() -> SpectrumCache:
+    """The process-wide spectrum cache shared by default-constructed engines."""
+    return _DEFAULT_CACHE

@@ -37,7 +37,28 @@ class TestFromEigenvalues:
         value, k, per_k = spectral_bound_from_eigenvalues([0.0, 1.0, 2.0], 10, 1)
         assert value == max(per_k.values())
         assert per_k[k] == value
-        assert set(per_k.keys()) == {1, 2, 3}
+        # The default sweep covers k = 2 .. h (§6.1): k = 1 is excluded
+        # because lambda_1 = 0 makes its expression -2M, which never wins.
+        assert set(per_k.keys()) == {2, 3}
+
+    def test_default_sweep_excludes_k1_but_explicit_k1_allowed(self):
+        _, best_k, per_k = spectral_bound_from_eigenvalues([0.0, 1.0, 2.0], 10, 1)
+        assert 1 not in per_k and best_k >= 2
+        _, _, explicit = spectral_bound_from_eigenvalues([0.0, 1.0, 2.0], 10, 1, k=1)
+        assert set(explicit.keys()) == {1}
+
+    def test_single_eigenvalue_falls_back_to_k1(self):
+        # When only one eigenvalue is available the 2..h default sweep is
+        # empty; the formula must still evaluate k=1 rather than silently
+        # reporting an uninformative 0.
+        value, k, per_k = spectral_bound_from_eigenvalues([5.0], 10, 1)
+        assert per_k == {1: pytest.approx(48.0)}
+        assert value == pytest.approx(48.0) and k == 1
+
+    def test_single_vertex_graph_falls_back_to_k1(self):
+        value, k, per_k = spectral_bound_from_eigenvalues([0.0], 1, 2)
+        assert set(per_k.keys()) == {1}
+        assert value == pytest.approx(-4.0)
 
     def test_k1_value(self):
         value, _, per_k = spectral_bound_from_eigenvalues([0.0, 5.0], 10, 2, k=1)
