@@ -36,6 +36,7 @@ __all__ = [
     "run_once",
     "check_series_shape",
     "engine_for",
+    "orchestrated_sweep",
     "write_perf_record",
 ]
 
@@ -76,15 +77,45 @@ def engine_for(
     graph: ComputationGraph,
     num_eigenvalues: int = DEFAULT_NUM_EIGENVALUES,
     cache: Optional[SpectrumCache] = None,
+    store=None,
 ) -> BoundEngine:
     """The harness's standard way to build a :class:`BoundEngine`.
 
     Pass an explicit ``cache`` for timing runs that must control exactly
-    which eigensolves are shared (as ``bench_engine_cache.py`` does);
+    which eigensolves are shared (as ``bench_engine_cache.py`` does), or a
+    persistent ``store`` (:class:`repro.runtime.store.SpectrumStore`) for
+    runs that should skip eigensolves already paid for by earlier runs;
     otherwise the process-wide default cache is used, so harness engines
     share eigensolves with every other default-constructed engine.
     """
-    return BoundEngine(graph, num_eigenvalues=num_eigenvalues, cache=cache)
+    return BoundEngine(graph, num_eigenvalues=num_eigenvalues, cache=cache, store=store)
+
+
+def orchestrated_sweep(
+    family: str,
+    graph_builder,
+    size_params: Sequence[int],
+    memory_sizes: Sequence[int],
+    methods: Sequence[str] = ("spectral",),
+    num_eigenvalues: int = DEFAULT_NUM_EIGENVALUES,
+    store=None,
+    processes: int = 1,
+):
+    """Run a family sweep through the runtime orchestrator.
+
+    This is how the harness exercises the pooled/persistent execution paths
+    (``bench_runtime_store.py``): it returns the orchestrator's
+    :class:`~repro.runtime.orchestrator.SweepReport`, whose
+    ``num_eigensolves`` makes cold/warm behaviour assertable.
+    """
+    from repro.runtime.orchestrator import SweepOrchestrator
+
+    orchestrator = SweepOrchestrator(
+        store=store, processes=processes, num_eigenvalues=num_eigenvalues
+    )
+    return orchestrator.run_family(
+        family, graph_builder, size_params, memory_sizes, methods=methods
+    )
 
 
 def write_perf_record(name: str, payload: Mapping[str, object]) -> Path:

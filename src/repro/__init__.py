@@ -17,7 +17,10 @@ Reproduction of Jain & Zaharia, SPAA 2020.  The package provides:
 * :mod:`repro.parallel` — processor-assignment utilities for the parallel
   bound;
 * :mod:`repro.analysis` — sweep, runtime-measurement and reporting harness
-  used by the benchmark suite.
+  used by the benchmark suite;
+* :mod:`repro.runtime` — the production runtime layer: persistent on-disk
+  spectrum store, process-pool sweep orchestrator, batch bound service and
+  the ``python -m repro`` CLI.
 
 Quickstart
 ----------
@@ -50,10 +53,12 @@ from repro.graphs.generators import (
     naive_matmul_graph,
     strassen_graph,
 )
+from repro.runtime.service import BoundQuery, BoundService
+from repro.runtime.store import SpectrumStore
 from repro.trace.api import trace_computation
 from repro.trace.tracer import GraphTracer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -73,4 +78,7 @@ __all__ = [
     "naive_matmul_graph",
     "strassen_graph",
     "bellman_held_karp_graph",
+    "SpectrumStore",
+    "BoundService",
+    "BoundQuery",
 ]

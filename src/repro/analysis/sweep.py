@@ -16,20 +16,27 @@ Spectral methods are executed through one :class:`repro.core.engine
 .BoundEngine` per graph, all sharing a per-sweep spectrum cache: a figure
 sweep performs exactly one eigensolve per (graph, normalisation), no matter
 how many memory sizes or methods it covers.
+
+Execution is delegated to :class:`repro.runtime.orchestrator
+.SweepOrchestrator`: ``processes > 1`` fans the family out over a process
+pool, and ``store`` plugs a persistent :class:`repro.runtime.store
+.SpectrumStore` under every engine so repeated sweeps (across processes and
+runs) skip eigensolves entirely.  :func:`evaluate_graph_rows` is the
+single-graph kernel both the serial path and the pool workers execute.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, asdict
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.convex_mincut import convex_min_cut_max_value
 from repro.core.engine import BoundEngine
 from repro.graphs.compgraph import ComputationGraph
 from repro.solvers.spectrum_cache import SpectrumCache
 
-__all__ = ["SweepRow", "sweep", "METHODS"]
+__all__ = ["SweepRow", "sweep", "evaluate_graph_rows", "METHODS"]
 
 #: Methods understood by :func:`sweep`.
 METHODS = ("spectral", "spectral-unnormalized", "convex-min-cut")
@@ -97,6 +104,74 @@ def _evaluate_convex(
     }
 
 
+def evaluate_graph_rows(
+    family: str,
+    size_param: int,
+    graph: ComputationGraph,
+    memory_sizes: Sequence[int],
+    methods: Sequence[str] = ("spectral",),
+    num_eigenvalues: int = 100,
+    skip_infeasible: bool = True,
+    convex_vertex_cap: Optional[int] = None,
+    max_vertices: Optional[Dict[str, int]] = None,
+    cache: Optional[SpectrumCache] = None,
+) -> Tuple[List[SweepRow], int]:
+    """Evaluate every (method, M) combination on one graph.
+
+    This is the per-graph kernel of :func:`sweep`: the serial path calls it
+    in a loop with a shared cache, and the orchestrator's pool workers call
+    it once per task with a store-backed private cache.
+
+    Returns
+    -------
+    (rows, num_eigensolves)
+        The sweep rows plus the number of eigensolves the evaluation
+        actually performed (0 when every spectrum came from a cache tier).
+    """
+    for method in methods:
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    max_vertices = max_vertices or {}
+    memory_sizes = list(memory_sizes)
+    engine = BoundEngine(graph, num_eigenvalues=num_eigenvalues, cache=cache)
+    max_in = graph.max_in_degree
+    feasible_ms = [
+        M for M in memory_sizes if not (skip_infeasible and max_in + 1 > M)
+    ]
+    rows: List[SweepRow] = []
+    if not feasible_ms:
+        return rows, 0
+
+    def emit(method: str, M: int, bound: float, best_k: Optional[int], elapsed: float) -> None:
+        rows.append(
+            SweepRow(
+                family=family,
+                size_param=size_param,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+                max_in_degree=max_in,
+                memory_size=M,
+                method=method,
+                bound=float(bound),
+                best_k=best_k,
+                elapsed_seconds=elapsed,
+            )
+        )
+
+    for method in methods:
+        cap = max_vertices.get(method)
+        if cap is not None and graph.num_vertices > cap:
+            continue
+        if method in ("spectral", "spectral-unnormalized"):
+            per_m = _evaluate_spectral(method, engine, feasible_ms)
+        else:  # convex-min-cut
+            per_m = _evaluate_convex(graph, feasible_ms, convex_vertex_cap)
+        for M in feasible_ms:
+            bound, best_k, elapsed = per_m[M]
+            emit(method, M, bound, best_k, elapsed)
+    return rows, engine.num_eigensolves
+
+
 def sweep(
     family: str,
     graph_builder: Callable[[int], ComputationGraph],
@@ -107,6 +182,8 @@ def sweep(
     skip_infeasible: bool = True,
     convex_vertex_cap: Optional[int] = None,
     max_vertices: Optional[Dict[str, int]] = None,
+    processes: int = 1,
+    store=None,
 ) -> List[SweepRow]:
     """Evaluate ``methods`` over a graph family.
 
@@ -115,7 +192,8 @@ def sweep(
     family:
         Name recorded in every row (e.g. ``"fft"``).
     graph_builder:
-        Callable mapping the size parameter to a computation graph.
+        Callable mapping the size parameter to a computation graph.  Must be
+        picklable (e.g. a module-level generator) when ``processes > 1``.
     size_params:
         Size parameters to sweep (``l`` for FFT/BHK, ``n`` for matmul).
     memory_sizes:
@@ -134,58 +212,31 @@ def sweep(
         Optional per-method cap ``{method: n_max}``: graphs larger than the
         cap are skipped for that method (used to keep the ``O(n^5)`` baseline
         within the benchmark time budget, mirroring the paper's 1-day cutoff).
+    processes:
+        Number of worker processes; ``1`` (default) runs serially in-process,
+        ``None`` uses one worker per CPU.
+    store:
+        Optional persistent :class:`~repro.runtime.store.SpectrumStore` (or
+        its root path) shared by all engines/workers of the sweep.
 
     Returns
     -------
     list[SweepRow]
         One row per (size, M, method) combination actually evaluated.
     """
-    for method in methods:
-        if method not in METHODS:
-            raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
-    max_vertices = max_vertices or {}
-    rows: List[SweepRow] = []
-    memory_sizes = list(memory_sizes)
-    # One spectrum cache per sweep: every graph gets one engine, and the two
-    # spectral methods on the same graph share it, so each (graph,
-    # normalisation) pair is eigensolved exactly once per sweep.
-    size_params = list(size_params)
-    cache = SpectrumCache(max_entries=max(8, 2 * len(size_params)))
-    for size in size_params:
-        graph = graph_builder(size)
-        engine = BoundEngine(graph, num_eigenvalues=num_eigenvalues, cache=cache)
-        max_in = graph.max_in_degree
-        feasible_ms = [
-            M for M in memory_sizes if not (skip_infeasible and max_in + 1 > M)
-        ]
-        if not feasible_ms:
-            continue
+    # Imported here: the orchestrator imports this module for the per-graph
+    # kernel, so a top-level import would be circular.
+    from repro.runtime.orchestrator import SweepOrchestrator
 
-        def emit(method: str, M: int, bound: float, best_k: Optional[int], elapsed: float) -> None:
-            rows.append(
-                SweepRow(
-                    family=family,
-                    size_param=size,
-                    num_vertices=graph.num_vertices,
-                    num_edges=graph.num_edges,
-                    max_in_degree=max_in,
-                    memory_size=M,
-                    method=method,
-                    bound=float(bound),
-                    best_k=best_k,
-                    elapsed_seconds=elapsed,
-                )
-            )
-
-        for method in methods:
-            cap = max_vertices.get(method)
-            if cap is not None and graph.num_vertices > cap:
-                continue
-            if method in ("spectral", "spectral-unnormalized"):
-                per_m = _evaluate_spectral(method, engine, feasible_ms)
-            else:  # convex-min-cut
-                per_m = _evaluate_convex(graph, feasible_ms, convex_vertex_cap)
-            for M in feasible_ms:
-                bound, best_k, elapsed = per_m[M]
-                emit(method, M, bound, best_k, elapsed)
-    return rows
+    orchestrator = SweepOrchestrator(
+        store=store,
+        processes=processes,
+        num_eigenvalues=num_eigenvalues,
+        skip_infeasible=skip_infeasible,
+        convex_vertex_cap=convex_vertex_cap,
+        max_vertices=max_vertices,
+    )
+    report = orchestrator.run_family(
+        family, graph_builder, size_params, memory_sizes, methods=methods
+    )
+    return report.rows

@@ -84,6 +84,12 @@ class BoundEngine:
         The :class:`SpectrumCache` to use.  ``None`` uses the process-wide
         default cache, so engines on the same graph share eigensolves even
         across call sites.
+    store:
+        Optional :class:`~repro.runtime.store.SpectrumStore`: when given
+        (and no explicit ``cache``), the engine builds a private cache with
+        the store as its persistent second tier, so eigensolves are shared
+        across processes and runs.  Mutually exclusive with ``cache`` — a
+        cache carries its own store.
 
     Examples
     --------
@@ -102,13 +108,23 @@ class BoundEngine:
         eig_options: Optional[EigenSolverOptions] = None,
         sparse: Optional[bool] = None,
         cache: Optional[SpectrumCache] = None,
+        store=None,
     ) -> None:
         check_positive_int(num_eigenvalues, "num_eigenvalues")
         self._graph = graph
         self._num_eigenvalues = int(num_eigenvalues)
         self._eig_options = eig_options
         self._sparse = sparse
-        self._cache = cache if cache is not None else default_spectrum_cache()
+        if cache is not None:
+            if store is not None:
+                raise ValueError(
+                    "pass either cache or store, not both (a cache carries its own store)"
+                )
+            self._cache = cache
+        elif store is not None:
+            self._cache = SpectrumCache(store=store)
+        else:
+            self._cache = default_spectrum_cache()
         self._eigensolves = 0
 
     # ------------------------------------------------------------------

@@ -1,0 +1,240 @@
+"""``python -m repro`` — batch bounds from the command line.
+
+Three subcommands expose the runtime subsystem without writing any Python:
+
+* ``solve`` — evaluate the spectral bound for one graph at one or more
+  memory sizes (optionally the Theorem 6 parallel bound via ``-p``);
+* ``sweep`` — run a family sweep (the paper's figure workloads) across
+  optional worker processes, printing the row table and a summary;
+* ``cache`` — inspect (``stats``, ``list``) or reset (``clear``) the
+  persistent spectrum store.
+
+All subcommands share one persistent :class:`~repro.runtime.store
+.SpectrumStore` (``--store DIR``, ``$REPRO_SPECTRUM_STORE``, or
+``~/.cache/repro/spectra`` in that order; ``--no-store`` disables
+persistence), so a sweep run twice against the same store performs zero
+eigensolves the second time — which is exactly what the CI smoke test
+asserts using the ``num_eigensolves`` field of ``sweep --json`` output and
+the ``solves_recorded`` counter of ``cache stats``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.runtime.families import FAMILY_BUILDERS, GraphSpec
+from repro.runtime.orchestrator import SweepOrchestrator
+from repro.runtime.service import BoundQuery, BoundService
+from repro.runtime.store import SpectrumStore, default_store_root
+
+__all__ = ["main", "build_parser"]
+
+
+def _store_from_args(args: argparse.Namespace) -> Optional[SpectrumStore]:
+    if getattr(args, "no_store", False):
+        return None
+    root = args.store if args.store is not None else default_store_root()
+    return SpectrumStore(root)
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="spectrum store directory (default: $REPRO_SPECTRUM_STORE or "
+        "~/.cache/repro/spectra)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent spectrum store for this invocation",
+    )
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        choices=sorted(FAMILY_BUILDERS),
+        help="named graph family (generator)",
+    )
+    parser.add_argument("--size", type=int, help="family size parameter")
+    parser.add_argument(
+        "--graph", type=Path, help="path to a saved graph (.npz or .json)"
+    )
+
+
+def _graph_spec_from_args(args: argparse.Namespace) -> GraphSpec:
+    if args.graph is not None:
+        if args.family is not None:
+            raise SystemExit("error: pass either --family/--size or --graph, not both")
+        return GraphSpec(path=str(args.graph))
+    if args.family is None or args.size is None:
+        raise SystemExit("error: pass --family NAME --size N, or --graph PATH")
+    return GraphSpec(family=args.family, size_param=args.size)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Spectral I/O lower bounds: batch solver, family sweeps, "
+        "and persistent spectrum cache management.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="bound one graph at given memory sizes")
+    _add_graph_arguments(solve)
+    solve.add_argument(
+        "--memory-sizes",
+        "-M",
+        type=int,
+        nargs="+",
+        required=True,
+        help="fast-memory sizes M to evaluate",
+    )
+    solve.add_argument(
+        "--processors", "-p", type=int, default=1, help="processor count (Theorem 6)"
+    )
+    solve.add_argument(
+        "--unnormalized",
+        action="store_true",
+        help="use the unnormalized Laplacian bound (Theorem 5)",
+    )
+    solve.add_argument(
+        "--num-eigenvalues", type=int, default=100, help="eigenvalue truncation h"
+    )
+    solve.add_argument("--json", action="store_true", help="print JSON instead of a table")
+    _add_store_arguments(solve)
+
+    sweep = sub.add_parser("sweep", help="sweep a graph family (figure workloads)")
+    sweep.add_argument(
+        "--family",
+        required=True,
+        choices=sorted(FAMILY_BUILDERS),
+        help="graph family to sweep",
+    )
+    sweep.add_argument(
+        "--sizes", type=int, nargs="+", required=True, help="family size parameters"
+    )
+    sweep.add_argument(
+        "--memory-sizes", "-M", type=int, nargs="+", required=True, help="memory sizes M"
+    )
+    sweep.add_argument(
+        "--methods",
+        nargs="+",
+        default=["spectral"],
+        choices=["spectral", "spectral-unnormalized", "convex-min-cut"],
+        help="bound methods to evaluate",
+    )
+    sweep.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU)",
+    )
+    sweep.add_argument(
+        "--num-eigenvalues", type=int, default=100, help="eigenvalue truncation h"
+    )
+    sweep.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write rows + summary as JSON ('-' for stdout)",
+    )
+    _add_store_arguments(sweep)
+
+    cache = sub.add_parser("cache", help="inspect/reset the persistent spectrum store")
+    cache.add_argument(
+        "action", choices=["stats", "list", "clear"], help="what to do with the store"
+    )
+    _add_store_arguments(cache)
+
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    spec = _graph_spec_from_args(args)
+    service = BoundService(
+        store=_store_from_args(args), num_eigenvalues=args.num_eigenvalues
+    )
+    normalization = "unnormalized" if args.unnormalized else "normalized"
+    queries = [
+        BoundQuery(
+            graph=spec,
+            memory_size=M,
+            num_processors=args.processors,
+            normalization=normalization,
+        )
+        for M in args.memory_sizes
+    ]
+    answers = service.submit(queries)
+    if args.json:
+        print(json.dumps([a.as_dict() for a in answers], indent=2))
+    else:
+        print(format_table(answers, float_format=".3f"))
+        stats = service.stats()
+        print(
+            f"[eigensolves: {stats['cache_misses']}, memory hits: "
+            f"{stats['cache_hits'] - stats['store_hits']}, store hits: "
+            f"{stats['store_hits']}]"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    orchestrator = SweepOrchestrator(
+        store=store,
+        processes=args.processes if args.processes > 0 else None,
+        num_eigenvalues=args.num_eigenvalues,
+    )
+    report = orchestrator.run_family(
+        args.family, None, args.sizes, args.memory_sizes, methods=tuple(args.methods)
+    )
+    print(format_table(report.rows, title=f"== sweep: {args.family} =="))
+    summary = report.summary()
+    print(
+        f"[{summary['num_rows']} rows, {summary['num_eigensolves']} eigensolves, "
+        f"{summary['elapsed_seconds']}s, processes={summary['processes']}, "
+        f"store={summary['store_root'] or 'disabled'}]"
+    )
+    if args.json is not None:
+        payload = dict(summary)
+        payload["rows"] = [row.as_dict() for row in report.rows]
+        text = json.dumps(payload, indent=2)
+        if str(args.json) == "-":
+            print(text)
+        else:
+            args.json.write_text(text + "\n")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _store_from_args(args)
+    if store is None:
+        raise SystemExit("error: cache management needs a store (drop --no-store)")
+    if args.action == "stats":
+        print(json.dumps(store.stats(), indent=2))
+    elif args.action == "list":
+        entries = store.entries()
+        print(format_table(entries, title=f"== spectrum store: {store.root} =="))
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    handlers = {"solve": _cmd_solve, "sweep": _cmd_sweep, "cache": _cmd_cache}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""Process-pool orchestration of bound sweeps over graph families.
+
+The paper's figures are *family sweeps*: the same spectral bound evaluated on
+every graph of a family for many ``(M, p)`` points.  Each graph's work is
+independent and eigensolve-dominated, which makes the family the natural unit
+of parallelism: :class:`SweepOrchestrator` turns each (family, size) pair
+into a :class:`SweepTask` and fans the tasks out over a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Workers never receive a live graph.  A task carries either a picklable
+builder callable (the generators are module-level functions) or a
+:class:`~repro.runtime.families.GraphSpec`; the worker rehydrates the graph
+locally, evaluates every (method, M) combination through the shared
+per-graph kernel :func:`repro.analysis.sweep.evaluate_graph_rows`, and —
+when the orchestrator was given a persistent
+:class:`~repro.runtime.store.SpectrumStore` — publishes every fresh
+eigensolve back through the store, so concurrent workers and *future runs*
+share spectra even though each worker process has its own memory cache.
+
+With ``processes=1`` the orchestrator degenerates to the serial loop the
+analysis harness always ran: one shared in-memory cache across the whole
+sweep (plus the optional store tier), zero pickling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.sweep import METHODS, SweepRow, evaluate_graph_rows
+from repro.graphs.compgraph import ComputationGraph
+from repro.runtime.families import GraphSpec, family_builder
+from repro.runtime.store import SpectrumStore
+from repro.solvers.spectrum_cache import SpectrumCache
+
+__all__ = ["SweepTask", "SweepReport", "SweepOrchestrator"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One graph's worth of sweep work, in rehydratable form.
+
+    Either ``builder`` (a picklable callable applied to ``size_param``) or
+    ``spec`` identifies the graph.
+    """
+
+    family: str
+    size_param: int
+    builder: Optional[Callable[[int], ComputationGraph]] = None
+    spec: Optional[GraphSpec] = None
+
+    def __post_init__(self) -> None:
+        if (self.builder is None) == (self.spec is None):
+            raise ValueError("SweepTask needs exactly one of builder or spec")
+
+    def build_graph(self) -> ComputationGraph:
+        if self.builder is not None:
+            return self.builder(self.size_param)
+        return self.spec.build()
+
+
+@dataclass
+class SweepReport:
+    """The outcome of one orchestrated sweep."""
+
+    rows: List[SweepRow]
+    num_eigensolves: int
+    elapsed_seconds: float
+    processes: int
+    store_root: Optional[str] = None
+    per_task_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly summary (what the CLI prints/saves)."""
+        return {
+            "num_rows": self.num_rows,
+            "num_eigensolves": self.num_eigensolves,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "processes": self.processes,
+            "store_root": self.store_root,
+        }
+
+
+# Worker payload: everything a pool worker needs, all picklable.
+_TaskPayload = Tuple[
+    SweepTask,
+    Tuple[int, ...],  # memory sizes
+    Tuple[str, ...],  # methods
+    int,  # num_eigenvalues
+    bool,  # skip_infeasible
+    Optional[int],  # convex_vertex_cap
+    Optional[Dict[str, int]],  # max_vertices
+    Optional[str],  # store root
+]
+
+
+def _execute_task(payload: _TaskPayload) -> Tuple[List[SweepRow], int, float]:
+    """Run one task (in a pool worker or inline) and time it.
+
+    Each invocation builds its own store handle and memory cache: handles are
+    not picklable/fork-safe, but the store *directory* is shared, which is
+    how workers publish spectra to each other and to later runs.
+    """
+    (
+        task,
+        memory_sizes,
+        methods,
+        num_eigenvalues,
+        skip_infeasible,
+        convex_vertex_cap,
+        max_vertices,
+        store_root,
+    ) = payload
+    start = time.perf_counter()
+    graph = task.build_graph()
+    store = SpectrumStore(store_root) if store_root else None
+    cache = SpectrumCache(store=store)
+    rows, eigensolves = evaluate_graph_rows(
+        task.family,
+        task.size_param,
+        graph,
+        memory_sizes,
+        methods=methods,
+        num_eigenvalues=num_eigenvalues,
+        skip_infeasible=skip_infeasible,
+        convex_vertex_cap=convex_vertex_cap,
+        max_vertices=max_vertices,
+        cache=cache,
+    )
+    return rows, eigensolves, time.perf_counter() - start
+
+
+class SweepOrchestrator:
+    """Fan a family sweep out over processes with shared persistent spectra.
+
+    Parameters
+    ----------
+    store:
+        Persistent spectrum store shared by every engine/worker: a
+        :class:`SpectrumStore`, a root path, or ``None`` (no persistence).
+    processes:
+        Worker processes.  ``1`` runs serially in-process; ``None`` uses
+        ``os.cpu_count()``.
+    num_eigenvalues, skip_infeasible, convex_vertex_cap, max_vertices:
+        Forwarded to :func:`repro.analysis.sweep.evaluate_graph_rows`.
+    """
+
+    def __init__(
+        self,
+        store: Union[SpectrumStore, str, Path, None] = None,
+        processes: Optional[int] = 1,
+        num_eigenvalues: int = 100,
+        skip_infeasible: bool = True,
+        convex_vertex_cap: Optional[int] = None,
+        max_vertices: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if isinstance(store, (str, Path)):
+            store = SpectrumStore(store)
+        self._store = store
+        if processes is None:
+            processes = os.cpu_count() or 1
+        if processes < 1:
+            raise ValueError(f"processes must be positive, got {processes}")
+        self._processes = int(processes)
+        self._num_eigenvalues = int(num_eigenvalues)
+        self._skip_infeasible = bool(skip_infeasible)
+        self._convex_vertex_cap = convex_vertex_cap
+        self._max_vertices = max_vertices
+
+    @property
+    def store(self) -> Optional[SpectrumStore]:
+        return self._store
+
+    @property
+    def processes(self) -> int:
+        return self._processes
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def run_family(
+        self,
+        family: str,
+        graph_builder: Optional[Callable[[int], ComputationGraph]],
+        size_params: Iterable[int],
+        memory_sizes: Iterable[int],
+        methods: Sequence[str] = ("spectral",),
+    ) -> SweepReport:
+        """Sweep one named family over its size parameters.
+
+        ``graph_builder=None`` resolves the builder from the family registry
+        (:data:`repro.runtime.families.FAMILY_BUILDERS`).
+        """
+        builder = graph_builder if graph_builder is not None else family_builder(family)
+        tasks = [
+            SweepTask(family=family, size_param=int(size), builder=builder)
+            for size in size_params
+        ]
+        return self.run(tasks, memory_sizes, methods=methods)
+
+    def run_specs(
+        self,
+        specs: Sequence[GraphSpec],
+        memory_sizes: Iterable[int],
+        methods: Sequence[str] = ("spectral",),
+    ) -> SweepReport:
+        """Sweep explicit graph specs (generator refs or serialized graphs)."""
+        tasks = [
+            SweepTask(
+                family=spec.describe(),
+                size_param=spec.size_param if spec.size_param is not None else 0,
+                spec=spec,
+            )
+            for spec in specs
+        ]
+        return self.run(tasks, memory_sizes, methods=methods)
+
+    def run(
+        self,
+        tasks: Sequence[SweepTask],
+        memory_sizes: Iterable[int],
+        methods: Sequence[str] = ("spectral",),
+    ) -> SweepReport:
+        """Execute ``tasks`` and return all rows in task order."""
+        memory_tuple = tuple(int(M) for M in memory_sizes)
+        method_tuple = tuple(methods)
+        # Validate eagerly: a typo'd method must fail before any graph is
+        # built (and before it would surface as a pickled pool exception).
+        for method in method_tuple:
+            if method not in METHODS:
+                raise ValueError(
+                    f"unknown method {method!r}; expected one of {METHODS}"
+                )
+        store_root = str(self._store.root) if self._store is not None else None
+        start = time.perf_counter()
+        if self._processes == 1 or len(tasks) <= 1:
+            results = self._run_serial(tasks, memory_tuple, method_tuple)
+        else:
+            payloads = [
+                self._payload(task, memory_tuple, method_tuple, store_root)
+                for task in tasks
+            ]
+            workers = min(self._processes, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_execute_task, payloads))
+        rows: List[SweepRow] = []
+        eigensolves = 0
+        per_task_seconds: List[float] = []
+        for task_rows, task_solves, seconds in results:
+            rows.extend(task_rows)
+            eigensolves += task_solves
+            per_task_seconds.append(seconds)
+        return SweepReport(
+            rows=rows,
+            num_eigensolves=eigensolves,
+            elapsed_seconds=time.perf_counter() - start,
+            processes=self._processes,
+            store_root=store_root,
+            per_task_seconds=per_task_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _payload(
+        self,
+        task: SweepTask,
+        memory_sizes: Tuple[int, ...],
+        methods: Tuple[str, ...],
+        store_root: Optional[str],
+    ) -> _TaskPayload:
+        return (
+            task,
+            memory_sizes,
+            methods,
+            self._num_eigenvalues,
+            self._skip_infeasible,
+            self._convex_vertex_cap,
+            self._max_vertices,
+            store_root,
+        )
+
+    def _run_serial(
+        self,
+        tasks: Sequence[SweepTask],
+        memory_sizes: Tuple[int, ...],
+        methods: Tuple[str, ...],
+    ) -> List[Tuple[List[SweepRow], int, float]]:
+        """In-process execution with one cache shared across the whole sweep.
+
+        This preserves the serial harness's strongest guarantee: one
+        eigensolve per (graph, normalisation) for the *entire* sweep, even
+        when size parameters repeat.
+        """
+        cache = SpectrumCache(
+            max_entries=max(8, 2 * len(tasks)), store=self._store
+        )
+        results: List[Tuple[List[SweepRow], int, float]] = []
+        for task in tasks:
+            start = time.perf_counter()
+            graph = task.build_graph()
+            rows, solves = evaluate_graph_rows(
+                task.family,
+                task.size_param,
+                graph,
+                memory_sizes,
+                methods=methods,
+                num_eigenvalues=self._num_eigenvalues,
+                skip_infeasible=self._skip_infeasible,
+                convex_vertex_cap=self._convex_vertex_cap,
+                max_vertices=self._max_vertices,
+                cache=cache,
+            )
+            results.append((rows, solves, time.perf_counter() - start))
+        return results

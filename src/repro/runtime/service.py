@@ -1,0 +1,243 @@
+"""Long-running batch bound service over a warm spectrum store.
+
+:class:`BoundService` is the serving layer of the runtime subsystem: a
+process holds one service instance for its lifetime, and clients submit
+*batches* of ``(graph-ref, M, p, normalization)`` queries.  The service keeps
+a small LRU of :class:`~repro.core.engine.BoundEngine` instances (one per
+distinct graph reference) over a single shared
+:class:`~repro.solvers.spectrum_cache.SpectrumCache`, optionally backed by a
+persistent :class:`~repro.runtime.store.SpectrumStore` — so against a warm
+store the service answers whole batches without a single eigensolve, and a
+cold graph pays its eigensolve exactly once for every future query on it.
+
+The CLI's ``solve`` subcommand is a thin wrapper over one service call; an
+HTTP front-end only needs to JSON-decode requests into
+:class:`BoundQuery` objects and call :meth:`BoundService.submit`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.engine import BoundEngine
+from repro.graphs.compgraph import ComputationGraph
+from repro.runtime.families import GraphSpec
+from repro.runtime.store import SpectrumStore
+from repro.solvers.backend import EigenSolverOptions
+from repro.solvers.spectrum_cache import SpectrumCache
+
+__all__ = ["BoundQuery", "BoundAnswer", "BoundService"]
+
+GraphRef = Union[GraphSpec, ComputationGraph, str]
+
+#: Accepted spellings of the two normalisations (Theorem 4 vs Theorem 5).
+_NORMALIZATIONS = {
+    "normalized": True,
+    "spectral": True,
+    "unnormalized": False,
+    "spectral-unnormalized": False,
+}
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    """One bound request.
+
+    ``graph`` may be a :class:`GraphSpec`, a path to a saved graph
+    (``.npz``/``.json``), or a live :class:`ComputationGraph`.
+    """
+
+    graph: GraphRef
+    memory_size: int
+    num_processors: int = 1
+    normalization: str = "normalized"
+    k: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BoundAnswer:
+    """The structured result of one :class:`BoundQuery`."""
+
+    graph: str
+    memory_size: int
+    num_processors: int
+    normalization: str
+    bound: float
+    raw_value: float
+    best_k: Optional[int]
+    num_vertices: int
+    elapsed_seconds: float
+    eig_elapsed_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class BoundService:
+    """Serve batches of spectral bound queries against shared warm caches.
+
+    Parameters
+    ----------
+    store:
+        Persistent spectrum store (instance, root path, or ``None``).
+    num_eigenvalues:
+        Default ``h`` truncation for every engine the service builds.
+    max_engines:
+        LRU budget of per-graph engines kept alive between batches.
+    eig_options:
+        Solver options forwarded to every engine.
+    """
+
+    def __init__(
+        self,
+        store: Union[SpectrumStore, str, Path, None] = None,
+        num_eigenvalues: int = 100,
+        max_engines: int = 64,
+        eig_options: Optional[EigenSolverOptions] = None,
+    ) -> None:
+        if isinstance(store, (str, Path)):
+            store = SpectrumStore(store)
+        if max_engines < 1:
+            raise ValueError(f"max_engines must be positive, got {max_engines}")
+        self._cache = SpectrumCache(max_entries=max(128, 4 * max_engines), store=store)
+        self._num_eigenvalues = int(num_eigenvalues)
+        self._eig_options = eig_options
+        self._max_engines = int(max_engines)
+        self._engines: "OrderedDict[object, BoundEngine]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._queries_served = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> SpectrumCache:
+        return self._cache
+
+    @property
+    def store(self) -> Optional[SpectrumStore]:
+        return self._cache.store
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters plus the cache/store tiers' statistics."""
+        stats: Dict[str, object] = {
+            "queries_served": self._queries_served,
+            "engines_cached": len(self._engines),
+            "cache_hits": self._cache.hits,
+            "cache_misses": self._cache.misses,
+            "store_hits": self._cache.store_hits,
+        }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def submit(self, queries: Sequence[BoundQuery]) -> List[BoundAnswer]:
+        """Answer a batch of queries, in input order.
+
+        Queries on the same graph reference share one engine (and therefore
+        one eigensolve per normalisation at most); across batches, engines
+        and spectra persist in the service's caches.  Batches from multiple
+        threads run concurrently — the service lock only guards the engine
+        registry, never the bound evaluations themselves (the spectrum cache
+        has its own lock), so one client's cold eigensolve does not stall
+        another client's warm batch.
+        """
+        answers: List[BoundAnswer] = []
+        for query in queries:
+            answers.append(self._answer(query))
+            with self._lock:
+                self._queries_served += 1
+        return answers
+
+    def solve(self, query: BoundQuery) -> BoundAnswer:
+        """Convenience wrapper: a batch of one."""
+        return self.submit([query])[0]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _answer(self, query: BoundQuery) -> BoundAnswer:
+        try:
+            normalized = _NORMALIZATIONS[query.normalization]
+        except KeyError:
+            raise ValueError(
+                f"unknown normalization {query.normalization!r}; expected one of "
+                f"{sorted(_NORMALIZATIONS)}"
+            )
+        engine, description = self._engine_for(query.graph)
+        start = time.perf_counter()
+        if int(query.num_processors) == 1:
+            if normalized:
+                result = engine.spectral(query.memory_size, k=query.k)
+            else:
+                result = engine.unnormalized(query.memory_size, k=query.k)
+        else:
+            result = engine.parallel(
+                query.memory_size,
+                int(query.num_processors),
+                k=query.k,
+                normalized=normalized,
+            )
+        return BoundAnswer(
+            graph=description,
+            memory_size=int(query.memory_size),
+            num_processors=int(query.num_processors),
+            normalization="normalized" if normalized else "unnormalized",
+            bound=result.value,
+            raw_value=result.raw_value,
+            best_k=result.best_k,
+            num_vertices=result.num_vertices,
+            elapsed_seconds=time.perf_counter() - start,
+            eig_elapsed_seconds=result.eig_elapsed_seconds,
+        )
+
+    def _engine_for(self, ref: GraphRef):
+        """The (LRU-cached) engine for a graph reference, plus its name."""
+        if isinstance(ref, ComputationGraph):
+            key: object = id(ref)
+            description = f"graph:{ref.fingerprint()[:12]}"
+        elif isinstance(ref, GraphSpec):
+            key = ref
+            description = ref.describe()
+        elif isinstance(ref, str):
+            key = ref
+            description = GraphSpec(path=ref).describe()
+        else:
+            raise TypeError(f"cannot serve a graph of type {type(ref).__name__}")
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                self._engines.move_to_end(key)
+                return engine, description
+        # Build outside the lock (rehydrating a spec can read disk); a racing
+        # duplicate engine is harmless — both share the same spectrum cache.
+        if isinstance(ref, ComputationGraph):
+            graph = ref
+        elif isinstance(ref, GraphSpec):
+            graph = ref.build()
+        else:
+            graph = GraphSpec(path=ref).build()
+        engine = BoundEngine(
+            graph,
+            num_eigenvalues=self._num_eigenvalues,
+            eig_options=self._eig_options,
+            cache=self._cache,
+        )
+        with self._lock:
+            existing = self._engines.get(key)
+            if existing is not None:
+                engine = existing
+            else:
+                self._engines[key] = engine
+            self._engines.move_to_end(key)
+            while len(self._engines) > self._max_engines:
+                self._engines.popitem(last=False)
+        return engine, description

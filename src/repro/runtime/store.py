@@ -1,0 +1,427 @@
+"""Persistent on-disk archive of Laplacian spectra.
+
+The in-memory :class:`~repro.solvers.spectrum_cache.SpectrumCache` makes an
+eigensolve happen at most once *per process*; :class:`SpectrumStore` extends
+that guarantee across processes and runs.  Every entry is one ``.npz`` blob
+(the eigenvalue vector plus the solve cost) under ``<root>/blobs/``, named by
+a content key derived from the same quantities the in-memory cache keys on:
+the graph's structural fingerprint, the normalisation, the resolved
+sparse/dense assembly choice, the solver options, and the truncation ``h``.
+A single ``index.json`` maps entry ids to their metadata so lookups never
+scan the blob directory.
+
+Concurrency model
+-----------------
+Multiple processes (the sweep orchestrator's pool workers, parallel CI jobs,
+a long-running :class:`~repro.runtime.service.BoundService`) share one store
+directory:
+
+* blobs and the index are written to a temporary file and atomically
+  ``os.replace``d into place, so readers never observe partial files;
+* index read-modify-writes hold an ``fcntl`` file lock on ``<root>/.lock``
+  (shared for reads, exclusive for writes), so concurrent writers cannot lose
+  each other's entries;
+* a racing duplicate solve simply overwrites the blob with identical content
+  and leaves the existing index entry in place — wasteful, never wrong.
+
+The store keeps cumulative ``solves_recorded`` in the index: every
+:meth:`put` is one eigensolve *somebody* paid for, which is what
+``python -m repro cache stats`` reports and the CI warm-run smoke asserts on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.solvers.backend import EigenSolverOptions
+
+__all__ = [
+    "StoredSpectrum",
+    "SpectrumStore",
+    "STORE_ENV_VAR",
+    "default_store_root",
+]
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "REPRO_SPECTRUM_STORE"
+
+_FORMAT_VERSION = 1
+_INDEX_NAME = "index.json"
+_LOCK_NAME = ".lock"
+_BLOB_DIR = "blobs"
+
+
+def default_store_root() -> Path:
+    """The store directory used when none is given.
+
+    ``$REPRO_SPECTRUM_STORE`` if set, else ``~/.cache/repro/spectra``.
+    """
+    env = os.environ.get(STORE_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "spectra"
+
+
+@dataclass(frozen=True)
+class StoredSpectrum:
+    """One spectrum loaded from disk.
+
+    ``eigenvalues`` is the *full* stored vector (``num_eigenvalues`` long,
+    possibly more than the caller asked for — callers slice); read-only.
+    """
+
+    eigenvalues: np.ndarray
+    solve_seconds: float
+    num_eigenvalues: int
+
+
+def _canonical_options(options: Optional[EigenSolverOptions]) -> Dict[str, object]:
+    return dataclasses.asdict(options or EigenSolverOptions())
+
+
+def _base_id(
+    fingerprint: str,
+    normalized: bool,
+    sparse: bool,
+    options: Optional[EigenSolverOptions],
+) -> str:
+    payload = json.dumps(
+        [fingerprint, bool(normalized), bool(sparse), _canonical_options(options)],
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:40]
+
+
+def _entry_id(base_id: str, num_eigenvalues: int) -> str:
+    return f"{base_id}-h{int(num_eigenvalues):06d}"
+
+
+class SpectrumStore:
+    """File-system backed, fingerprint-keyed spectrum archive.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created if missing).  ``None`` uses
+        :func:`default_store_root`.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self._root = Path(root) if root is not None else default_store_root()
+        self._blob_dir = self._root / _BLOB_DIR
+        # Per-handle traffic counters (the persistent counters live in the
+        # index; these describe what *this* handle served).  One handle may
+        # be shared by many engine threads — SpectrumCache calls get/put
+        # outside its own lock — so counter updates take this lock.
+        self._counter_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        # Read-path cache of the parsed index, keyed by the index file's
+        # (mtime_ns, size, inode): lookups against a large warm store skip
+        # re-parsing JSON unless some process actually wrote the index.
+        self._index_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    @property
+    def hits(self) -> int:
+        """Lookups this handle served from disk."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups this handle could not serve."""
+        return self._misses
+
+    @property
+    def puts(self) -> int:
+        """Spectra this handle wrote."""
+        return self._puts
+
+    def __len__(self) -> int:
+        return len(self._read_index(allow_cached=True)["entries"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpectrumStore(root={str(self._root)!r}, entries={len(self)})"
+
+    # ------------------------------------------------------------------
+    # lookup / publish
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        fingerprint: str,
+        num_eigenvalues: int,
+        normalized: bool = True,
+        sparse: bool = False,
+        eig_options: Optional[EigenSolverOptions] = None,
+    ) -> Optional[StoredSpectrum]:
+        """Load a stored spectrum covering ``num_eigenvalues``, or ``None``.
+
+        Any entry with the same (fingerprint, normalisation, assembly,
+        options) and a truncation ``h' >= num_eigenvalues`` qualifies
+        (eigenvalues are ascending, so a longer vector contains the answer);
+        the largest such entry is returned so in-memory tiers can cache the
+        most reusable vector.
+        """
+        h = int(num_eigenvalues)
+        if h <= 0:
+            return None
+        base = _base_id(fingerprint, normalized, sparse, eig_options)
+        with self._locked(exclusive=False):
+            index = self._read_index(allow_cached=True)
+        # All qualifying entries, longest first (a longer vector serves more
+        # future requests); later candidates are fallbacks for corrupt blobs.
+        candidates = sorted(
+            (
+                (int(meta["h"]), entry_id)
+                for entry_id, meta in index["entries"].items()
+                if meta["base"] == base and int(meta["h"]) >= h
+            ),
+            reverse=True,
+        )
+        for entry_h, entry_id in candidates:
+            blob = self._blob_dir / f"{entry_id}.npz"
+            try:
+                with np.load(blob) as data:
+                    values = np.ascontiguousarray(data["eigenvalues"], dtype=np.float64)
+                    solve_seconds = float(data["solve_seconds"])
+            except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+                # A blob lost to a partial copy / manual deletion: drop the
+                # stale entry (index and file) and try the next candidate.
+                self._drop_entry(entry_id)
+                continue
+            values.flags.writeable = False
+            with self._counter_lock:
+                self._hits += 1
+            return StoredSpectrum(values, solve_seconds, entry_h)
+        with self._counter_lock:
+            self._misses += 1
+        return None
+
+    def put(
+        self,
+        fingerprint: str,
+        eigenvalues: np.ndarray,
+        solve_seconds: float,
+        normalized: bool = True,
+        sparse: bool = False,
+        eig_options: Optional[EigenSolverOptions] = None,
+    ) -> str:
+        """Publish one solved spectrum; returns the entry id.
+
+        Records the solve in the persistent ``solves_recorded`` counter even
+        when another process raced the same entry in first (both paid for an
+        eigensolve; the counter tracks work done, not entries).
+        """
+        values = np.ascontiguousarray(eigenvalues, dtype=np.float64)
+        h = int(values.shape[0])
+        base = _base_id(fingerprint, normalized, sparse, eig_options)
+        entry_id = _entry_id(base, h)
+        self._ensure_dirs()
+        blob = self._blob_dir / f"{entry_id}.npz"
+        self._atomic_write_npz(
+            blob, eigenvalues=values, solve_seconds=np.float64(solve_seconds)
+        )
+        with self._locked(exclusive=True):
+            index = self._read_index()
+            index["solves_recorded"] = int(index.get("solves_recorded", 0)) + 1
+            if entry_id not in index["entries"]:
+                index["entries"][entry_id] = {
+                    "base": base,
+                    "h": h,
+                    "fingerprint": fingerprint,
+                    "normalized": bool(normalized),
+                    "sparse": bool(sparse),
+                    "options": _canonical_options(eig_options),
+                    "solve_seconds": float(solve_seconds),
+                    "created_at": time.time(),
+                }
+            self._write_index(index)
+        with self._counter_lock:
+            self._puts += 1
+        return entry_id
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, object]]:
+        """Metadata of every stored spectrum (id, graph, h, cost, size)."""
+        with self._locked(exclusive=False):
+            index = self._read_index(allow_cached=True)
+        rows: List[Dict[str, object]] = []
+        for entry_id, meta in sorted(index["entries"].items()):
+            blob = self._blob_dir / f"{entry_id}.npz"
+            rows.append(
+                {
+                    "entry": entry_id,
+                    "fingerprint": str(meta["fingerprint"])[:12],
+                    "normalized": meta["normalized"],
+                    "sparse": meta["sparse"],
+                    "num_eigenvalues": int(meta["h"]),
+                    "solve_seconds": float(meta["solve_seconds"]),
+                    "bytes": blob.stat().st_size if blob.exists() else 0,
+                }
+            )
+        return rows
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate store statistics (persisted + this handle's traffic)."""
+        with self._locked(exclusive=False):
+            index = self._read_index(allow_cached=True)
+        entries = index["entries"]
+        total_bytes = 0
+        graphs = set()
+        for entry_id, meta in entries.items():
+            graphs.add(meta["fingerprint"])
+            blob = self._blob_dir / f"{entry_id}.npz"
+            if blob.exists():
+                total_bytes += blob.stat().st_size
+        return {
+            "root": str(self._root),
+            "num_entries": len(entries),
+            "num_graphs": len(graphs),
+            "total_bytes": total_bytes,
+            "solves_recorded": int(index.get("solves_recorded", 0)),
+            "handle_hits": self._hits,
+            "handle_misses": self._misses,
+            "handle_puts": self._puts,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (index counters included); returns the count."""
+        if not self._root.exists():
+            return 0
+        with self._locked(exclusive=True):
+            index = self._read_index()
+            removed = len(index["entries"])
+            for entry_id in index["entries"]:
+                with contextlib.suppress(OSError):
+                    (self._blob_dir / f"{entry_id}.npz").unlink()
+            self._write_index(self._empty_index())
+        return removed
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_dirs(self) -> None:
+        """Create the store tree on first *write*.
+
+        Read-only operations (``get``, ``stats``, ``cache stats`` on a
+        mistyped path) must not scatter empty store directories around.
+        """
+        self._blob_dir.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _empty_index() -> Dict[str, object]:
+        return {"format_version": _FORMAT_VERSION, "solves_recorded": 0, "entries": {}}
+
+    def _read_index(self, allow_cached: bool = False) -> Dict[str, object]:
+        """Parse the index file.
+
+        ``allow_cached=True`` (read-only paths) reuses the last parsed index
+        while the file is byte-identical; write paths always parse fresh and
+        never publish their (about-to-be-mutated) dict into the cache.
+        """
+        path = self._root / _INDEX_NAME
+        stat_key = None
+        if allow_cached:
+            try:
+                stat = path.stat()
+                stat_key = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+            except OSError:
+                stat_key = None
+            if stat_key is not None:
+                with self._counter_lock:
+                    cached = self._index_cache
+                if cached is not None and cached[0] == stat_key:
+                    return cached[1]
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return self._empty_index()
+        if data.get("format_version") != _FORMAT_VERSION:
+            return self._empty_index()
+        data.setdefault("entries", {})
+        if stat_key is not None:
+            with self._counter_lock:
+                self._index_cache = (stat_key, data)
+        return data
+
+    def _write_index(self, index: Dict[str, object]) -> None:
+        self._atomic_write_text(self._root / _INDEX_NAME, json.dumps(index, indent=1))
+        with self._counter_lock:
+            self._index_cache = None
+
+    def _drop_entry(self, entry_id: str) -> None:
+        with contextlib.suppress(OSError):
+            (self._blob_dir / f"{entry_id}.npz").unlink()
+        with self._locked(exclusive=True):
+            index = self._read_index()
+            if entry_id in index["entries"]:
+                del index["entries"][entry_id]
+                self._write_index(index)
+
+    def _atomic_write_text(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    def _atomic_write_npz(self, path: Path, **arrays: np.ndarray) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name + ".", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    @contextlib.contextmanager
+    def _locked(self, exclusive: bool):
+        """Hold the store-wide advisory file lock (no-op where unsupported).
+
+        A store directory that does not exist yet has nothing to lock (and
+        no index to protect); readers simply see the empty state.
+        """
+        if not self._root.exists():
+            yield
+            return
+        fd = os.open(self._root / _LOCK_NAME, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            try:
+                import fcntl
+
+                fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            except ImportError:  # pragma: no cover - non-POSIX fallback
+                pass
+            yield
+        finally:
+            os.close(fd)  # closing the descriptor releases the flock

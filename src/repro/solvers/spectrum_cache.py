@@ -23,6 +23,13 @@ Properties:
 * **Unnormalised scaling included** — for ``normalized=False`` the cache
   stores ``lambda(L) / max_out_degree`` (the Theorem 5 quantity), so callers
   always receive eigenvalues ready to plug into the bound formula.
+* **Optional persistent tier** — a cache constructed with a
+  :class:`~repro.runtime.store.SpectrumStore` checks the on-disk archive
+  before eigensolving and publishes every fresh solve back to it, so the
+  "at most one eigensolve" guarantee extends across processes and runs.
+  Disk hits count as ``hits`` (no eigensolve happened) and are additionally
+  tallied in ``store_hits``; ``misses`` keeps meaning "eigensolves
+  performed".
 
 The module-level :func:`default_spectrum_cache` is shared by all
 :class:`~repro.core.engine.BoundEngine` instances that are not given an
@@ -36,9 +43,12 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.runtime.store import SpectrumStore
 
 from repro.graphs.compgraph import ComputationGraph
 from repro.graphs.laplacian import laplacian
@@ -83,16 +93,24 @@ class SpectrumCache:
     max_entries:
         Size budget: least-recently-used entries are evicted beyond this
         count.
+    store:
+        Optional :class:`~repro.runtime.store.SpectrumStore` used as a
+        second, persistent tier: memory misses check the store before
+        eigensolving, and fresh solves are published back to it.
     """
 
-    def __init__(self, max_entries: int = 128) -> None:
+    def __init__(
+        self, max_entries: int = 128, store: "Optional[SpectrumStore]" = None
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self._max_entries = int(max_entries)
+        self._store = store
         self._entries: "OrderedDict[Tuple, Tuple[np.ndarray, float]]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._store_hits = 0
 
     # ------------------------------------------------------------------
     # stats / management
@@ -116,6 +134,16 @@ class SpectrumCache:
         """Alias for :attr:`misses`: each miss performs exactly one solve."""
         return self._misses
 
+    @property
+    def store_hits(self) -> int:
+        """Lookups served from the persistent store tier (subset of hits)."""
+        return self._store_hits
+
+    @property
+    def store(self) -> "Optional[SpectrumStore]":
+        """The persistent second tier, if configured."""
+        return self._store
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -125,6 +153,7 @@ class SpectrumCache:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._store_hits = 0
 
     # ------------------------------------------------------------------
     # lookup
@@ -179,10 +208,57 @@ class SpectrumCache:
                     prefix.flags.writeable = False
                     return CachedSpectrum(prefix, solve_seconds, True)
 
+        # Second tier: the persistent store may hold this spectrum (or a
+        # longer one) from an earlier run or another process.  Checked
+        # outside the lock — it is disk I/O.  A broken store (unreadable
+        # mount, permission error on the lock file) degrades to a cold
+        # solve, mirroring the write path below.
+        if self._store is not None:
+            try:
+                stored = self._store.get(
+                    base_key[0],
+                    h,
+                    normalized=bool(normalized),
+                    sparse=bool(use_sparse),
+                    eig_options=options,
+                )
+            except OSError:
+                stored = None
+            if stored is not None:
+                stored_key = base_key + (stored.num_eigenvalues,)
+                with self._lock:
+                    # Promote the full stored vector into the memory tier so
+                    # follow-up lookups (including smaller h) stay in memory.
+                    if stored_key not in self._entries:
+                        self._entries[stored_key] = (
+                            stored.eigenvalues,
+                            stored.solve_seconds,
+                        )
+                    self._entries.move_to_end(stored_key)
+                    while len(self._entries) > self._max_entries:
+                        self._entries.popitem(last=False)
+                    self._hits += 1
+                    self._store_hits += 1
+                prefix = stored.eigenvalues[:h]
+                prefix.flags.writeable = False
+                return CachedSpectrum(prefix, stored.solve_seconds, True)
+
         # Solve outside the lock: concurrent misses on the same key may solve
         # twice, which is wasteful but never wrong (results are identical for
         # deterministic backends).
         values, solve_seconds = self._solve(graph, h, normalized, options, use_sparse)
+        if self._store is not None:
+            try:
+                self._store.put(
+                    base_key[0],
+                    values,
+                    solve_seconds,
+                    normalized=bool(normalized),
+                    sparse=bool(use_sparse),
+                    eig_options=options,
+                )
+            except OSError:
+                pass  # a full/read-only disk must not break the computation
         with self._lock:
             self._entries[key] = (values, solve_seconds)
             self._entries.move_to_end(key)

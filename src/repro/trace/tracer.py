@@ -25,6 +25,8 @@ from __future__ import annotations
 import numbers
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.graphs.compgraph import ComputationGraph
 from repro.trace.value import TracedValue
 
@@ -34,12 +36,22 @@ Number = Union[int, float]
 
 
 class GraphTracer:
-    """Records a computation graph from operations on traced values."""
+    """Records a computation graph from operations on traced values.
+
+    Edges are buffered as they are recorded and flushed in bulk through
+    :meth:`~repro.graphs.compgraph.ComputationGraph.add_edges_array` whenever
+    the graph is read, so traced programs build their graph on the vectorized
+    path instead of one ``add_edge`` call per operand.  Buffering is safe
+    because every recorded operation targets a brand-new vertex (duplicate
+    edges cannot arise across records) and operands are de-duplicated within
+    each record.
+    """
 
     def __init__(self) -> None:
         self._graph = ComputationGraph()
         self._constants: Dict[float, TracedValue] = {}
         self._outputs: List[int] = []
+        self._pending_edges: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # creating values
@@ -103,7 +115,7 @@ class GraphTracer:
         for operand in operands:
             traced = self._as_traced(operand)
             if traced.vertex not in seen:
-                self._graph.add_edge(traced.vertex, vertex)
+                self._pending_edges.append((traced.vertex, vertex))
                 seen.add(traced.vertex)
         return TracedValue(self, vertex, float(value))
 
@@ -125,7 +137,16 @@ class GraphTracer:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> ComputationGraph:
-        """The computation graph built so far (live object, not a copy)."""
+        """The computation graph built so far (shared object, not a copy).
+
+        Reading this property flushes the tracer's buffered edges into the
+        graph first, so the returned graph is always complete *as of this
+        read*.  The same underlying object is returned every time — but a
+        reference obtained earlier only reflects operations recorded after
+        it once ``graph`` is read again (the flush happens here, not inside
+        :meth:`record`).
+        """
+        self._flush_edges()
         return self._graph
 
     @property
@@ -141,6 +162,14 @@ class GraphTracer:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _flush_edges(self) -> None:
+        """Materialise buffered edges through the bulk array path."""
+        if self._pending_edges:
+            self._graph.add_edges_array(
+                np.asarray(self._pending_edges, dtype=np.int64)
+            )
+            self._pending_edges.clear()
+
     def _as_traced(self, operand: Union[TracedValue, Number]) -> TracedValue:
         if isinstance(operand, TracedValue):
             if operand.tracer is not self:
@@ -155,4 +184,5 @@ class GraphTracer:
             raise TypeError(f"expected a real number, got {type(value).__name__}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"GraphTracer(n={self._graph.num_vertices}, m={self._graph.num_edges})"
+        num_edges = self._graph.num_edges + len(self._pending_edges)
+        return f"GraphTracer(n={self._graph.num_vertices}, m={num_edges})"

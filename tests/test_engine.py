@@ -8,6 +8,8 @@ numerically identical to the one-shot public functions.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -296,3 +298,80 @@ class TestSpectrumCache:
             cache.spectrum(fft_graph(2), 1000)
         with pytest.raises(ValueError):
             SpectrumCache(max_entries=0)
+
+    def test_lru_eviction_order_respects_recency(self):
+        # A hit refreshes an entry's recency, so the *least recently used*
+        # entry is the one evicted — not the least recently inserted.
+        cache = SpectrumCache(max_entries=2)
+        g1, g2, g3 = fft_graph(2), fft_graph(3), fft_graph(4)
+        cache.spectrum(g1, 4)  # miss: [g1]
+        cache.spectrum(g2, 4)  # miss: [g1, g2]
+        cache.spectrum(g1, 4)  # hit, g1 becomes MRU: [g2, g1]
+        cache.spectrum(g3, 4)  # miss, evicts g2:     [g1, g3]
+        assert cache.misses == 3
+        cache.spectrum(g1, 4)  # still cached
+        cache.spectrum(g3, 4)  # still cached
+        assert cache.misses == 3 and cache.hits == 3
+        cache.spectrum(g2, 4)  # evicted above: must re-solve
+        assert cache.misses == 4
+
+    def test_prefix_hit_refreshes_recency_of_large_entry(self):
+        cache = SpectrumCache(max_entries=2)
+        g1, g2, g3 = fft_graph(2), fft_graph(3), fft_graph(4)
+        cache.spectrum(g1, 8)
+        cache.spectrum(g2, 4)
+        cache.spectrum(g1, 3)  # prefix hit refreshes g1's entry
+        cache.spectrum(g3, 4)  # evicts g2, not g1
+        cache.spectrum(g1, 8)
+        assert cache.misses == 3 and len(cache) == 2
+
+    def test_prefix_slices_match_full_spectrum(self):
+        cache = SpectrumCache()
+        graph = fft_graph(4)
+        full = cache.spectrum(graph, 12).eigenvalues
+        for h in (1, 5, 12):
+            sliced = cache.spectrum(graph, h).eigenvalues
+            assert sliced.shape == (h,)
+            np.testing.assert_allclose(sliced, full[:h])
+            with pytest.raises(ValueError):
+                sliced[0] = -1.0  # served slices are read-only
+        assert cache.misses == 1 and cache.hits == 3
+
+    def test_concurrent_gets_are_thread_safe(self):
+        # Warm entries must be served concurrently without corruption: every
+        # lookup is a hit, all threads observe identical eigenvalues.
+        cache = SpectrumCache()
+        graphs = [fft_graph(2), fft_graph(3), fft_graph(4)]
+        expected = [cache.spectrum(g, 6).eigenvalues.copy() for g in graphs]
+        assert cache.misses == len(graphs)
+
+        def lookup(i: int) -> bool:
+            g = graphs[i % len(graphs)]
+            got = cache.spectrum(g, 6).eigenvalues
+            return bool(np.array_equal(got, expected[i % len(graphs)]))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lookup, range(200)))
+        assert all(results)
+        assert cache.misses == len(graphs)  # warm-up only; no solve under load
+        assert cache.hits == 200
+
+    def test_concurrent_gets_with_eviction_churn(self):
+        # A tiny budget forces constant eviction under concurrency; the cache
+        # must stay within budget and keep returning correct prefixes.
+        cache = SpectrumCache(max_entries=2)
+        graphs = [fft_graph(2), fft_graph(3), fft_graph(4), fft_graph(5)]
+        baselines = [
+            SpectrumCache().spectrum(g, 4).eigenvalues.copy() for g in graphs
+        ]
+
+        def churn(i: int) -> bool:
+            idx = i % len(graphs)
+            got = cache.spectrum(graphs[idx], 4).eigenvalues
+            return bool(np.allclose(got, baselines[idx]))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(churn, range(80)))
+        assert all(results)
+        assert len(cache) <= 2
+        assert cache.hits + cache.misses >= 80

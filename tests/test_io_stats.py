@@ -4,8 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro.graphs.compgraph import ComputationGraph
 from repro.graphs.generators import fft_graph, inner_product_graph
-from repro.graphs.io import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.graphs.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_graph_npz,
+    save_graph,
+    save_graph_npz,
+)
 from repro.graphs.stats import graph_stats
 
 
@@ -36,6 +44,52 @@ class TestSerialization:
 
         text = json.dumps(graph_to_dict(inner_product_graph(2)))
         assert "edges" in text
+
+    def test_from_dict_preserves_structure_exactly(self):
+        g = fft_graph(3)
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.fingerprint() == g.fingerprint()
+        assert back == g
+
+    def test_empty_graph_round_trips(self):
+        back = graph_from_dict(graph_to_dict(ComputationGraph()))
+        assert back.num_vertices == 0 and back.num_edges == 0
+
+
+class TestNpzSerialization:
+    def test_round_trip_structure_and_metadata(self, tmp_path):
+        g = inner_product_graph(3)
+        path = tmp_path / "graph.npz"
+        save_graph_npz(g, path)
+        back = load_graph_npz(path)
+        assert back.fingerprint() == g.fingerprint()
+        assert back.num_edges == g.num_edges
+        for v in g.vertices():
+            assert back.label(v) == g.label(v)
+            assert back.op(v) == g.op(v)
+
+    def test_round_trip_without_metadata(self, tmp_path):
+        g = ComputationGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        path = tmp_path / "bare.npz"
+        save_graph_npz(g, path)
+        back = load_graph_npz(path)
+        assert back == g
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_graph_npz(ComputationGraph(), path)
+        back = load_graph_npz(path)
+        assert back.num_vertices == 0 and back.num_edges == 0
+
+    def test_no_pickle_needed(self, tmp_path):
+        import numpy as np
+
+        g = fft_graph(3)
+        path = tmp_path / "graph.npz"
+        save_graph_npz(g, path)
+        with np.load(path, allow_pickle=False) as data:
+            assert int(data["num_vertices"]) == 32
+            assert data["edges"].shape == (48, 2)
 
 
 class TestStats:

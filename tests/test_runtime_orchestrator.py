@@ -1,0 +1,201 @@
+"""Tests for the sweep orchestrator, graph specs, and pooled execution.
+
+The acceptance contract of the runtime subsystem: a family sweep run twice
+against the same store performs eigensolves only on the first run, and
+pooled execution produces exactly the rows the serial path produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.graphs.generators import fft_graph, inner_product_graph
+from repro.graphs.io import save_graph_npz
+from repro.runtime.families import FAMILY_BUILDERS, GraphSpec, family_builder, resolve_graph
+from repro.runtime.orchestrator import SweepOrchestrator, SweepTask
+from repro.runtime.store import SpectrumStore
+
+SIZES = [3, 4]
+MEMORY_SIZES = [4, 8]
+METHODS = ("spectral", "spectral-unnormalized")
+
+
+def row_key(row):
+    """The value-carrying fields of a row (timings excluded)."""
+    return (
+        row.family,
+        row.size_param,
+        row.num_vertices,
+        row.num_edges,
+        row.max_in_degree,
+        row.memory_size,
+        row.method,
+        pytest.approx(row.bound, rel=1e-9, abs=1e-9),
+        row.best_k,
+    )
+
+
+class TestFamilies:
+    def test_registry_builders_are_generators(self):
+        assert family_builder("fft") is fft_graph
+        graph = family_builder("hypercube")(3)
+        assert graph.num_vertices == 8
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown graph family"):
+            family_builder("nope")
+
+    def test_spec_from_family(self):
+        spec = GraphSpec(family="fft", size_param=3)
+        assert spec.describe() == "fft:3"
+        assert spec.build().num_vertices == fft_graph(3).num_vertices
+
+    def test_spec_from_npz_path(self, tmp_path):
+        graph = inner_product_graph(3)
+        path = tmp_path / "dot.npz"
+        save_graph_npz(graph, path)
+        spec = GraphSpec(path=str(path))
+        rebuilt = spec.build()
+        assert rebuilt.num_vertices == graph.num_vertices
+        assert rebuilt.fingerprint() == graph.fingerprint()
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GraphSpec()
+        with pytest.raises(ValueError):
+            GraphSpec(family="fft", size_param=3, path="x.npz")
+        with pytest.raises(ValueError):
+            GraphSpec(family="fft")
+
+    def test_resolve_graph_accepts_live_graph(self):
+        graph = fft_graph(3)
+        assert resolve_graph(graph) is graph
+
+    def test_every_registered_family_builds(self):
+        for name in FAMILY_BUILDERS:
+            # 4 is valid for every registry family (strassen needs a power
+            # of two).
+            graph = family_builder(name)(4)
+            assert graph.num_vertices > 0
+
+
+class TestOrchestrator:
+    def test_serial_matches_legacy_sweep_rows(self):
+        legacy = sweep("fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS,
+                       num_eigenvalues=30)
+        report = SweepOrchestrator(num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS
+        )
+        assert [row_key(r) for r in report.rows] == [row_key(r) for r in legacy]
+        assert report.num_eigensolves == 2 * len(SIZES)
+
+    def test_pooled_matches_serial(self, tmp_path):
+        serial = SweepOrchestrator(num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS
+        )
+        pooled = SweepOrchestrator(
+            store=tmp_path / "spectra", processes=2, num_eigenvalues=30
+        ).run_family("fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS)
+        assert [row_key(r) for r in pooled.rows] == [row_key(r) for r in serial.rows]
+        assert pooled.processes == 2
+        assert len(pooled.per_task_seconds) == len(SIZES)
+
+    def test_second_run_against_same_store_is_solve_free(self, tmp_path):
+        """The PR's acceptance criterion, at test scale."""
+        store_root = tmp_path / "spectra"
+        cold = SweepOrchestrator(store=store_root, num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS
+        )
+        assert cold.num_eigensolves == 2 * len(SIZES)
+        warm = SweepOrchestrator(store=store_root, num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS
+        )
+        assert warm.num_eigensolves == 0
+        assert [row_key(r) for r in warm.rows] == [row_key(r) for r in cold.rows]
+        assert SpectrumStore(store_root).stats()["solves_recorded"] == 2 * len(SIZES)
+
+    def test_pooled_warm_run_is_solve_free(self, tmp_path):
+        store_root = tmp_path / "spectra"
+        SweepOrchestrator(store=store_root, processes=2, num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS
+        )
+        warm = SweepOrchestrator(
+            store=store_root, processes=2, num_eigenvalues=30
+        ).run_family("fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS)
+        assert warm.num_eigensolves == 0
+
+    def test_run_specs_rehydrates_from_npz(self, tmp_path):
+        graph = fft_graph(3)
+        path = tmp_path / "fft3.npz"
+        save_graph_npz(graph, path)
+        specs = [GraphSpec(path=str(path)), GraphSpec(family="fft", size_param=4)]
+        report = SweepOrchestrator(num_eigenvalues=30).run_specs(
+            specs, MEMORY_SIZES, methods=("spectral",)
+        )
+        families = {r.family for r in report.rows}
+        assert families == {"fft3.npz", "fft:4"}
+        # The npz graph is structurally an fft(3): same bounds as the builder.
+        direct = SweepOrchestrator(num_eigenvalues=30).run_family(
+            "fft", fft_graph, [3], MEMORY_SIZES, methods=("spectral",)
+        )
+        npz_rows = [r for r in report.rows if r.family == "fft3.npz"]
+        assert [r.bound for r in npz_rows] == [r.bound for r in direct.rows]
+
+    def test_family_registry_used_when_builder_omitted(self):
+        report = SweepOrchestrator(num_eigenvalues=20).run_family(
+            "fft", None, [3], MEMORY_SIZES, methods=("spectral",)
+        )
+        assert len(report.rows) == len(MEMORY_SIZES)
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            SweepTask(family="fft", size_param=3)
+        with pytest.raises(ValueError):
+            SweepTask(
+                family="fft",
+                size_param=3,
+                builder=fft_graph,
+                spec=GraphSpec(family="fft", size_param=3),
+            )
+
+    def test_invalid_processes_rejected(self):
+        with pytest.raises(ValueError, match="processes"):
+            SweepOrchestrator(processes=0)
+
+    def test_unknown_method_rejected_before_any_work(self):
+        # Even with an empty task list the typo must fail loudly.
+        with pytest.raises(ValueError, match="unknown method"):
+            SweepOrchestrator().run([], [4], methods=("spectrl",))
+        with pytest.raises(ValueError, match="unknown method"):
+            sweep("fft", fft_graph, [], [4], methods=("spectrl",))
+
+    def test_report_summary_shape(self, tmp_path):
+        report = SweepOrchestrator(store=tmp_path / "s", num_eigenvalues=20).run_family(
+            "fft", fft_graph, [3], MEMORY_SIZES, methods=("spectral",)
+        )
+        summary = report.summary()
+        assert summary["num_rows"] == report.num_rows == len(MEMORY_SIZES)
+        assert summary["store_root"] == str(tmp_path / "s")
+        assert summary["processes"] == 1
+
+
+class TestSweepFunctionIntegration:
+    def test_sweep_with_processes_and_store(self, tmp_path):
+        store_root = tmp_path / "spectra"
+        rows = sweep(
+            "fft",
+            fft_graph,
+            SIZES,
+            MEMORY_SIZES,
+            methods=("spectral",),
+            num_eigenvalues=30,
+            processes=2,
+            store=store_root,
+        )
+        serial = sweep(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=("spectral",),
+            num_eigenvalues=30,
+        )
+        assert [row_key(r) for r in rows] == [row_key(r) for r in serial]
+        assert len(SpectrumStore(store_root)) == len(SIZES)

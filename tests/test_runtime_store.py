@@ -1,0 +1,252 @@
+"""Tests for the persistent SpectrumStore and its two-tier cache wiring.
+
+The contract: a spectrum solved anywhere (any process, any run) against a
+store is never solved again by anyone using the same store — the in-memory
+cache checks disk before eigensolving and publishes fresh solves back.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BoundEngine
+from repro.graphs.generators import fft_graph, hypercube_graph
+from repro.runtime.store import STORE_ENV_VAR, SpectrumStore, default_store_root
+from repro.solvers.backend import EigenSolverOptions
+from repro.solvers.spectrum_cache import SpectrumCache
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SpectrumStore(tmp_path / "spectra")
+
+
+FP = "a" * 64  # an arbitrary fingerprint; the store treats it as opaque
+
+
+class TestStoreBasics:
+    def test_put_get_round_trip(self, store):
+        values = np.array([0.0, 0.5, 1.25])
+        store.put(FP, values, 0.125)
+        got = store.get(FP, 3)
+        assert got is not None
+        np.testing.assert_allclose(got.eigenvalues, values)
+        assert got.solve_seconds == 0.125
+        assert got.num_eigenvalues == 3
+
+    def test_miss_returns_none(self, store):
+        assert store.get(FP, 3) is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_longer_entry_serves_shorter_request(self, store):
+        store.put(FP, np.arange(10, dtype=float), 1.0)
+        got = store.get(FP, 4)
+        assert got is not None
+        assert got.num_eigenvalues == 10  # the full vector, caller slices
+        np.testing.assert_allclose(got.eigenvalues[:4], [0, 1, 2, 3])
+
+    def test_shorter_entry_does_not_serve_longer_request(self, store):
+        store.put(FP, np.arange(4, dtype=float), 1.0)
+        assert store.get(FP, 10) is None
+
+    def test_key_includes_normalization_sparse_and_options(self, store):
+        store.put(FP, np.arange(3, dtype=float), 1.0, normalized=True, sparse=False)
+        assert store.get(FP, 3, normalized=False) is None
+        assert store.get(FP, 3, sparse=True) is None
+        assert store.get(FP, 3, eig_options=EigenSolverOptions(method="lanczos")) is None
+        assert store.get(FP, 3) is not None
+
+    def test_distinct_fingerprints_do_not_collide(self, store):
+        store.put(FP, np.arange(3, dtype=float), 1.0)
+        assert store.get("b" * 64, 3) is None
+
+    def test_persists_across_handles(self, tmp_path):
+        root = tmp_path / "spectra"
+        SpectrumStore(root).put(FP, np.arange(5, dtype=float), 2.0)
+        reopened = SpectrumStore(root)
+        got = reopened.get(FP, 5)
+        assert got is not None and got.solve_seconds == 2.0
+        assert len(reopened) == 1
+
+    def test_eigenvalues_read_only(self, store):
+        store.put(FP, np.arange(3, dtype=float), 1.0)
+        values = store.get(FP, 3).eigenvalues
+        with pytest.raises(ValueError):
+            values[0] = 99.0
+
+    def test_missing_blob_tolerated_and_entry_dropped(self, store):
+        entry_id = store.put(FP, np.arange(3, dtype=float), 1.0)
+        (store.root / "blobs" / f"{entry_id}.npz").unlink()
+        assert store.get(FP, 3) is None
+        assert len(store) == 0  # stale index entry was dropped
+
+    def test_corrupt_blob_removed_and_next_candidate_served(self, store):
+        big_id = store.put(FP, np.arange(10, dtype=float), 1.0)
+        store.put(FP, np.arange(5, dtype=float), 1.0)
+        (store.root / "blobs" / f"{big_id}.npz").write_bytes(b"garbage")
+        # The corrupt 10-entry is dropped (index AND file) and the request is
+        # served from the smaller-but-sufficient 5-entry.
+        got = store.get(FP, 4)
+        assert got is not None and got.num_eigenvalues == 5
+        assert len(store) == 1
+        assert not (store.root / "blobs" / f"{big_id}.npz").exists()
+
+    def test_corrupt_index_treated_as_empty(self, store):
+        store.put(FP, np.arange(3, dtype=float), 1.0)
+        (store.root / "index.json").write_text("{not json")
+        assert store.get(FP, 3) is None
+        assert len(store) == 0
+
+    def test_clear_removes_entries_and_counters(self, store):
+        store.put(FP, np.arange(3, dtype=float), 1.0)
+        store.put("b" * 64, np.arange(4, dtype=float), 1.0)
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.stats()["solves_recorded"] == 0
+        assert not list((store.root / "blobs").glob("*.npz"))
+
+    def test_stats(self, store):
+        store.put(FP, np.arange(3, dtype=float), 1.0)
+        store.put(FP, np.arange(8, dtype=float), 1.0)  # second h, same graph
+        stats = store.stats()
+        assert stats["num_entries"] == 2
+        assert stats["num_graphs"] == 1
+        assert stats["solves_recorded"] == 2
+        assert stats["total_bytes"] > 0
+
+    def test_entries_listing(self, store):
+        store.put(FP, np.arange(3, dtype=float), 0.5, normalized=False)
+        (entry,) = store.entries()
+        assert entry["num_eigenvalues"] == 3
+        assert entry["normalized"] is False
+        assert entry["bytes"] > 0
+
+    def test_duplicate_put_keeps_one_entry_but_counts_both_solves(self, store):
+        store.put(FP, np.arange(3, dtype=float), 1.0)
+        store.put(FP, np.arange(3, dtype=float), 2.0)
+        assert len(store) == 1
+        assert store.stats()["solves_recorded"] == 2
+
+    def test_read_only_operations_do_not_create_store_dirs(self, tmp_path):
+        # `cache stats` on a mistyped --store path must not scatter empty
+        # store directories; only writes create the tree.
+        root = tmp_path / "mistyped"
+        store = SpectrumStore(root)
+        assert store.get(FP, 3) is None
+        assert store.stats()["num_entries"] == 0
+        assert store.entries() == []
+        assert store.clear() == 0
+        assert not root.exists()
+        store.put(FP, np.arange(3, dtype=float), 1.0)
+        assert root.exists()
+
+    def test_env_var_controls_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "custom"))
+        assert default_store_root() == tmp_path / "custom"
+        assert SpectrumStore().root == tmp_path / "custom"
+
+    def test_concurrent_writers_lose_nothing(self, tmp_path):
+        root = tmp_path / "spectra"
+        errors = []
+
+        def writer(worker: int):
+            try:
+                handle = SpectrumStore(root)
+                for i in range(8):
+                    handle.put(f"{worker}-{i}" * 8, np.arange(3, dtype=float), 1.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        store = SpectrumStore(root)
+        assert len(store) == 32
+        assert store.stats()["solves_recorded"] == 32
+
+
+class TestTwoTierCache:
+    def test_solve_publishes_to_store(self, store):
+        cache = SpectrumCache(store=store)
+        graph = fft_graph(3)
+        cache.spectrum(graph, 5)
+        assert cache.misses == 1
+        assert len(store) == 1
+        assert store.puts == 1
+
+    def test_fresh_cache_hits_store_instead_of_solving(self, store):
+        graph = fft_graph(3)
+        first = SpectrumCache(store=store)
+        solved = first.spectrum(graph, 5)
+        warm = SpectrumCache(store=store)
+        served = warm.spectrum(graph, 5)
+        assert warm.misses == 0
+        assert warm.hits == 1 and warm.store_hits == 1
+        assert served.cache_hit
+        assert served.solve_seconds == solved.solve_seconds
+        np.testing.assert_allclose(served.eigenvalues, solved.eigenvalues)
+
+    def test_store_hit_promoted_to_memory(self, store):
+        graph = fft_graph(3)
+        SpectrumCache(store=store).spectrum(graph, 8)
+        warm = SpectrumCache(store=store)
+        warm.spectrum(graph, 8)
+        store_hits_after_first = warm.store_hits
+        # Second lookup (even a shorter prefix) must not touch the disk tier.
+        warm.spectrum(graph, 3)
+        assert warm.store_hits == store_hits_after_first
+        assert warm.hits == 2
+
+    def test_prefix_served_across_runs(self, store):
+        graph = fft_graph(3)
+        SpectrumCache(store=store).spectrum(graph, 10)
+        warm = SpectrumCache(store=store)
+        small = warm.spectrum(graph, 4)
+        assert warm.misses == 0
+        assert small.eigenvalues.shape == (4,)
+
+    def test_normalizations_stored_separately(self, store):
+        graph = hypercube_graph(3)
+        cold = SpectrumCache(store=store)
+        cold.spectrum(graph, 4, normalized=True)
+        cold.spectrum(graph, 4, normalized=False)
+        warm = SpectrumCache(store=store)
+        warm.spectrum(graph, 4, normalized=True)
+        warm.spectrum(graph, 4, normalized=False)
+        assert warm.misses == 0 and warm.store_hits == 2
+
+    def test_clear_resets_store_hit_counter(self, store):
+        graph = fft_graph(3)
+        SpectrumCache(store=store).spectrum(graph, 4)
+        warm = SpectrumCache(store=store)
+        warm.spectrum(graph, 4)
+        warm.clear()
+        assert warm.store_hits == 0 and warm.hits == 0
+
+    def test_storeless_cache_unchanged(self):
+        cache = SpectrumCache()
+        assert cache.store is None
+        cache.spectrum(fft_graph(3), 4)
+        assert cache.store_hits == 0
+
+
+class TestEngineStoreParameter:
+    def test_engine_store_round_trip(self, store):
+        graph = fft_graph(4)
+        cold = BoundEngine(graph, num_eigenvalues=20, store=store)
+        r1 = cold.spectral(8)
+        assert cold.num_eigensolves == 1
+        warm = BoundEngine(graph, num_eigenvalues=20, store=store)
+        r2 = warm.spectral(8)
+        assert warm.num_eigensolves == 0
+        assert r2.raw_value == pytest.approx(r1.raw_value, rel=1e-12)
+
+    def test_engine_rejects_cache_and_store_together(self, store):
+        with pytest.raises(ValueError, match="not both"):
+            BoundEngine(fft_graph(3), cache=SpectrumCache(), store=store)

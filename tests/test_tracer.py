@@ -129,6 +129,32 @@ class TestGraphTracer:
         with pytest.raises(TypeError):
             tracer.input(True)  # type: ignore[arg-type]
 
+    def test_edges_flushed_in_bulk_when_graph_is_read(self):
+        # Edges are buffered per record and materialised through
+        # add_edges_array; the flushed graph is identical to eager edge-adds.
+        tracer = GraphTracer()
+        xs = tracer.inputs([1.0, 2.0, 3.0])
+        ys = tracer.inputs([4.0, 5.0, 6.0], prefix="y")
+        acc = xs[0] * ys[0]
+        for a, b in zip(xs[1:], ys[1:]):
+            acc = acc + a * b
+        graph = tracer.graph
+        assert graph.num_edges == 10  # 3 muls x 2 operands + 2 adds x 2
+        assert graph.in_degree(acc.vertex) == 2
+        graph.validate()
+
+    def test_graph_reads_interleaved_with_tracing(self):
+        # Reading the graph mid-trace flushes incrementally; continuing to
+        # trace afterwards keeps extending the same graph.
+        tracer = GraphTracer()
+        x = tracer.input(1.0)
+        y = x + x
+        assert tracer.graph.num_edges == 1  # duplicate operand de-duplicated
+        z = y * x
+        graph = tracer.graph
+        assert graph.num_edges == 3
+        assert sorted(graph.predecessors(z.vertex)) == sorted([x.vertex, y.vertex])
+
 
 class TestCustomOps:
     def test_custom_op_traced(self):
