@@ -32,8 +32,9 @@ from dataclasses import dataclass, asdict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.convex_mincut import convex_min_cut_max_value
-from repro.core.engine import BoundEngine
+from repro.core.engine import BoundEngine, SolveRecord
 from repro.graphs.compgraph import ComputationGraph
+from repro.solvers.backend import EigenSolverOptions
 from repro.solvers.spectrum_cache import SpectrumCache
 
 __all__ = ["SweepRow", "sweep", "evaluate_graph_rows", "METHODS"]
@@ -115,32 +116,44 @@ def evaluate_graph_rows(
     convex_vertex_cap: Optional[int] = None,
     max_vertices: Optional[Dict[str, int]] = None,
     cache: Optional[SpectrumCache] = None,
-) -> Tuple[List[SweepRow], int]:
+    eig_options: Optional[EigenSolverOptions] = None,
+    lineage: Optional[str] = None,
+) -> Tuple[List[SweepRow], int, List[SolveRecord]]:
     """Evaluate every (method, M) combination on one graph.
 
     This is the per-graph kernel of :func:`sweep`: the serial path calls it
     in a loop with a shared cache, and the orchestrator's pool workers call
-    it once per task with a store-backed private cache.
+    it once per task with a store-backed private cache.  ``eig_options``
+    selects the spectral backend/precision, and ``lineage`` tags solves for
+    warm starting (defaults to the family name).
 
     Returns
     -------
-    (rows, num_eigensolves)
-        The sweep rows plus the number of eigensolves the evaluation
-        actually performed (0 when every spectrum came from a cache tier).
+    (rows, num_eigensolves, solve_records)
+        The sweep rows, the number of eigensolves actually performed (0 when
+        every spectrum came from a cache tier), and one
+        :class:`~repro.core.engine.SolveRecord` per spectrum fetch (empty
+        for purely combinatorial methods).
     """
     for method in methods:
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
     max_vertices = max_vertices or {}
     memory_sizes = list(memory_sizes)
-    engine = BoundEngine(graph, num_eigenvalues=num_eigenvalues, cache=cache)
+    engine = BoundEngine(
+        graph,
+        num_eigenvalues=num_eigenvalues,
+        cache=cache,
+        eig_options=eig_options,
+        lineage=lineage if lineage is not None else family,
+    )
     max_in = graph.max_in_degree
     feasible_ms = [
         M for M in memory_sizes if not (skip_infeasible and max_in + 1 > M)
     ]
     rows: List[SweepRow] = []
     if not feasible_ms:
-        return rows, 0
+        return rows, 0, []
 
     def emit(method: str, M: int, bound: float, best_k: Optional[int], elapsed: float) -> None:
         rows.append(
@@ -169,7 +182,7 @@ def evaluate_graph_rows(
         for M in feasible_ms:
             bound, best_k, elapsed = per_m[M]
             emit(method, M, bound, best_k, elapsed)
-    return rows, engine.num_eigensolves
+    return rows, engine.num_eigensolves, engine.solve_log
 
 
 def sweep(
@@ -184,6 +197,9 @@ def sweep(
     max_vertices: Optional[Dict[str, int]] = None,
     processes: int = 1,
     store=None,
+    solver: Optional[str] = None,
+    dtype: Optional[str] = None,
+    eig_options: Optional[EigenSolverOptions] = None,
 ) -> List[SweepRow]:
     """Evaluate ``methods`` over a graph family.
 
@@ -218,6 +234,13 @@ def sweep(
     store:
         Optional persistent :class:`~repro.runtime.store.SpectrumStore` (or
         its root path) shared by all engines/workers of the sweep.
+    solver, dtype:
+        Shorthand for ``eig_options``: backend id (``auto``/``dense``/
+        ``sparse``/``lanczos``/``power``/``lobpcg``) and precision
+        (``float64``/``float32``).  Mutually exclusive with ``eig_options``.
+    eig_options:
+        Full :class:`~repro.solvers.backend.EigenSolverOptions` forwarded to
+        every engine/worker of the sweep.
 
     Returns
     -------
@@ -228,6 +251,12 @@ def sweep(
     # kernel, so a top-level import would be circular.
     from repro.runtime.orchestrator import SweepOrchestrator
 
+    if eig_options is not None and (solver is not None or dtype is not None):
+        raise ValueError("pass either eig_options or solver/dtype, not both")
+    if eig_options is None and (solver is not None or dtype is not None):
+        eig_options = EigenSolverOptions(
+            method=solver or "auto", dtype=dtype or "float64"
+        )
     orchestrator = SweepOrchestrator(
         store=store,
         processes=processes,
@@ -235,6 +264,7 @@ def sweep(
         skip_infeasible=skip_infeasible,
         convex_vertex_cap=convex_vertex_cap,
         max_vertices=max_vertices,
+        eig_options=eig_options,
     )
     report = orchestrator.run_family(
         family, graph_builder, size_params, memory_sizes, methods=methods

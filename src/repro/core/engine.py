@@ -24,8 +24,9 @@ once.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,12 +45,29 @@ from repro.solvers.spectrum_cache import (
 )
 from repro.utils.validation import check_memory_size, check_positive_int
 
-__all__ = ["BoundEngine", "SweepPoint", "SWEEP_METHODS"]
+__all__ = ["BoundEngine", "SweepPoint", "SolveRecord", "SWEEP_METHODS"]
 
 KSpec = Optional[Union[int, Sequence[int]]]
 
 #: Bound methods understood by :meth:`BoundEngine.sweep`.
 SWEEP_METHODS = ("spectral", "spectral-unnormalized")
+
+
+@dataclass(frozen=True)
+class SolveRecord:
+    """One spectrum fetch performed by an engine (for observability).
+
+    ``backend``/``dtype`` come from the backend registry via the cache;
+    ``cache_hit`` distinguishes real eigensolves from served lookups, and
+    ``solve_seconds`` is the cost of the underlying solve either way.
+    """
+
+    normalized: bool
+    num_eigenvalues: int
+    backend: str
+    dtype: str
+    solve_seconds: float
+    cache_hit: bool
 
 
 @dataclass(frozen=True)
@@ -90,6 +108,11 @@ class BoundEngine:
         the store as its persistent second tier, so eigensolves are shared
         across processes and runs.  Mutually exclusive with ``cache`` — a
         cache carries its own store.
+    lineage:
+        Optional family-lineage tag (e.g. ``"fft"``) forwarded to the
+        spectrum cache: warm-start-capable backends seed their solves from
+        the previous solve of the same lineage in the shared
+        :class:`~repro.solvers.backends.WarmStartContext`.
 
     Examples
     --------
@@ -109,12 +132,20 @@ class BoundEngine:
         sparse: Optional[bool] = None,
         cache: Optional[SpectrumCache] = None,
         store=None,
+        lineage: Optional[str] = None,
     ) -> None:
         check_positive_int(num_eigenvalues, "num_eigenvalues")
         self._graph = graph
         self._num_eigenvalues = int(num_eigenvalues)
         self._eig_options = eig_options
         self._sparse = sparse
+        self._lineage = lineage
+        # Observability log: misses (real eigensolves, at most a handful per
+        # engine — one per distinct (normalization, h)) are kept in full so
+        # long sweeps can't evict them; hits are kept as a small recent
+        # window (they carry no information beyond the serving backend).
+        self._miss_log: Deque[SolveRecord] = deque(maxlen=256)
+        self._hit_log: Deque[SolveRecord] = deque(maxlen=16)
         if cache is not None:
             if store is not None:
                 raise ValueError(
@@ -147,6 +178,11 @@ class BoundEngine:
         """Eigensolves triggered *by this engine* (cache hits excluded)."""
         return self._eigensolves
 
+    @property
+    def solve_log(self) -> List[SolveRecord]:
+        """Spectrum fetches: every eigensolve plus a window of recent hits."""
+        return list(self._miss_log) + list(self._hit_log)
+
     # ------------------------------------------------------------------
     # spectra
     # ------------------------------------------------------------------
@@ -174,9 +210,19 @@ class BoundEngine:
             normalized=normalized,
             eig_options=self._eig_options,
             sparse=self._sparse,
+            lineage=self._lineage,
         )
         if not fetched.cache_hit:
             self._eigensolves += 1
+        record = SolveRecord(
+            normalized=normalized,
+            num_eigenvalues=h,
+            backend=fetched.backend,
+            dtype=fetched.dtype,
+            solve_seconds=fetched.solve_seconds,
+            cache_hit=fetched.cache_hit,
+        )
+        (self._hit_log if fetched.cache_hit else self._miss_log).append(record)
         return fetched
 
     # ------------------------------------------------------------------

@@ -5,9 +5,17 @@ Three subcommands expose the runtime subsystem without writing any Python:
 * ``solve`` — evaluate the spectral bound for one graph at one or more
   memory sizes (optionally the Theorem 6 parallel bound via ``-p``);
 * ``sweep`` — run a family sweep (the paper's figure workloads) across
-  optional worker processes, printing the row table and a summary;
-* ``cache`` — inspect (``stats``, ``list``) or reset (``clear``) the
-  persistent spectrum store.
+  optional worker processes, printing the row table and a summary (the
+  ``--json`` payload also carries per solve-task backend/dtype/solve-time
+  records, so scheduling and backend choices are observable);
+* ``cache`` — inspect (``stats``, ``list``), integrity-check (``verify
+  [--fix]``) or reset (``clear``, optionally filtered by ``--family`` /
+  ``--fingerprint``) the persistent spectrum store.
+
+``solve`` and ``sweep`` take ``--solver`` (``auto``/``dense``/``sparse``/
+``lanczos``/``power``/``lobpcg``) and ``--dtype`` (``float64``/``float32``)
+to pick the spectral backend; every cache tier keys on both, so variants
+coexist.
 
 All subcommands share one persistent :class:`~repro.runtime.store
 .SpectrumStore` (``--store DIR``, ``$REPRO_SPECTRUM_STORE``, or
@@ -31,6 +39,8 @@ from repro.runtime.families import FAMILY_BUILDERS, GraphSpec
 from repro.runtime.orchestrator import SweepOrchestrator
 from repro.runtime.service import BoundQuery, BoundService
 from repro.runtime.store import SpectrumStore, default_store_root
+from repro.solvers.backend import EigenSolverOptions
+from repro.solvers.backends import available_backends
 
 __all__ = ["main", "build_parser"]
 
@@ -55,6 +65,29 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the persistent spectrum store for this invocation",
     )
+
+
+def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--solver",
+        choices=("auto",) + available_backends(),
+        default="auto",
+        help="spectral backend (default: auto = dense small / sparse large)",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="eigensolve precision (float32 trades ~1e-6 accuracy for speed)",
+    )
+
+
+def _eig_options_from_args(args: argparse.Namespace) -> Optional[EigenSolverOptions]:
+    solver = getattr(args, "solver", "auto")
+    dtype = getattr(args, "dtype", "float64")
+    if solver == "auto" and dtype == "float64":
+        return None
+    return EigenSolverOptions(method=solver, dtype=dtype)
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -109,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-eigenvalues", type=int, default=100, help="eigenvalue truncation h"
     )
     solve.add_argument("--json", action="store_true", help="print JSON instead of a table")
+    _add_solver_arguments(solve)
     _add_store_arguments(solve)
 
     sweep = sub.add_parser("sweep", help="sweep a graph family (figure workloads)")
@@ -147,11 +181,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write rows + summary as JSON ('-' for stdout)",
     )
+    _add_solver_arguments(sweep)
     _add_store_arguments(sweep)
 
-    cache = sub.add_parser("cache", help="inspect/reset the persistent spectrum store")
+    cache = sub.add_parser("cache", help="inspect/verify/reset the persistent spectrum store")
     cache.add_argument(
-        "action", choices=["stats", "list", "clear"], help="what to do with the store"
+        "action",
+        choices=["stats", "list", "clear", "verify"],
+        help="what to do with the store",
+    )
+    cache.add_argument(
+        "--family",
+        default=None,
+        metavar="NAME",
+        help="clear: only remove entries recorded under this family lineage",
+    )
+    cache.add_argument(
+        "--fingerprint",
+        default=None,
+        metavar="PREFIX",
+        help="clear: only remove entries whose graph fingerprint starts with PREFIX",
+    )
+    cache.add_argument(
+        "--fix",
+        action="store_true",
+        help="verify: drop corrupt/missing index entries and delete orphaned blobs",
     )
     _add_store_arguments(cache)
 
@@ -161,7 +215,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_solve(args: argparse.Namespace) -> int:
     spec = _graph_spec_from_args(args)
     service = BoundService(
-        store=_store_from_args(args), num_eigenvalues=args.num_eigenvalues
+        store=_store_from_args(args),
+        num_eigenvalues=args.num_eigenvalues,
+        eig_options=_eig_options_from_args(args),
     )
     normalization = "unnormalized" if args.unnormalized else "normalized"
     queries = [
@@ -193,6 +249,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=store,
         processes=args.processes if args.processes > 0 else None,
         num_eigenvalues=args.num_eigenvalues,
+        eig_options=_eig_options_from_args(args),
     )
     report = orchestrator.run_family(
         args.family, None, args.sizes, args.memory_sizes, methods=tuple(args.methods)
@@ -207,6 +264,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json is not None:
         payload = dict(summary)
         payload["rows"] = [row.as_dict() for row in report.rows]
+        payload["tasks"] = [record.as_dict() for record in report.tasks]
         text = json.dumps(payload, indent=2)
         if str(args.json) == "-":
             print(text)
@@ -224,8 +282,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     elif args.action == "list":
         entries = store.entries()
         print(format_table(entries, title=f"== spectrum store: {store.root} =="))
+    elif args.action == "verify":
+        report = store.verify(fix=args.fix)
+        print(json.dumps(report, indent=2))
+        return 0 if report["ok"] or args.fix else 1
     else:  # clear
-        removed = store.clear()
+        removed = store.clear(
+            lineage=args.family, fingerprint_prefix=args.fingerprint
+        )
         print(f"removed {removed} entries from {store.root}")
     return 0
 

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+import numpy as np
+
 from repro.graphs.compgraph import ComputationGraph
 from repro.graphs.generators import (
     bellman_held_karp_graph,
@@ -40,7 +42,14 @@ from repro.graphs.generators import (
 )
 from repro.graphs.io import load_graph, load_graph_npz
 
-__all__ = ["FAMILY_BUILDERS", "GraphSpec", "family_builder", "resolve_graph"]
+__all__ = [
+    "FAMILY_BUILDERS",
+    "FAMILY_SIZE_ESTIMATORS",
+    "GraphSpec",
+    "estimate_num_vertices",
+    "family_builder",
+    "resolve_graph",
+]
 
 #: Deterministic generators keyed by the family name the CLI / specs use.
 #: Every builder maps one integer size parameter to a computation graph.
@@ -58,6 +67,44 @@ FAMILY_BUILDERS: Dict[str, Callable[[int], ComputationGraph]] = {
     "lu": lu_factorization_graph,
     "triangular-solve": triangular_solve_graph,
 }
+
+
+#: Cheap vertex-count estimators, keyed like :data:`FAMILY_BUILDERS`.  Used
+#: by the sweep orchestrator to schedule solve tasks largest-first *without*
+#: building any graph in the parent process; estimates only need to order
+#: tasks correctly, not be exact (most of these happen to be exact anyway).
+FAMILY_SIZE_ESTIMATORS: Dict[str, Callable[[int], int]] = {
+    "fft": lambda l: (l + 1) * (1 << l),
+    "hypercube": lambda d: 1 << d,
+    "bhk": lambda l: 1 << l,
+    "matmul": lambda n: 2 * n**3 + n**2,
+    "strassen": lambda n: max(1, int(4.2 * n ** (np.log2(7)))),
+    "inner-product": lambda n: 4 * n - 1,
+    "chain": lambda n: n,
+    "binary-tree": lambda n: 2 * n - 1,
+    "diamond": lambda n: n + 2,
+    "prefix-sum": lambda n: 2 * n - 1,
+    "lu": lambda n: max(1, (2 * n**3 + 3 * n**2 + n) // 6 + n),
+    "triangular-solve": lambda n: max(1, n * (n + 2) - n // 2),
+}
+
+
+def estimate_num_vertices(family: Optional[str], size_param: Optional[int]) -> int:
+    """Cheap vertex-count estimate for a (family, size) pair.
+
+    Unknown families fall back to a monotone function of the size parameter
+    (still orders a same-family sweep correctly); missing parameters give 0
+    (scheduled last).
+    """
+    if size_param is None:
+        return 0
+    estimator = FAMILY_SIZE_ESTIMATORS.get(family or "")
+    if estimator is not None:
+        try:
+            return max(0, int(estimator(int(size_param))))
+        except (ValueError, OverflowError):
+            return 0
+    return max(0, int(size_param))
 
 
 def family_builder(name: str) -> Callable[[int], ComputationGraph]:
@@ -104,6 +151,29 @@ class GraphSpec:
         if path.suffix == ".npz":
             return load_graph_npz(path)
         return load_graph(path)
+
+    def estimate_num_vertices(self) -> int:
+        """Cheap vertex-count estimate (for largest-first scheduling).
+
+        Family specs use :data:`FAMILY_SIZE_ESTIMATORS`; ``.npz`` specs read
+        the ``num_vertices`` scalar from the archive (member access is lazy,
+        so the edge array is never decompressed); other paths fall back to
+        the file size as an ordering proxy.  Never raises — a broken path is
+        estimated as 0 and fails later, on the worker, with a real error.
+        """
+        if self.family is not None:
+            return estimate_num_vertices(self.family, self.size_param)
+        path = Path(str(self.path))
+        if path.suffix == ".npz":
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    return int(data["num_vertices"])
+            except Exception:
+                return 0
+        try:
+            return int(path.stat().st_size)
+        except OSError:
+            return 0
 
 
 def resolve_graph(ref) -> ComputationGraph:

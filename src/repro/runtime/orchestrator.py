@@ -2,24 +2,31 @@
 
 The paper's figures are *family sweeps*: the same spectral bound evaluated on
 every graph of a family for many ``(M, p)`` points.  Each graph's work is
-independent and eigensolve-dominated, which makes the family the natural unit
-of parallelism: :class:`SweepOrchestrator` turns each (family, size) pair
-into a :class:`SweepTask` and fans the tasks out over a
-``concurrent.futures.ProcessPoolExecutor``.
+eigensolve-dominated and — because the two normalisations (Theorem 4 vs
+Theorem 5) are *independent* eigensolves — the natural unit of parallelism is
+one **(graph, method)** pair, not one graph: :class:`SweepOrchestrator`
+expands every (family, size) into per-method :class:`SolveTask` objects, each
+carrying a cheap vertex-count estimate, and fans them out over a
+``concurrent.futures.ProcessPoolExecutor`` **largest-first**.  Scheduling the
+dominant task (the family's largest level) before the small fry keeps the
+pool busy instead of idling behind it; rows are reassembled in task order, so
+the output is identical to the serial sweep.
 
 Workers never receive a live graph.  A task carries either a picklable
 builder callable (the generators are module-level functions) or a
 :class:`~repro.runtime.families.GraphSpec`; the worker rehydrates the graph
-locally, evaluates every (method, M) combination through the shared
-per-graph kernel :func:`repro.analysis.sweep.evaluate_graph_rows`, and —
-when the orchestrator was given a persistent
-:class:`~repro.runtime.store.SpectrumStore` — publishes every fresh
-eigensolve back through the store, so concurrent workers and *future runs*
-share spectra even though each worker process has its own memory cache.
+locally, evaluates every ``M`` through the shared per-graph kernel
+:func:`repro.analysis.sweep.evaluate_graph_rows`, and — when the
+orchestrator was given a persistent :class:`~repro.runtime.store
+.SpectrumStore` — publishes every fresh eigensolve back through the store,
+so concurrent workers and *future runs* share spectra even though each
+worker process has its own memory cache.
 
 With ``processes=1`` the orchestrator degenerates to the serial loop the
-analysis harness always ran: one shared in-memory cache across the whole
-sweep (plus the optional store tier), zero pickling.
+analysis harness always ran: tasks execute in submission order (which also
+lets warm-start-capable backends seed consecutive family levels from each
+other), one shared in-memory cache across the whole sweep (plus the optional
+store tier), zero pickling.
 """
 
 from __future__ import annotations
@@ -27,17 +34,19 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.sweep import METHODS, SweepRow, evaluate_graph_rows
+from repro.core.engine import SolveRecord
 from repro.graphs.compgraph import ComputationGraph
-from repro.runtime.families import GraphSpec, family_builder
+from repro.runtime.families import GraphSpec, estimate_num_vertices, family_builder
 from repro.runtime.store import SpectrumStore
+from repro.solvers.backend import EigenSolverOptions
 from repro.solvers.spectrum_cache import SpectrumCache
 
-__all__ = ["SweepTask", "SweepReport", "SweepOrchestrator"]
+__all__ = ["SweepTask", "SolveTask", "TaskRecord", "SweepReport", "SweepOrchestrator"]
 
 
 @dataclass(frozen=True)
@@ -45,7 +54,8 @@ class SweepTask:
     """One graph's worth of sweep work, in rehydratable form.
 
     Either ``builder`` (a picklable callable applied to ``size_param``) or
-    ``spec`` identifies the graph.
+    ``spec`` identifies the graph.  This is the user-facing unit; the
+    orchestrator expands it into per-method :class:`SolveTask` units.
     """
 
     family: str
@@ -62,6 +72,50 @@ class SweepTask:
             return self.builder(self.size_param)
         return self.spec.build()
 
+    def estimate_num_vertices(self) -> int:
+        """Vertex-count estimate without building the graph (see families)."""
+        if self.spec is not None:
+            return self.spec.estimate_num_vertices()
+        return estimate_num_vertices(self.family, self.size_param)
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """The schedulable unit: one (graph, method) evaluation.
+
+    ``methods`` usually holds a single method — per-normalisation splitting
+    is what lets the pool schedule the two eigensolves of one graph on
+    different workers — but carries the whole method tuple when splitting is
+    disabled.  ``size_estimate`` orders the queue largest-first;
+    ``order_index`` restores row order on reassembly.
+    """
+
+    task: SweepTask
+    methods: Tuple[str, ...]
+    size_estimate: int
+    order_index: int
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Per solve-task observability record (surfaces in CLI JSON output)."""
+
+    family: str
+    size_param: int
+    methods: Tuple[str, ...]
+    size_estimate: int
+    schedule_rank: int
+    seconds: float
+    num_eigensolves: int
+    backend: str
+    dtype: str
+    solve_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["methods"] = list(self.methods)
+        return data
+
 
 @dataclass
 class SweepReport:
@@ -73,6 +127,7 @@ class SweepReport:
     processes: int
     store_root: Optional[str] = None
     per_task_seconds: List[float] = field(default_factory=list)
+    tasks: List[TaskRecord] = field(default_factory=list)
 
     @property
     def num_rows(self) -> int:
@@ -91,51 +146,79 @@ class SweepReport:
 
 # Worker payload: everything a pool worker needs, all picklable.
 _TaskPayload = Tuple[
-    SweepTask,
+    SolveTask,
     Tuple[int, ...],  # memory sizes
-    Tuple[str, ...],  # methods
     int,  # num_eigenvalues
     bool,  # skip_infeasible
     Optional[int],  # convex_vertex_cap
     Optional[Dict[str, int]],  # max_vertices
     Optional[str],  # store root
+    Optional[EigenSolverOptions],
 ]
 
+_TaskOutcome = Tuple[List[SweepRow], int, float, List[SolveRecord]]
 
-def _execute_task(payload: _TaskPayload) -> Tuple[List[SweepRow], int, float]:
-    """Run one task (in a pool worker or inline) and time it.
+
+def _execute_task(payload: _TaskPayload) -> _TaskOutcome:
+    """Run one solve task (in a pool worker or inline) and time it.
 
     Each invocation builds its own store handle and memory cache: handles are
     not picklable/fork-safe, but the store *directory* is shared, which is
     how workers publish spectra to each other and to later runs.
     """
     (
-        task,
+        solve_task,
         memory_sizes,
-        methods,
         num_eigenvalues,
         skip_infeasible,
         convex_vertex_cap,
         max_vertices,
         store_root,
+        eig_options,
     ) = payload
     start = time.perf_counter()
+    task = solve_task.task
     graph = task.build_graph()
     store = SpectrumStore(store_root) if store_root else None
     cache = SpectrumCache(store=store)
-    rows, eigensolves = evaluate_graph_rows(
+    rows, eigensolves, records = evaluate_graph_rows(
         task.family,
         task.size_param,
         graph,
         memory_sizes,
-        methods=methods,
+        methods=solve_task.methods,
         num_eigenvalues=num_eigenvalues,
         skip_infeasible=skip_infeasible,
         convex_vertex_cap=convex_vertex_cap,
         max_vertices=max_vertices,
         cache=cache,
+        eig_options=eig_options,
     )
-    return rows, eigensolves, time.perf_counter() - start
+    return rows, eigensolves, time.perf_counter() - start, records
+
+
+def _task_record(
+    solve_task: SolveTask,
+    schedule_rank: int,
+    outcome: _TaskOutcome,
+    eig_options: Optional[EigenSolverOptions],
+) -> TaskRecord:
+    _, eigensolves, seconds, records = outcome
+    solved = [r for r in records if not r.cache_hit]
+    reference = solved[0] if solved else (records[0] if records else None)
+    options = eig_options or EigenSolverOptions()
+    return TaskRecord(
+        family=solve_task.task.family,
+        size_param=solve_task.task.size_param,
+        methods=solve_task.methods,
+        size_estimate=solve_task.size_estimate,
+        schedule_rank=schedule_rank,
+        seconds=seconds,
+        num_eigensolves=eigensolves,
+        backend=reference.backend if reference is not None else "-",
+        dtype=reference.dtype if reference is not None else options.dtype,
+        solve_seconds=sum(r.solve_seconds for r in solved),
+    )
 
 
 class SweepOrchestrator:
@@ -151,6 +234,17 @@ class SweepOrchestrator:
         ``os.cpu_count()``.
     num_eigenvalues, skip_infeasible, convex_vertex_cap, max_vertices:
         Forwarded to :func:`repro.analysis.sweep.evaluate_graph_rows`.
+    eig_options:
+        Solver backend/precision configuration forwarded to every engine
+        and worker (``--solver``/``--dtype`` on the CLI).
+    split_methods:
+        Expand each graph into per-method solve tasks (the default).  Off,
+        the task unit is a whole graph with all methods — the pre-split
+        behaviour, kept as a baseline for the scheduling benchmarks.
+    largest_first:
+        Schedule pooled tasks by descending size estimate (the default) so
+        the dominant eigensolve starts first.  Serial execution always runs
+        in submission order (warm starts chain through ascending levels).
     """
 
     def __init__(
@@ -161,6 +255,9 @@ class SweepOrchestrator:
         skip_infeasible: bool = True,
         convex_vertex_cap: Optional[int] = None,
         max_vertices: Optional[Dict[str, int]] = None,
+        eig_options: Optional[EigenSolverOptions] = None,
+        split_methods: bool = True,
+        largest_first: bool = True,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = SpectrumStore(store)
@@ -174,6 +271,9 @@ class SweepOrchestrator:
         self._skip_infeasible = bool(skip_infeasible)
         self._convex_vertex_cap = convex_vertex_cap
         self._max_vertices = max_vertices
+        self._eig_options = eig_options
+        self._split_methods = bool(split_methods)
+        self._largest_first = bool(largest_first)
 
     @property
     def store(self) -> Optional[SpectrumStore]:
@@ -182,6 +282,10 @@ class SweepOrchestrator:
     @property
     def processes(self) -> int:
         return self._processes
+
+    @property
+    def eig_options(self) -> Optional[EigenSolverOptions]:
+        return self._eig_options
 
     # ------------------------------------------------------------------
     # entry points
@@ -229,7 +333,12 @@ class SweepOrchestrator:
         memory_sizes: Iterable[int],
         methods: Sequence[str] = ("spectral",),
     ) -> SweepReport:
-        """Execute ``tasks`` and return all rows in task order."""
+        """Execute ``tasks`` and return all rows in task order.
+
+        Rows come out grouped by graph (in ``tasks`` order), then by method
+        (in ``methods`` order) — exactly the serial harness's order — no
+        matter how the pool interleaved the underlying solve tasks.
+        """
         memory_tuple = tuple(int(M) for M in memory_sizes)
         method_tuple = tuple(methods)
         # Validate eagerly: a typo'd method must fail before any graph is
@@ -241,23 +350,24 @@ class SweepOrchestrator:
                 )
         store_root = str(self._store.root) if self._store is not None else None
         start = time.perf_counter()
-        if self._processes == 1 or len(tasks) <= 1:
-            results = self._run_serial(tasks, memory_tuple, method_tuple)
+        solve_tasks = self._expand(tasks, method_tuple)
+        if self._processes == 1 or len(solve_tasks) <= 1:
+            outcomes = self._run_serial(solve_tasks, memory_tuple)
+            ranks = list(range(len(solve_tasks)))
         else:
-            payloads = [
-                self._payload(task, memory_tuple, method_tuple, store_root)
-                for task in tasks
-            ]
-            workers = min(self._processes, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_execute_task, payloads))
+            outcomes, ranks = self._run_pooled(solve_tasks, memory_tuple, store_root)
         rows: List[SweepRow] = []
         eigensolves = 0
         per_task_seconds: List[float] = []
-        for task_rows, task_solves, seconds in results:
+        task_records: List[TaskRecord] = []
+        for solve_task, rank, outcome in zip(solve_tasks, ranks, outcomes):
+            task_rows, task_solves, seconds, _ = outcome
             rows.extend(task_rows)
             eigensolves += task_solves
             per_task_seconds.append(seconds)
+            task_records.append(
+                _task_record(solve_task, rank, outcome, self._eig_options)
+            )
         return SweepReport(
             rows=rows,
             num_eigensolves=eigensolves,
@@ -265,59 +375,118 @@ class SweepOrchestrator:
             processes=self._processes,
             store_root=store_root,
             per_task_seconds=per_task_seconds,
+            tasks=task_records,
         )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _expand(
+        self, tasks: Sequence[SweepTask], methods: Tuple[str, ...]
+    ) -> List[SolveTask]:
+        """Expand graph tasks into schedulable solve tasks, in row order."""
+        solve_tasks: List[SolveTask] = []
+        for task in tasks:
+            estimate = task.estimate_num_vertices()
+            if self._split_methods and len(methods) > 1:
+                for method in methods:
+                    solve_tasks.append(
+                        SolveTask(task, (method,), estimate, len(solve_tasks))
+                    )
+            else:
+                solve_tasks.append(SolveTask(task, methods, estimate, len(solve_tasks)))
+        return solve_tasks
+
     def _payload(
         self,
-        task: SweepTask,
+        solve_task: SolveTask,
         memory_sizes: Tuple[int, ...],
-        methods: Tuple[str, ...],
         store_root: Optional[str],
     ) -> _TaskPayload:
         return (
-            task,
+            solve_task,
             memory_sizes,
-            methods,
             self._num_eigenvalues,
             self._skip_infeasible,
             self._convex_vertex_cap,
             self._max_vertices,
             store_root,
+            self._eig_options,
         )
+
+    def _run_pooled(
+        self,
+        solve_tasks: Sequence[SolveTask],
+        memory_sizes: Tuple[int, ...],
+        store_root: Optional[str],
+    ) -> Tuple[List[_TaskOutcome], List[int]]:
+        """Largest-first pooled execution; outcomes returned in task order.
+
+        Submission order is the schedule: ``ProcessPoolExecutor`` hands
+        queued work to workers FIFO, so submitting by descending size
+        estimate makes the dominant solve start first instead of last —
+        the difference between ``max(longest task, total/p)`` and a pool
+        that idles behind the largest FFT level it started at the end.
+        """
+        order = list(range(len(solve_tasks)))
+        if self._largest_first:
+            order.sort(key=lambda i: (-solve_tasks[i].size_estimate, i))
+        ranks = [0] * len(solve_tasks)
+        for rank, index in enumerate(order):
+            ranks[index] = rank
+        workers = min(self._processes, len(solve_tasks))
+        outcomes: List[Optional[_TaskOutcome]] = [None] * len(solve_tasks)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                index: pool.submit(
+                    _execute_task,
+                    self._payload(solve_tasks[index], memory_sizes, store_root),
+                )
+                for index in order
+            }
+            for index, future in futures.items():
+                outcomes[index] = future.result()
+        return outcomes, ranks
 
     def _run_serial(
         self,
-        tasks: Sequence[SweepTask],
+        solve_tasks: Sequence[SolveTask],
         memory_sizes: Tuple[int, ...],
-        methods: Tuple[str, ...],
-    ) -> List[Tuple[List[SweepRow], int, float]]:
+    ) -> List[_TaskOutcome]:
         """In-process execution with one cache shared across the whole sweep.
 
         This preserves the serial harness's strongest guarantee: one
         eigensolve per (graph, normalisation) for the *entire* sweep, even
-        when size parameters repeat.
+        when size parameters repeat.  Tasks run in submission order, so
+        warm-start-capable backends chain consecutive family levels.
         """
         cache = SpectrumCache(
-            max_entries=max(8, 2 * len(tasks)), store=self._store
+            max_entries=max(8, 2 * len(solve_tasks)), store=self._store
         )
-        results: List[Tuple[List[SweepRow], int, float]] = []
-        for task in tasks:
+        outcomes: List[_TaskOutcome] = []
+        built: Tuple[Optional[SweepTask], Optional[ComputationGraph]] = (None, None)
+        for solve_task in solve_tasks:
             start = time.perf_counter()
-            graph = task.build_graph()
-            rows, solves = evaluate_graph_rows(
+            task = solve_task.task
+            # Method-split tasks of one graph are adjacent (expansion order):
+            # build the graph once and reuse it for its siblings.
+            if built[0] is task:
+                graph = built[1]
+            else:
+                graph = task.build_graph()
+                built = (task, graph)
+            rows, solves, records = evaluate_graph_rows(
                 task.family,
                 task.size_param,
                 graph,
                 memory_sizes,
-                methods=methods,
+                methods=solve_task.methods,
                 num_eigenvalues=self._num_eigenvalues,
                 skip_infeasible=self._skip_infeasible,
                 convex_vertex_cap=self._convex_vertex_cap,
                 max_vertices=self._max_vertices,
                 cache=cache,
+                eig_options=self._eig_options,
             )
-            results.append((rows, solves, time.perf_counter() - start))
-        return results
+            outcomes.append((rows, solves, time.perf_counter() - start, records))
+        return outcomes

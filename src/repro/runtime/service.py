@@ -219,10 +219,12 @@ class BoundService:
                 return engine, description
         # Build outside the lock (rehydrating a spec can read disk); a racing
         # duplicate engine is harmless — both share the same spectrum cache.
+        lineage = None
         if isinstance(ref, ComputationGraph):
             graph = ref
         elif isinstance(ref, GraphSpec):
             graph = ref.build()
+            lineage = ref.family
         else:
             graph = GraphSpec(path=ref).build()
         engine = BoundEngine(
@@ -230,6 +232,7 @@ class BoundService:
             num_eigenvalues=self._num_eigenvalues,
             eig_options=self._eig_options,
             cache=self._cache,
+            lineage=lineage,
         )
         with self._lock:
             existing = self._engines.get(key)

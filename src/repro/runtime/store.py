@@ -52,11 +52,17 @@ __all__ = [
     "StoredSpectrum",
     "SpectrumStore",
     "STORE_ENV_VAR",
+    "STORE_MAX_BYTES_ENV_VAR",
     "default_store_root",
+    "default_store_max_bytes",
 ]
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_SPECTRUM_STORE"
+
+#: Environment variable giving the default size cap (bytes) of the store;
+#: unset/empty/0 means unbounded.
+STORE_MAX_BYTES_ENV_VAR = "REPRO_SPECTRUM_STORE_MAX_BYTES"
 
 _FORMAT_VERSION = 1
 _INDEX_NAME = "index.json"
@@ -75,6 +81,18 @@ def default_store_root() -> Path:
     return Path.home() / ".cache" / "repro" / "spectra"
 
 
+def default_store_max_bytes() -> Optional[int]:
+    """The size cap from ``$REPRO_SPECTRUM_STORE_MAX_BYTES`` (None = none)."""
+    env = os.environ.get(STORE_MAX_BYTES_ENV_VAR, "").strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
 @dataclass(frozen=True)
 class StoredSpectrum:
     """One spectrum loaded from disk.
@@ -86,6 +104,8 @@ class StoredSpectrum:
     eigenvalues: np.ndarray
     solve_seconds: float
     num_eigenvalues: int
+    backend: str = "unknown"
+    dtype: str = "float64"
 
 
 def _canonical_options(options: Optional[EigenSolverOptions]) -> Dict[str, object]:
@@ -117,11 +137,23 @@ class SpectrumStore:
     root:
         Store directory (created if missing).  ``None`` uses
         :func:`default_store_root`.
+    max_bytes:
+        Size budget for the blob directory.  When the total blob size
+        exceeds it after a :meth:`put`, least-recently-used entries are
+        evicted until the store fits.  ``None`` (default) reads
+        ``$REPRO_SPECTRUM_STORE_MAX_BYTES``; unset means unbounded.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self._root = Path(root) if root is not None else default_store_root()
         self._blob_dir = self._root / _BLOB_DIR
+        self._max_bytes = max_bytes if max_bytes is not None else default_store_max_bytes()
+        if self._max_bytes is not None and self._max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {self._max_bytes}")
         # Per-handle traffic counters (the persistent counters live in the
         # index; these describe what *this* handle served).  One handle may
         # be shared by many engine threads — SpectrumCache calls get/put
@@ -141,6 +173,11 @@ class SpectrumStore:
     @property
     def root(self) -> Path:
         return self._root
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Size cap of the blob directory (None = unbounded)."""
+        return self._max_bytes
 
     @property
     def hits(self) -> int:
@@ -210,9 +247,21 @@ class SpectrumStore:
                 self._drop_entry(entry_id)
                 continue
             values.flags.writeable = False
+            meta = index["entries"][entry_id]
+            options_meta = meta.get("options") or {}
             with self._counter_lock:
                 self._hits += 1
-            return StoredSpectrum(values, solve_seconds, entry_h)
+            if self._max_bytes is not None:
+                # LRU bookkeeping only matters under a size cap; unbounded
+                # stores skip the index rewrite per hit.
+                self._touch(entry_id)
+            return StoredSpectrum(
+                values,
+                solve_seconds,
+                entry_h,
+                backend=str(meta.get("backend", "unknown")),
+                dtype=str(options_meta.get("dtype", "float64")),
+            )
         with self._counter_lock:
             self._misses += 1
         return None
@@ -225,12 +274,17 @@ class SpectrumStore:
         normalized: bool = True,
         sparse: bool = False,
         eig_options: Optional[EigenSolverOptions] = None,
+        backend: Optional[str] = None,
+        lineage: Optional[str] = None,
     ) -> str:
         """Publish one solved spectrum; returns the entry id.
 
         Records the solve in the persistent ``solves_recorded`` counter even
         when another process raced the same entry in first (both paid for an
-        eigensolve; the counter tracks work done, not entries).
+        eigensolve; the counter tracks work done, not entries).  ``backend``
+        records the resolved backend id and ``lineage`` the family name of
+        the producing sweep (``cache clear --family`` filters on it); both
+        are metadata only and never part of the content key.
         """
         values = np.ascontiguousarray(eigenvalues, dtype=np.float64)
         h = int(values.shape[0])
@@ -241,6 +295,7 @@ class SpectrumStore:
         self._atomic_write_npz(
             blob, eigenvalues=values, solve_seconds=np.float64(solve_seconds)
         )
+        now = time.time()
         with self._locked(exclusive=True):
             index = self._read_index()
             index["solves_recorded"] = int(index.get("solves_recorded", 0)) + 1
@@ -252,9 +307,16 @@ class SpectrumStore:
                     "normalized": bool(normalized),
                     "sparse": bool(sparse),
                     "options": _canonical_options(eig_options),
+                    "backend": backend or "unknown",
+                    "lineage": lineage,
                     "solve_seconds": float(solve_seconds),
-                    "created_at": time.time(),
+                    "created_at": now,
+                    "last_used": now,
                 }
+            else:
+                index["entries"][entry_id]["last_used"] = now
+            if self._max_bytes is not None:
+                self._evict_over_budget(index)
             self._write_index(index)
         with self._counter_lock:
             self._puts += 1
@@ -270,12 +332,16 @@ class SpectrumStore:
         rows: List[Dict[str, object]] = []
         for entry_id, meta in sorted(index["entries"].items()):
             blob = self._blob_dir / f"{entry_id}.npz"
+            options_meta = meta.get("options") or {}
             rows.append(
                 {
                     "entry": entry_id,
                     "fingerprint": str(meta["fingerprint"])[:12],
+                    "lineage": meta.get("lineage") or "-",
                     "normalized": meta["normalized"],
                     "sparse": meta["sparse"],
+                    "backend": str(meta.get("backend", "unknown")),
+                    "dtype": str(options_meta.get("dtype", "float64")),
                     "num_eigenvalues": int(meta["h"]),
                     "solve_seconds": float(meta["solve_seconds"]),
                     "bytes": blob.stat().st_size if blob.exists() else 0,
@@ -300,24 +366,137 @@ class SpectrumStore:
             "num_entries": len(entries),
             "num_graphs": len(graphs),
             "total_bytes": total_bytes,
+            "max_bytes": self._max_bytes,
             "solves_recorded": int(index.get("solves_recorded", 0)),
             "handle_hits": self._hits,
             "handle_misses": self._misses,
             "handle_puts": self._puts,
         }
 
-    def clear(self) -> int:
-        """Delete every entry (index counters included); returns the count."""
+    def clear(
+        self,
+        lineage: Optional[str] = None,
+        fingerprint_prefix: Optional[str] = None,
+    ) -> int:
+        """Delete entries; returns the count removed.
+
+        Without filters everything goes (index counters included).  With
+        ``lineage`` only entries recorded under that family name are removed;
+        with ``fingerprint_prefix`` only entries whose graph fingerprint
+        starts with the prefix.  Filters compose (AND); a filtered clear
+        keeps the ``solves_recorded`` counter (the work was still done).
+        """
         if not self._root.exists():
             return 0
         with self._locked(exclusive=True):
             index = self._read_index()
-            removed = len(index["entries"])
-            for entry_id in index["entries"]:
+            if lineage is None and fingerprint_prefix is None:
+                removed = len(index["entries"])
+                for entry_id in index["entries"]:
+                    with contextlib.suppress(OSError):
+                        (self._blob_dir / f"{entry_id}.npz").unlink()
+                self._write_index(self._empty_index())
+                return removed
+            doomed = [
+                entry_id
+                for entry_id, meta in index["entries"].items()
+                if (lineage is None or meta.get("lineage") == lineage)
+                and (
+                    fingerprint_prefix is None
+                    or str(meta.get("fingerprint", "")).startswith(fingerprint_prefix)
+                )
+            ]
+            for entry_id in doomed:
                 with contextlib.suppress(OSError):
                     (self._blob_dir / f"{entry_id}.npz").unlink()
-            self._write_index(self._empty_index())
-        return removed
+                del index["entries"][entry_id]
+            if doomed:
+                self._write_index(index)
+        return len(doomed)
+
+    def verify(self, fix: bool = False) -> Dict[str, object]:
+        """Integrity-check the store; optionally repair it.
+
+        Detects three failure classes:
+
+        * **missing** — index entries whose ``.npz`` blob is gone,
+        * **corrupt** — blobs that fail to load or whose eigenvalue vector is
+          malformed (wrong length, non-ascending, non-finite),
+        * **orphaned** — ``.npz`` files in the blob directory that no index
+          entry references (e.g. left behind by an index reset).
+
+        With ``fix=True`` missing/corrupt entries are dropped from the index
+        and corrupt/orphaned blob files deleted.  Orphan deletion re-scans
+        under the exclusive lock and skips blobs younger than a minute:
+        :meth:`put` writes the blob *before* indexing it, so a fresh blob
+        may simply not be indexed yet by a concurrent writer.  Returns a
+        report dict.
+        """
+        with self._locked(exclusive=False):
+            index = self._read_index()
+        missing: List[str] = []
+        corrupt: List[str] = []
+        for entry_id, meta in sorted(index["entries"].items()):
+            blob = self._blob_dir / f"{entry_id}.npz"
+            if not blob.exists():
+                missing.append(entry_id)
+                continue
+            try:
+                with np.load(blob) as data:
+                    values = np.asarray(data["eigenvalues"], dtype=np.float64)
+                    float(data["solve_seconds"])
+                ok = (
+                    values.ndim == 1
+                    and values.shape[0] == int(meta["h"])
+                    and bool(np.all(np.isfinite(values)))
+                    and bool(np.all(np.diff(values) >= -1e-9))
+                )
+            except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+                ok = False
+            if not ok:
+                corrupt.append(entry_id)
+        known = {f"{entry_id}.npz" for entry_id in index["entries"]}
+        orphaned: List[str] = []
+        if self._blob_dir.exists():
+            orphaned = sorted(
+                name.name
+                for name in self._blob_dir.glob("*.npz")
+                if name.name not in known
+            )
+        removed = 0
+        if fix and (missing or corrupt or orphaned):
+            with self._locked(exclusive=True):
+                index = self._read_index()
+                for entry_id in missing + corrupt:
+                    if entry_id in index["entries"]:
+                        del index["entries"][entry_id]
+                        removed += 1
+                    with contextlib.suppress(OSError):
+                        (self._blob_dir / f"{entry_id}.npz").unlink()
+                self._write_index(index)
+                # Orphans re-derived from the fresh index inside the lock (a
+                # racing put may have indexed one since the scan), and young
+                # blobs are left alone — they may be a put in flight whose
+                # index write is queued behind this very lock.
+                known_now = {f"{entry_id}.npz" for entry_id in index["entries"]}
+                cutoff = time.time() - 60.0
+                for name in orphaned:
+                    if name in known_now:
+                        continue
+                    blob = self._blob_dir / name
+                    with contextlib.suppress(OSError):
+                        if blob.stat().st_mtime <= cutoff:
+                            blob.unlink()
+        return {
+            "root": str(self._root),
+            "entries_checked": len(index["entries"]),
+            "missing": missing,
+            "corrupt": corrupt,
+            "orphaned_blobs": orphaned,
+            "ok": not (missing or corrupt or orphaned),
+            "fixed": bool(fix),
+            "entries_removed": removed,
+        }
 
     # ------------------------------------------------------------------
     # internals
@@ -370,6 +549,46 @@ class SpectrumStore:
         self._atomic_write_text(self._root / _INDEX_NAME, json.dumps(index, indent=1))
         with self._counter_lock:
             self._index_cache = None
+
+    def _touch(self, entry_id: str) -> None:
+        """Refresh an entry's ``last_used`` stamp (LRU bookkeeping)."""
+        with self._locked(exclusive=True):
+            index = self._read_index()
+            meta = index["entries"].get(entry_id)
+            if meta is not None:
+                meta["last_used"] = time.time()
+                self._write_index(index)
+
+    def _evict_over_budget(self, index: Dict[str, object]) -> None:
+        """Evict least-recently-used entries until blobs fit ``max_bytes``.
+
+        Called with the exclusive lock held and the (mutable) index dict;
+        the caller writes the index afterwards.  The newest entry is never
+        evicted — a single over-budget spectrum is better than an empty
+        store that re-solves forever.
+        """
+        entries: Dict[str, Dict] = index["entries"]
+        sizes: Dict[str, int] = {}
+        for entry_id in entries:
+            blob = self._blob_dir / f"{entry_id}.npz"
+            try:
+                sizes[entry_id] = blob.stat().st_size
+            except OSError:
+                sizes[entry_id] = 0
+        total = sum(sizes.values())
+        if total <= self._max_bytes:
+            return
+        by_age = sorted(
+            entries,
+            key=lambda e: float(entries[e].get("last_used", entries[e].get("created_at", 0.0))),
+        )
+        for entry_id in by_age[:-1]:  # keep at least the most recent entry
+            if total <= self._max_bytes:
+                break
+            with contextlib.suppress(OSError):
+                (self._blob_dir / f"{entry_id}.npz").unlink()
+            total -= sizes.get(entry_id, 0)
+            del entries[entry_id]
 
     def _drop_entry(self, entry_id: str) -> None:
         with contextlib.suppress(OSError):

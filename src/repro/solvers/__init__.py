@@ -5,27 +5,44 @@ symmetric positive semi-definite Laplacian.  The paper notes the bound "is not
 only efficiently computable by power iteration" and costs ``O(h n^2)`` with
 Lanczos-Arnoldi; this subpackage therefore provides
 
+* :mod:`backends` — the :class:`SpectralBackend` protocol and registry
+  (``dense``, ``sparse``, ``lanczos``, ``power``, ``lobpcg``), plus
+  :class:`WarmStartContext` for seeding consecutive family solves with the
+  previous level's Ritz vectors,
+* :mod:`backend` — :class:`EigenSolverOptions` (method/dtype/tolerance, the
+  hashable object all cache tiers key on) and the legacy entry point
+  :func:`smallest_eigenvalues`,
 * :mod:`dense` — exact dense spectra via LAPACK (``numpy.linalg.eigvalsh``),
 * :mod:`lanczos` — an in-package Lanczos iteration with full
   reorthogonalisation (matrix-free, works with dense and sparse operators),
 * :mod:`power_iteration` — shifted power iteration with deflation (the
   slowest option, included because it is the simplest building block the
   paper's efficiency claim refers to),
-* :mod:`backend` — a single entry point,
-  :func:`repro.solvers.backend.smallest_eigenvalues`, that picks a backend
-  automatically and cross-checks are exercised in the tests.
 * :mod:`spectrum_cache` — an LRU cache of eigensolves keyed by the graph's
   structural fingerprint, shared by all bound computations so repeated
   bounds on the same graph solve once.
+
+Deprecated package-level imports: ``lanczos_smallest_eigenvalues`` and
+``power_iteration_smallest_eigenvalues`` remain importable from this package
+for backwards compatibility but emit :class:`DeprecationWarning` — import
+them from their defining modules, or go through the backend registry.
 """
 
-from repro.solvers.backend import smallest_eigenvalues, EigenSolverOptions
-from repro.solvers.dense import dense_spectrum, dense_smallest_eigenvalues
-from repro.solvers.lanczos import lanczos_smallest_eigenvalues
-from repro.solvers.power_iteration import (
-    power_iteration_largest_eigenvalue,
-    power_iteration_smallest_eigenvalues,
+import warnings
+
+from repro.solvers.backend import EigenSolverOptions, smallest_eigenvalues
+from repro.solvers.backends import (
+    BackendSolveResult,
+    SpectralBackend,
+    WarmStartContext,
+    available_backends,
+    create_backend,
+    default_warm_start_context,
+    register_backend,
+    solve_smallest,
 )
+from repro.solvers.dense import dense_spectrum, dense_smallest_eigenvalues
+from repro.solvers.power_iteration import power_iteration_largest_eigenvalue
 from repro.solvers.spectrum_cache import (
     CachedSpectrum,
     SpectrumCache,
@@ -34,7 +51,15 @@ from repro.solvers.spectrum_cache import (
 
 __all__ = [
     "smallest_eigenvalues",
+    "solve_smallest",
     "EigenSolverOptions",
+    "BackendSolveResult",
+    "SpectralBackend",
+    "WarmStartContext",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "default_warm_start_context",
     "CachedSpectrum",
     "SpectrumCache",
     "default_spectrum_cache",
@@ -44,3 +69,33 @@ __all__ = [
     "power_iteration_largest_eigenvalue",
     "power_iteration_smallest_eigenvalues",
 ]
+
+#: Deprecated package-level names -> (module, attribute, replacement hint).
+_DEPRECATED = {
+    "lanczos_smallest_eigenvalues": (
+        "repro.solvers.lanczos",
+        "lanczos_smallest_eigenvalues",
+        "repro.solvers.lanczos.lanczos_smallest_eigenvalues or the 'lanczos' backend",
+    ),
+    "power_iteration_smallest_eigenvalues": (
+        "repro.solvers.power_iteration",
+        "power_iteration_smallest_eigenvalues",
+        "repro.solvers.power_iteration.power_iteration_smallest_eigenvalues or "
+        "the 'power' backend",
+    ),
+}
+
+
+def __getattr__(name: str):
+    """Lazy deprecation shims for direct solver-function imports."""
+    if name in _DEPRECATED:
+        module_name, attribute, hint = _DEPRECATED[name]
+        warnings.warn(
+            f"importing {name} from repro.solvers is deprecated; use {hint}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

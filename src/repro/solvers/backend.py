@@ -1,14 +1,13 @@
-"""Backend selection for smallest-eigenvalue computation.
+"""Solver options and the legacy entry point for smallest eigenvalues.
 
-:func:`smallest_eigenvalues` is the single entry point the bound code uses.
-It dispatches between
+The actual solver implementations live in :mod:`repro.solvers.backends` as a
+:class:`~repro.solvers.backends.SpectralBackend` registry (``dense``,
+``sparse``, ``lanczos``, ``power``, ``lobpcg``).  This module keeps
 
-* ``"dense"``   — exact LAPACK solve (default for small matrices),
-* ``"sparse"``  — ARPACK shift-invert (``scipy.sparse.linalg.eigsh``) with a
-  robust fallback chain, the default for large sparse Laplacians,
-* ``"lanczos"`` — the in-package Lanczos solver,
-* ``"power"``   — shifted power iteration with deflation,
-* ``"auto"``    — dense below a size threshold, sparse above it.
+* :class:`EigenSolverOptions` — the frozen, hashable configuration object
+  that caches and the persistent store key on, and
+* :func:`smallest_eigenvalues` — the historical free-function entry point,
+  now a thin wrapper over :func:`repro.solvers.backends.solve_smallest`.
 
 All backends return eigenvalues in increasing order, clamped at zero: graph
 Laplacians are positive semi-definite, so tiny negative values are numerical
@@ -18,17 +17,14 @@ noise and would otherwise leak into the bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
-from repro.solvers.dense import dense_smallest_eigenvalues
-from repro.solvers.lanczos import lanczos_smallest_eigenvalues
-from repro.solvers.power_iteration import power_iteration_smallest_eigenvalues
+from repro.solvers.backends import WarmStartContext, available_backends, solve_smallest
 
-__all__ = ["EigenSolverOptions", "smallest_eigenvalues"]
+__all__ = ["EigenSolverOptions", "smallest_eigenvalues", "DENSE_CUTOFF"]
 
 MatrixLike = Union[np.ndarray, sp.spmatrix]
 
@@ -37,6 +33,17 @@ MatrixLike = Union[np.ndarray, sp.spmatrix]
 #: seconds, which in practice beats ARPACK shift-invert (and avoids ARPACK's
 #: accuracy issues on the highly clustered spectra of hypercubes/butterflies).
 DENSE_CUTOFF = 6000
+
+_VALID_DTYPES = frozenset({"float64", "float32"})
+
+
+def _valid_methods() -> frozenset:
+    """``auto`` plus every *currently* registered backend id.
+
+    Computed per validation so backends registered after import (the
+    ``register_backend`` extension point) are accepted too.
+    """
+    return frozenset({"auto", *available_backends()})
 
 
 @dataclass(frozen=True)
@@ -47,7 +54,7 @@ class EigenSolverOptions:
     ----------
     method:
         One of ``"auto"``, ``"dense"``, ``"sparse"``, ``"lanczos"``,
-        ``"power"``.
+        ``"power"``, ``"lobpcg"``.
     dense_cutoff:
         Matrix dimension below which ``"auto"`` uses the dense backend.
     tolerance:
@@ -56,6 +63,11 @@ class EigenSolverOptions:
         Iteration cap forwarded to iterative backends (``None`` = defaults).
     seed:
         Seed for backends that use random start vectors.
+    dtype:
+        Arithmetic precision: ``"float64"`` (default) or ``"float32"``
+        (roughly twice the matvec throughput, ~1e-6 accuracy).  Results are
+        always returned as float64 arrays; caches and the persistent store
+        key on this field, so mixed-precision spectra coexist.
     """
 
     method: str = "auto"
@@ -63,17 +75,27 @@ class EigenSolverOptions:
     tolerance: float = 1e-8
     max_iterations: int | None = None
     seed: int = 0
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
-        valid = {"auto", "dense", "sparse", "lanczos", "power"}
+        valid = _valid_methods()
         if self.method not in valid:
-            raise ValueError(f"method must be one of {sorted(valid)}, got {self.method!r}")
+            raise ValueError(
+                f"method must be one of {sorted(valid)}, got {self.method!r}"
+            )
+        if self.dtype not in _VALID_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {sorted(_VALID_DTYPES)}, got {self.dtype!r}"
+            )
 
 
 def smallest_eigenvalues(
     matrix: MatrixLike,
     k: int,
     options: EigenSolverOptions | None = None,
+    warm_start: Optional[WarmStartContext] = None,
+    lineage: Optional[str] = None,
+    normalized: bool = True,
 ) -> np.ndarray:
     """Return the ``k`` smallest eigenvalues of a symmetric PSD matrix.
 
@@ -86,6 +108,14 @@ def smallest_eigenvalues(
         Number of eigenvalues requested, ``0 <= k <= n``.
     options:
         Backend options; defaults to automatic selection.
+    warm_start, lineage:
+        Optional warm-start context and lineage key; when both are given and
+        the resolved backend supports warm starts, the solve is seeded from
+        the lineage's previous Ritz vectors (see
+        :class:`repro.solvers.backends.WarmStartContext`).
+    normalized:
+        Part of the warm-start key (spectra of the two normalisations must
+        never seed each other); ignored without ``warm_start``.
 
     Returns
     -------
@@ -94,86 +124,12 @@ def smallest_eigenvalues(
         noise clamped to zero.
     """
     options = options or EigenSolverOptions()
-    n = matrix.shape[0]
-    if k < 0:
-        raise ValueError(f"k must be non-negative, got {k}")
-    if k > n:
-        raise ValueError(f"requested {k} eigenvalues from an n={n} matrix")
-    if k == 0:
-        return np.zeros(0)
-
-    method = options.method
-    if method == "auto":
-        method = "dense" if n <= options.dense_cutoff or k >= n - 1 else "sparse"
-
-    if method == "dense":
-        values = dense_smallest_eigenvalues(matrix, k)
-    elif method == "lanczos":
-        values = lanczos_smallest_eigenvalues(
-            matrix,
-            k,
-            max_iterations=options.max_iterations,
-            tolerance=options.tolerance,
-            seed=options.seed,
-        ).eigenvalues
-    elif method == "power":
-        values = power_iteration_smallest_eigenvalues(
-            matrix,
-            k,
-            tolerance=options.tolerance,
-            seed=options.seed,
-        )
-    else:  # "sparse"
-        values = _sparse_smallest(matrix, k, options)
-
-    values = np.asarray(values, dtype=np.float64)
-    values[np.abs(values) < 1e-10] = 0.0
-    values[values < 0.0] = 0.0
-    return np.sort(values)
-
-
-def _sparse_smallest(matrix: MatrixLike, k: int, options: EigenSolverOptions) -> np.ndarray:
-    """ARPACK-based smallest eigenvalues with a fallback chain.
-
-    ARPACK requires ``k < n``; when ``k`` is too close to ``n`` we fall back
-    to the dense solver.  Shift-invert around a small negative shift is used
-    first (fast and accurate for PSD Laplacians because ``L + eps I`` is
-    positive definite); plain ``which='SA'`` is the fallback, and the dense
-    solver is the last resort for moderate sizes.
-    """
-    n = matrix.shape[0]
-    if k >= n - 1 or n <= 2:
-        return dense_smallest_eigenvalues(matrix, k)
-    mat = matrix.tocsc() if sp.issparse(matrix) else sp.csc_matrix(np.asarray(matrix))
-    # Graph Laplacians of symmetric graphs have heavily clustered spectra; a
-    # generous Lanczos basis (ncv) is needed for ARPACK to resolve whole
-    # clusters instead of returning a too-large value from the middle of one.
-    ncv = min(n - 1, max(4 * k + 1, 120))
-    try:
-        values = spla.eigsh(
-            mat,
-            k=k,
-            sigma=-1e-6,
-            which="LM",
-            return_eigenvectors=False,
-            tol=options.tolerance,
-            ncv=ncv,
-        )
-        return np.asarray(values)
-    except Exception:  # pragma: no cover - exercised only on ARPACK failures
-        pass
-    try:
-        values = spla.eigsh(
-            mat,
-            k=k,
-            which="SA",
-            return_eigenvectors=False,
-            tol=max(options.tolerance, 1e-6),
-            maxiter=options.max_iterations or n * 20,
-            ncv=ncv,
-        )
-        return np.asarray(values)
-    except Exception:  # pragma: no cover
-        if n <= 5000:
-            return dense_smallest_eigenvalues(mat, k)
-        raise
+    result = solve_smallest(
+        matrix,
+        k,
+        options,
+        warm_start=warm_start,
+        lineage=lineage,
+        normalized=normalized,
+    )
+    return result.eigenvalues

@@ -43,12 +43,16 @@ class LanczosResult:
     residuals:
         Per-eigenvalue residual estimates ``|beta_m * s_m|`` (last component
         of the Ritz vector scaled by the last off-diagonal).
+    eigenvectors:
+        ``(n, k)`` Ritz vectors matching ``eigenvalues`` (``None`` for empty
+        solves).  Used to warm-start subsequent solves of the same family.
     """
 
     eigenvalues: np.ndarray
     iterations: int
     converged: bool
     residuals: np.ndarray
+    eigenvectors: np.ndarray | None = None
 
 
 def _matvec(matrix: MatrixLike, x: np.ndarray) -> np.ndarray:
@@ -59,6 +63,7 @@ def lanczos_tridiagonalize(
     matrix: MatrixLike,
     num_steps: int,
     seed: SeedLike = 0,
+    start_vector: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Run ``num_steps`` Lanczos steps and return ``(alphas, betas, basis)``.
 
@@ -66,6 +71,8 @@ def lanczos_tridiagonalize(
     matrix ``T_m``; ``basis`` is the ``n x m`` orthonormal Krylov basis.  The
     iteration stops early if the Krylov space becomes invariant (``beta``
     numerically zero), in which case the returned arrays are shorter.
+    ``start_vector`` replaces the random initial vector (warm starts from a
+    previous solve's Ritz vector); degenerate vectors fall back to random.
     """
     n = matrix.shape[0]
     if n == 0:
@@ -73,8 +80,15 @@ def lanczos_tridiagonalize(
     num_steps = min(num_steps, n)
     rng = as_rng(seed)
 
-    q = rng.standard_normal(n)
-    q /= np.linalg.norm(q)
+    q = None
+    if start_vector is not None:
+        candidate = np.asarray(start_vector, dtype=np.float64).ravel()
+        norm = np.linalg.norm(candidate)
+        if candidate.shape[0] == n and np.isfinite(norm) and norm > 1e-12:
+            q = candidate / norm
+    if q is None:
+        q = rng.standard_normal(n)
+        q /= np.linalg.norm(q)
     basis = np.zeros((n, num_steps), dtype=np.float64)
     alphas = np.zeros(num_steps, dtype=np.float64)
     betas = np.zeros(max(num_steps - 1, 0), dtype=np.float64)
@@ -117,6 +131,7 @@ def lanczos_smallest_eigenvalues(
     max_iterations: int | None = None,
     tolerance: float = 1e-8,
     seed: SeedLike = 0,
+    start_vector: np.ndarray | None = None,
 ) -> LanczosResult:
     """Approximate the ``k`` smallest eigenvalues of a symmetric matrix.
 
@@ -135,6 +150,8 @@ def lanczos_smallest_eigenvalues(
     seed:
         Seed of the random start vector (fixed by default for
         reproducibility).
+    start_vector:
+        Optional warm-start vector replacing the random initial vector.
     """
     n = matrix.shape[0]
     if k < 0:
@@ -148,7 +165,9 @@ def lanczos_smallest_eigenvalues(
         max_iterations = min(n, max(4 * k + 40, 80))
     max_iterations = max(max_iterations, k)
 
-    alphas, betas, _ = lanczos_tridiagonalize(matrix, max_iterations, seed=seed)
+    alphas, betas, basis = lanczos_tridiagonalize(
+        matrix, max_iterations, seed=seed, start_vector=start_vector
+    )
     m = alphas.shape[0]
     if m == 0:
         return LanczosResult(np.zeros(0), 0, False, np.full(k, np.inf))
@@ -160,6 +179,7 @@ def lanczos_smallest_eigenvalues(
 
     take = min(k, m)
     eigenvalues = ritz_values[:take]
+    eigenvectors = basis @ ritz_vectors[:, :take]
     last_beta = betas[-1] if m > 1 else 0.0
     residuals = np.abs(last_beta * ritz_vectors[-1, :take])
     converged = bool(m >= k and np.all(residuals <= tolerance * max(1.0, np.abs(ritz_values).max())))
@@ -173,4 +193,6 @@ def lanczos_smallest_eigenvalues(
         residuals = np.concatenate([residuals, np.full(k - take, np.inf)])
         converged = False
 
-    return LanczosResult(np.asarray(eigenvalues), m, converged, np.asarray(residuals))
+    return LanczosResult(
+        np.asarray(eigenvalues), m, converged, np.asarray(residuals), eigenvectors
+    )

@@ -52,7 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 
 from repro.graphs.compgraph import ComputationGraph
 from repro.graphs.laplacian import laplacian
-from repro.solvers.backend import EigenSolverOptions, smallest_eigenvalues
+from repro.solvers.backend import EigenSolverOptions
+from repro.solvers.backends import WarmStartContext, solve_smallest
 
 __all__ = ["CachedSpectrum", "SpectrumCache", "default_spectrum_cache"]
 
@@ -78,11 +79,18 @@ class CachedSpectrum:
         it per lookup.
     cache_hit:
         True when the spectrum was served from the cache.
+    backend:
+        Resolved backend id that produced the underlying solve (``"unknown"``
+        for entries predating backend tracking, e.g. old store blobs).
+    dtype:
+        Arithmetic precision of the solve (``"float64"``/``"float32"``).
     """
 
     eigenvalues: np.ndarray
     solve_seconds: float
     cache_hit: bool
+    backend: str = "unknown"
+    dtype: str = "float64"
 
 
 class SpectrumCache:
@@ -97,16 +105,24 @@ class SpectrumCache:
         Optional :class:`~repro.runtime.store.SpectrumStore` used as a
         second, persistent tier: memory misses check the store before
         eigensolving, and fresh solves are published back to it.
+    warm_start:
+        Optional :class:`~repro.solvers.backends.WarmStartContext` shared
+        with other caches; by default every cache owns a private context, so
+        lineage-tagged solves through the same cache warm-start each other.
     """
 
     def __init__(
-        self, max_entries: int = 128, store: "Optional[SpectrumStore]" = None
+        self,
+        max_entries: int = 128,
+        store: "Optional[SpectrumStore]" = None,
+        warm_start: Optional[WarmStartContext] = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self._max_entries = int(max_entries)
         self._store = store
-        self._entries: "OrderedDict[Tuple, Tuple[np.ndarray, float]]" = OrderedDict()
+        self._warm_start = warm_start if warm_start is not None else WarmStartContext()
+        self._entries: "OrderedDict[Tuple, Tuple[np.ndarray, float, str]]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -144,6 +160,11 @@ class SpectrumCache:
         """The persistent second tier, if configured."""
         return self._store
 
+    @property
+    def warm_start(self) -> WarmStartContext:
+        """The warm-start context threaded into lineage-tagged solves."""
+        return self._warm_start
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -165,13 +186,18 @@ class SpectrumCache:
         normalized: bool = True,
         eig_options: Optional[EigenSolverOptions] = None,
         sparse: Optional[bool] = None,
+        lineage: Optional[str] = None,
     ) -> CachedSpectrum:
         """The ``num_eigenvalues`` smallest Laplacian eigenvalues of ``graph``.
 
         Serves from the cache when possible (exact key, or a prefix of a
         larger cached spectrum); otherwise assembles the Laplacian, solves,
         stores and returns.  ``normalized=False`` returns the Theorem 5
-        quantity ``lambda(L) / max_out_degree``.
+        quantity ``lambda(L) / max_out_degree``.  ``lineage`` tags the solve
+        with a family identity (e.g. ``"fft"``) so warm-start-capable
+        backends can seed from the previous solve of the same lineage; it is
+        *not* part of the cache key (identical graphs share spectra whatever
+        lineage asked first).
         """
         n = graph.num_vertices
         h = int(num_eigenvalues)
@@ -182,6 +208,7 @@ class SpectrumCache:
         if n == 0 or h == 0:
             return CachedSpectrum(np.zeros(0), 0.0, True)
         options = eig_options or EigenSolverOptions()
+        dtype = options.dtype
         # Resolve the sparse/dense assembly choice *before* keying: the two
         # paths can use different solver backends (dense LAPACK vs ARPACK),
         # so their spectra must never be served interchangeably.  Keying on
@@ -196,17 +223,17 @@ class SpectrumCache:
             if found is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return CachedSpectrum(found[0], found[1], True)
+                return CachedSpectrum(found[0], found[1], True, found[2], dtype)
             # Prefix serving: any cached spectrum of the same graph /
             # normalisation / assembly / options with h' >= h contains the
             # answer.
-            for other_key, (values, solve_seconds) in self._entries.items():
+            for other_key, (values, solve_seconds, backend) in self._entries.items():
                 if other_key[:4] == base_key and other_key[4] >= h:
                     self._entries.move_to_end(other_key)
                     self._hits += 1
                     prefix = values[:h]
                     prefix.flags.writeable = False
-                    return CachedSpectrum(prefix, solve_seconds, True)
+                    return CachedSpectrum(prefix, solve_seconds, True, backend, dtype)
 
         # Second tier: the persistent store may hold this spectrum (or a
         # longer one) from an earlier run or another process.  Checked
@@ -233,6 +260,7 @@ class SpectrumCache:
                         self._entries[stored_key] = (
                             stored.eigenvalues,
                             stored.solve_seconds,
+                            stored.backend,
                         )
                     self._entries.move_to_end(stored_key)
                     while len(self._entries) > self._max_entries:
@@ -241,12 +269,14 @@ class SpectrumCache:
                     self._store_hits += 1
                 prefix = stored.eigenvalues[:h]
                 prefix.flags.writeable = False
-                return CachedSpectrum(prefix, stored.solve_seconds, True)
+                return CachedSpectrum(prefix, stored.solve_seconds, True, stored.backend, dtype)
 
         # Solve outside the lock: concurrent misses on the same key may solve
         # twice, which is wasteful but never wrong (results are identical for
         # deterministic backends).
-        values, solve_seconds = self._solve(graph, h, normalized, options, use_sparse)
+        values, solve_seconds, backend = self._solve(
+            graph, h, normalized, options, use_sparse, lineage
+        )
         if self._store is not None:
             try:
                 self._store.put(
@@ -256,34 +286,45 @@ class SpectrumCache:
                     normalized=bool(normalized),
                     sparse=bool(use_sparse),
                     eig_options=options,
+                    backend=backend,
+                    lineage=lineage,
                 )
             except OSError:
                 pass  # a full/read-only disk must not break the computation
         with self._lock:
-            self._entries[key] = (values, solve_seconds)
+            self._entries[key] = (values, solve_seconds, backend)
             self._entries.move_to_end(key)
             self._misses += 1
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
-        return CachedSpectrum(values, solve_seconds, False)
+        return CachedSpectrum(values, solve_seconds, False, backend, dtype)
 
-    @staticmethod
     def _solve(
+        self,
         graph: ComputationGraph,
         h: int,
         normalized: bool,
         options: EigenSolverOptions,
         use_sparse: bool,
-    ) -> Tuple[np.ndarray, float]:
+        lineage: Optional[str],
+    ) -> Tuple[np.ndarray, float, str]:
         start = time.perf_counter()
         lap = laplacian(graph, normalized=normalized, sparse=use_sparse)
-        values = smallest_eigenvalues(lap, h, options=options)
+        result = solve_smallest(
+            lap,
+            h,
+            options,
+            warm_start=self._warm_start,
+            lineage=lineage,
+            normalized=normalized,
+        )
+        values = result.eigenvalues
         if not normalized:
             max_out = graph.freeze().max_out_degree
             values = values / max_out if max_out else values * 0.0
         values = np.ascontiguousarray(values, dtype=np.float64)
         values.flags.writeable = False
-        return values, time.perf_counter() - start
+        return values, time.perf_counter() - start, result.backend
 
 
 _DEFAULT_CACHE = SpectrumCache(max_entries=128)

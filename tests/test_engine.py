@@ -107,13 +107,13 @@ class TestEngineMatchesPublicFunctions:
 class TestOneEigensolvePerNormalization:
     def test_engine_counts_solves(self, monkeypatch):
         calls = {"n": 0}
-        real = spectrum_cache_module.smallest_eigenvalues
+        real = spectrum_cache_module.solve_smallest
 
         def counting(*args, **kwargs):
             calls["n"] += 1
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(spectrum_cache_module, "smallest_eigenvalues", counting)
+        monkeypatch.setattr(spectrum_cache_module, "solve_smallest", counting)
         engine = BoundEngine(fft_graph(5), num_eigenvalues=25, cache=SpectrumCache())
         for M in MEMORY_SIZES:
             engine.spectral(M)

@@ -207,6 +207,71 @@ class TestCLI:
         with pytest.raises(SystemExit):
             self.run_cli("cache", "stats", "--no-store")
 
+    def test_sweep_solver_and_dtype_flags(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert (
+            self.run_cli(
+                "sweep", "--family", "fft", "--sizes", "3", "4",
+                "--memory-sizes", "4", "--store", str(tmp_path / "s"),
+                "--solver", "lobpcg", "--dtype", "float32", "--json", str(out),
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["num_eigensolves"] == 2
+        assert len(payload["tasks"]) == 2
+        for record in payload["tasks"]:
+            assert record["backend"] == "lobpcg"
+            assert record["dtype"] == "float32"
+            assert record["solve_seconds"] >= 0.0
+        # dtype/backend flow into the store key: a float64 run re-solves.
+        out2 = tmp_path / "run2.json"
+        assert (
+            self.run_cli(
+                "sweep", "--family", "fft", "--sizes", "3", "4",
+                "--memory-sizes", "4", "--store", str(tmp_path / "s"),
+                "--json", str(out2),
+            )
+            == 0
+        )
+        assert json.loads(out2.read_text())["num_eigensolves"] == 2
+
+    def test_solve_solver_flag(self, tmp_path, capsys):
+        assert (
+            self.run_cli(
+                "solve", "--family", "fft", "--size", "3", "-M", "4",
+                "--no-store", "--solver", "lanczos", "--json",
+            )
+            == 0
+        )
+        (answer,) = json.loads(capsys.readouterr().out)
+        assert answer["bound"] >= 0.0
+
+    def test_cache_verify_and_filtered_clear(self, tmp_path, capsys):
+        store = str(tmp_path / "s")
+        self.run_cli(
+            "sweep", "--family", "fft", "--sizes", "3", "4",
+            "--memory-sizes", "4", "--store", store,
+        )
+        capsys.readouterr()
+        assert self.run_cli("cache", "verify", "--store", store) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["entries_checked"] == 2
+        # Break a blob, verify fails, --fix repairs.
+        blobs = list((tmp_path / "s" / "blobs").glob("*.npz"))
+        blobs[0].write_bytes(b"garbage")
+        assert self.run_cli("cache", "verify", "--store", store) == 1
+        capsys.readouterr()
+        assert self.run_cli("cache", "verify", "--store", store, "--fix") == 0
+        capsys.readouterr()
+        assert self.run_cli("cache", "verify", "--store", store) == 0
+        assert json.loads(capsys.readouterr().out)["ok"]
+        # Filtered clear by family lineage.
+        assert self.run_cli("cache", "clear", "--store", store, "--family", "nope") == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        assert self.run_cli("cache", "clear", "--store", store, "--family", "fft") == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+
     def test_store_env_var_respected(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_SPECTRUM_STORE", str(tmp_path / "env-store"))
         self.run_cli("sweep", "--family", "fft", "--sizes", "3", "--memory-sizes", "4")

@@ -99,7 +99,8 @@ class TestOrchestrator:
         ).run_family("fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS)
         assert [row_key(r) for r in pooled.rows] == [row_key(r) for r in serial.rows]
         assert pooled.processes == 2
-        assert len(pooled.per_task_seconds) == len(SIZES)
+        # Per-(graph, normalization) task split: one task per (size, method).
+        assert len(pooled.per_task_seconds) == len(SIZES) * len(METHODS)
 
     def test_second_run_against_same_store_is_solve_free(self, tmp_path):
         """The PR's acceptance criterion, at test scale."""
@@ -169,6 +170,47 @@ class TestOrchestrator:
             SweepOrchestrator().run([], [4], methods=("spectrl",))
         with pytest.raises(ValueError, match="unknown method"):
             sweep("fft", fft_graph, [], [4], methods=("spectrl",))
+
+    def test_pooled_largest_first_matches_serial(self, tmp_path):
+        """CI contract: largest-first pooled rows are identical to serial."""
+        sizes = [5, 3, 4]  # deliberately not sorted
+        serial = SweepOrchestrator(num_eigenvalues=30).run_family(
+            "fft", fft_graph, sizes, MEMORY_SIZES, methods=METHODS
+        )
+        pooled = SweepOrchestrator(
+            store=tmp_path / "spectra", processes=2, num_eigenvalues=30
+        ).run_family("fft", fft_graph, sizes, MEMORY_SIZES, methods=METHODS)
+        assert [row_key(r) for r in pooled.rows] == [row_key(r) for r in serial.rows]
+        # The schedule itself is largest-first: ranks ascend as estimates
+        # descend (ties broken by task order).
+        records = pooled.tasks
+        by_rank = sorted(records, key=lambda r: r.schedule_rank)
+        estimates = [r.size_estimate for r in by_rank]
+        assert estimates == sorted(estimates, reverse=True)
+        assert estimates[0] == max(r.size_estimate for r in records)
+
+    def test_task_records_carry_backend_and_dtype(self, tmp_path):
+        report = SweepOrchestrator(num_eigenvalues=20).run_family(
+            "fft", fft_graph, [3, 4], MEMORY_SIZES, methods=("spectral",)
+        )
+        assert len(report.tasks) == 2
+        for record in report.tasks:
+            assert record.backend == "dense"  # auto resolves dense at this scale
+            assert record.dtype == "float64"
+            assert record.num_eigensolves >= 0
+            assert record.solve_seconds >= 0.0
+            assert record.size_estimate == (record.size_param + 1) * 2**record.size_param
+
+    def test_split_disabled_is_one_task_per_graph(self):
+        report = SweepOrchestrator(num_eigenvalues=20, split_methods=False).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS
+        )
+        assert len(report.tasks) == len(SIZES)
+        assert all(record.methods == METHODS for record in report.tasks)
+        split = SweepOrchestrator(num_eigenvalues=20).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=METHODS
+        )
+        assert [row_key(r) for r in report.rows] == [row_key(r) for r in split.rows]
 
     def test_report_summary_shape(self, tmp_path):
         report = SweepOrchestrator(store=tmp_path / "s", num_eigenvalues=20).run_family(
