@@ -31,13 +31,19 @@ import time
 from dataclasses import dataclass, asdict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.baselines.convex_mincut import convex_min_cut_max_value
+from repro.baselines.convex_mincut import MinCutEngine
 from repro.core.engine import BoundEngine, SolveRecord
 from repro.graphs.compgraph import ComputationGraph
 from repro.solvers.backend import EigenSolverOptions
 from repro.solvers.spectrum_cache import SpectrumCache
 
-__all__ = ["SweepRow", "sweep", "evaluate_graph_rows", "METHODS"]
+__all__ = [
+    "SweepRow",
+    "sweep",
+    "evaluate_graph_rows",
+    "convex_candidates",
+    "METHODS",
+]
 
 #: Methods understood by :func:`sweep`.
 METHODS = ("spectral", "spectral-unnormalized", "convex-min-cut")
@@ -80,25 +86,53 @@ def _evaluate_spectral(
     }
 
 
+def convex_candidates(
+    graph: ComputationGraph,
+    convex_vertex_cap: Optional[int],
+    chunk: Optional[Tuple[int, int]] = None,
+) -> Optional[List[int]]:
+    """The candidate vertices the convex min-cut baseline examines.
+
+    ``None`` means "all vertices".  With a ``convex_vertex_cap`` smaller than
+    the graph, a deterministic strided sub-sample keeps the ``O(n)`` max-flow
+    calls affordable (the result remains a valid bound).  ``chunk=(i, k)``
+    takes the ``i``-th of ``k`` strided slices of the candidate list — the
+    unit the orchestrator schedules across pool workers; the union over all
+    chunks is exactly the unchunked candidate set.
+    """
+    vertices: Optional[List[int]] = None
+    if convex_vertex_cap is not None and graph.num_vertices > convex_vertex_cap:
+        stride = max(1, graph.num_vertices // convex_vertex_cap)
+        vertices = list(range(0, graph.num_vertices, stride))
+    if chunk is not None:
+        index, total = chunk
+        if not 0 <= index < total:
+            raise ValueError(f"chunk index {index} out of range for {total} chunks")
+        if total > 1:
+            if vertices is None:
+                vertices = list(range(graph.num_vertices))
+            vertices = vertices[index::total]
+    return vertices
+
+
 def _evaluate_convex(
     graph: ComputationGraph,
     memory_sizes: Sequence[int],
     convex_vertex_cap: Optional[int],
+    engine: MinCutEngine,
+    chunk: Optional[Tuple[int, int]] = None,
 ) -> Dict[int, tuple[float, Optional[int], float]]:
     """Run the convex min-cut baseline for all memory sizes.
 
     The expensive part (``max_v C(v, G)``) is independent of ``M``, so the
     per-vertex max-flow computations run once and the per-``M`` bounds follow
-    arithmetically (the recorded elapsed time is the shared cost).
+    arithmetically (the recorded elapsed time is the shared cost).  The
+    engine carries the backend choice, the persistent cut table, and the
+    pruning logic.
     """
     start = time.perf_counter()
-    vertices: Optional[Sequence[int]] = None
-    if convex_vertex_cap is not None and graph.num_vertices > convex_vertex_cap:
-        # Deterministic sub-sample of candidate vertices keeps the O(n)
-        # max-flow calls affordable; the result remains a valid bound.
-        stride = max(1, graph.num_vertices // convex_vertex_cap)
-        vertices = list(range(0, graph.num_vertices, stride))
-    max_cut, _ = convex_min_cut_max_value(graph, vertices)
+    vertices = convex_candidates(graph, convex_vertex_cap, chunk)
+    max_cut, _ = engine.max_cut(vertices)
     elapsed = time.perf_counter() - start
     return {
         M: (max(0.0, 2.0 * (max_cut - M)), None, elapsed) for M in memory_sizes
@@ -118,22 +152,31 @@ def evaluate_graph_rows(
     cache: Optional[SpectrumCache] = None,
     eig_options: Optional[EigenSolverOptions] = None,
     lineage: Optional[str] = None,
-) -> Tuple[List[SweepRow], int, List[SolveRecord]]:
+    mincut_backend: Optional[str] = None,
+    cut_store=None,
+    convex_chunk: Optional[Tuple[int, int]] = None,
+) -> Tuple[List[SweepRow], int, List[SolveRecord], Optional[Dict[str, object]]]:
     """Evaluate every (method, M) combination on one graph.
 
     This is the per-graph kernel of :func:`sweep`: the serial path calls it
     in a loop with a shared cache, and the orchestrator's pool workers call
     it once per task with a store-backed private cache.  ``eig_options``
     selects the spectral backend/precision, and ``lineage`` tags solves for
-    warm starting (defaults to the family name).
+    warm starting (defaults to the family name).  ``mincut_backend`` /
+    ``cut_store`` configure the convex min-cut baseline (max-flow backend id
+    and persistent :class:`~repro.runtime.store.CutStore`); ``convex_chunk``
+    restricts the baseline to the ``(index, total)``-th strided slice of its
+    candidate vertices (see :func:`convex_candidates`).
 
     Returns
     -------
-    (rows, num_eigensolves, solve_records)
+    (rows, num_eigensolves, solve_records, cut_stats)
         The sweep rows, the number of eigensolves actually performed (0 when
-        every spectrum came from a cache tier), and one
+        every spectrum came from a cache tier), one
         :class:`~repro.core.engine.SolveRecord` per spectrum fetch (empty
-        for purely combinatorial methods).
+        for purely combinatorial methods), and the convex baseline's
+        :meth:`~repro.baselines.convex_mincut.MinCutEngine.stats` (``None``
+        when the method did not run).
     """
     for method in methods:
         if method not in METHODS:
@@ -147,13 +190,14 @@ def evaluate_graph_rows(
         eig_options=eig_options,
         lineage=lineage if lineage is not None else family,
     )
+    cut_stats: Optional[Dict[str, object]] = None
     max_in = graph.max_in_degree
     feasible_ms = [
         M for M in memory_sizes if not (skip_infeasible and max_in + 1 > M)
     ]
     rows: List[SweepRow] = []
     if not feasible_ms:
-        return rows, 0, []
+        return rows, 0, [], cut_stats
 
     def emit(method: str, M: int, bound: float, best_k: Optional[int], elapsed: float) -> None:
         rows.append(
@@ -178,11 +222,20 @@ def evaluate_graph_rows(
         if method in ("spectral", "spectral-unnormalized"):
             per_m = _evaluate_spectral(method, engine, feasible_ms)
         else:  # convex-min-cut
-            per_m = _evaluate_convex(graph, feasible_ms, convex_vertex_cap)
+            mincut_engine = MinCutEngine(
+                graph,
+                backend=mincut_backend,
+                store=cut_store,
+                lineage=lineage if lineage is not None else family,
+            )
+            per_m = _evaluate_convex(
+                graph, feasible_ms, convex_vertex_cap, mincut_engine, convex_chunk
+            )
+            cut_stats = mincut_engine.stats()
         for M in feasible_ms:
             bound, best_k, elapsed = per_m[M]
             emit(method, M, bound, best_k, elapsed)
-    return rows, engine.num_eigensolves, engine.solve_log
+    return rows, engine.num_eigensolves, engine.solve_log, cut_stats
 
 
 def sweep(
@@ -200,6 +253,7 @@ def sweep(
     solver: Optional[str] = None,
     dtype: Optional[str] = None,
     eig_options: Optional[EigenSolverOptions] = None,
+    mincut_backend: Optional[str] = None,
 ) -> List[SweepRow]:
     """Evaluate ``methods`` over a graph family.
 
@@ -241,6 +295,10 @@ def sweep(
     eig_options:
         Full :class:`~repro.solvers.backend.EigenSolverOptions` forwarded to
         every engine/worker of the sweep.
+    mincut_backend:
+        Max-flow backend id for the convex min-cut baseline (``auto``/
+        ``dinic``/``array-dinic``/``scipy``; ``None`` resolves like ``auto``,
+        the ``--mincut-backend`` CLI flag).
 
     Returns
     -------
@@ -265,6 +323,7 @@ def sweep(
         convex_vertex_cap=convex_vertex_cap,
         max_vertices=max_vertices,
         eig_options=eig_options,
+        mincut_backend=mincut_backend,
     )
     report = orchestrator.run_family(
         family, graph_builder, size_params, memory_sizes, methods=methods

@@ -1,10 +1,17 @@
 """Baseline lower-bound methods the paper compares against.
 
-* :mod:`maxflow` — a pure-Python Dinic max-flow / min-cut solver (substrate
-  for the convex min-cut baseline).
+* :mod:`maxflow` — a pure-Python Dinic max-flow / min-cut solver (the
+  reference kernel of the convex min-cut baseline).
+* :mod:`flownet` — the reusable vertex-split flow network of the baseline's
+  reduction, built once per graph from the frozen CSR view (plus the cheap
+  per-vertex upper bounds used for search pruning).
+* :mod:`flow_backends` — pluggable :class:`MaxFlowBackend` registry
+  (``dinic`` reference / ``array-dinic`` / C-compiled ``scipy``), mirroring
+  the spectral backend registry of :mod:`repro.solvers.backends`.
 * :mod:`convex_mincut` — reconstruction of the convex min-cut automatic bound
   of Elango et al. [13], the only polynomial-time automatic baseline the paper
-  evaluates (Figures 7–11).
+  evaluates (Figures 7–11), with per-graph cut caching and pruning
+  (:class:`MinCutEngine`).
 * :mod:`partitioner` — balanced graph partitioners standing in for METIS in
   the partitioned variant of the baseline.
 * :mod:`exact` — brute-force references for tiny graphs: minimum simulated
@@ -14,11 +21,20 @@
 """
 
 from repro.baselines.convex_mincut import (
+    MinCutEngine,
     convex_min_cut_bound,
     convex_min_cut_value,
     partitioned_convex_min_cut_bound,
 )
 from repro.baselines.exact import minimum_io_over_all_orders, minimum_io_upper_bound
+from repro.baselines.flow_backends import (
+    MaxFlowBackend,
+    available_flow_backends,
+    create_flow_backend,
+    register_flow_backend,
+    resolve_flow_backend_id,
+)
+from repro.baselines.flownet import ConvexCutNetwork
 from repro.baselines.maxflow import MaxFlowSolver
 from repro.baselines.partitioner import (
     contiguous_topological_partition,
@@ -27,6 +43,13 @@ from repro.baselines.partitioner import (
 
 __all__ = [
     "MaxFlowSolver",
+    "ConvexCutNetwork",
+    "MaxFlowBackend",
+    "MinCutEngine",
+    "available_flow_backends",
+    "create_flow_backend",
+    "register_flow_backend",
+    "resolve_flow_backend_id",
     "convex_min_cut_value",
     "convex_min_cut_bound",
     "partitioned_convex_min_cut_bound",

@@ -23,29 +23,51 @@ still needed, so at that moment at least ``C(v, G)`` values are live.  At most
 ``M`` of them can sit in fast memory; each of the remaining ones must be
 written to slow memory and read back later — hence ``2 (C(v, G) - M)`` I/Os.
 This matches the published behaviour of the baseline: it is linear in ``M``,
-its runtime is one max-flow per vertex (``O(n^5)`` worst case, versus
-``O(n^3)`` for the spectral method), it is looser than the spectral bound on
-the butterfly/hypercube families, and it is trivial on naive matrix
-multiplication (where small convex prefixes with tiny wavefronts exist around
-every vertex).
+it is looser than the spectral bound on the butterfly/hypercube families, and
+it is trivial on naive matrix multiplication (where small convex prefixes
+with tiny wavefronts exist around every vertex).
 
-The min-cut is computed on a vertex-split flow network (vertex capacity 1,
-structural arcs of infinite capacity enforcing down-closure and the
-"pay-once-per-boundary-vertex" accounting).
+Execution model.  The min-cut is computed on a vertex-split flow network
+(vertex capacity 1, structural arcs of infinite capacity enforcing
+down-closure and the "pay-once-per-boundary-vertex" accounting), built *once*
+per graph from the frozen CSR view (:class:`~repro.baselines.flownet
+.ConvexCutNetwork`) and solved by a pluggable
+:class:`~repro.baselines.flow_backends.MaxFlowBackend`.  :class:`MinCutEngine`
+adds the two layers that make whole-paper sweeps cheap:
+
+* **cut caching** — ``C(v, G)`` is independent of ``M`` and of the backend,
+  so values live in an in-memory table and, optionally, a persistent
+  :class:`~repro.runtime.store.CutStore` keyed by the graph fingerprint;
+  a warm re-run performs zero max-flow calls;
+* **upper-bound pruning** — candidates are visited best-upper-bound-first
+  (the ``O(n + E)`` topological-prefix wavefront of
+  :meth:`~repro.baselines.flownet.ConvexCutNetwork.prefix_upper_bounds`),
+  and a vertex whose ceiling cannot beat the best cut found so far is
+  skipped.  Pruning never changes ``max_v C(v, G)``: a skipped vertex
+  satisfies ``C(v) <= ub(v) <= best``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.baselines.maxflow import INFINITE_CAPACITY, MaxFlowSolver
+import numpy as np
+
+from repro.baselines.flow_backends import (
+    MaxFlowBackend,
+    create_flow_backend,
+    resolve_flow_backend_id,
+)
+from repro.baselines.flownet import ConvexCutNetwork
 from repro.baselines.partitioner import contiguous_topological_partition
 from repro.core.result import BaselineBoundResult
 from repro.graphs.compgraph import ComputationGraph
 from repro.utils.validation import check_memory_size, check_positive_int
 
 __all__ = [
+    "MinCutEngine",
     "convex_min_cut_value",
     "convex_min_cut_max_value",
     "convex_min_cut_bound",
@@ -53,45 +75,239 @@ __all__ = [
 ]
 
 
-def convex_min_cut_value(graph: ComputationGraph, vertex: int) -> int:
+class MinCutEngine:
+    """Per-graph convex min-cut evaluator with caching and pruning.
+
+    Parameters
+    ----------
+    graph:
+        The computation graph (frozen lazily on first use).
+    backend:
+        Max-flow backend id (``None``/``"auto"`` resolves via
+        :func:`~repro.baselines.flow_backends.resolve_flow_backend_id`).
+    store:
+        Optional persistent :class:`~repro.runtime.store.CutStore`; known
+        cut values are loaded once per engine and every newly computed value
+        is published back (with the flow calls paid, for auditing).
+    prune:
+        Skip candidates whose cheap upper bound cannot beat the best cut
+        found so far (on by default; exhaustive order is kept for parity
+        tests and for callers that need the legacy witness tie-breaking).
+    lineage:
+        Family tag recorded in the store (``cache`` CLI filters on it).
+    """
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        backend: Optional[str] = None,
+        store=None,
+        prune: bool = True,
+        lineage: Optional[str] = None,
+    ) -> None:
+        self._graph = graph
+        self._backend_id = resolve_flow_backend_id(backend)
+        self._store = store
+        self._prune = bool(prune)
+        self._lineage = lineage
+        self._network: Optional[ConvexCutNetwork] = None
+        self._backend: Optional[MaxFlowBackend] = None
+        self._known: Dict[int, int] = {}
+        self._store_loaded = False
+        self._store_served = 0
+        self._pruned = 0
+        self._cut_seconds = 0.0
+        # Backends mutate shared per-network state (residual capacities, the
+        # scipy capacity template), so concurrent callers — e.g. BoundService
+        # threads sharing one LRU-cached engine — must serialise here.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> ComputationGraph:
+        """The graph this engine evaluates."""
+        return self._graph
+
+    @property
+    def backend_id(self) -> str:
+        """The resolved max-flow backend id."""
+        return self._backend_id
+
+    @property
+    def flow_calls(self) -> int:
+        """Max-flow solves this engine actually performed."""
+        return self._backend.flow_calls if self._backend is not None else 0
+
+    @property
+    def store_served(self) -> int:
+        """Cut values served from the persistent store (no flow paid)."""
+        return self._store_served
+
+    @property
+    def pruned(self) -> int:
+        """Candidates skipped by the upper-bound prune."""
+        return self._pruned
+
+    @property
+    def cut_seconds(self) -> float:
+        """Cumulative wall-clock spent inside cut evaluations."""
+        return self._cut_seconds
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-friendly counters (what sweeps record per task)."""
+        return {
+            "backend": self._backend_id,
+            "flow_calls": self.flow_calls,
+            "store_served": self._store_served,
+            "pruned": self._pruned,
+            "cut_seconds": self._cut_seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def cut_value(self, vertex: int) -> int:
+        """``C(vertex, G)``, from cache tiers or one max-flow solve."""
+        vertex = self._graph.check_vertex(vertex)
+        start = time.perf_counter()
+        with self._lock:
+            self._load_store_table()
+            value = self._known.get(vertex)
+            if value is None:
+                flows_before = self.flow_calls
+                value = self._solve(vertex)
+                self._publish(
+                    {vertex: value}, flow_calls=self.flow_calls - flows_before
+                )
+            self._cut_seconds += time.perf_counter() - start
+        return value
+
+    def max_cut(
+        self, vertices: Optional[Iterable[int]] = None
+    ) -> Tuple[int, Optional[int]]:
+        """``max_v C(v, G)`` over the candidates and one attaining vertex.
+
+        Candidates default to all vertices.  With pruning enabled they are
+        visited best-upper-bound-first; with it disabled, in the given order
+        (the legacy behaviour, whose witness is the first maximiser).
+        """
+        candidates = (
+            np.fromiter(
+                (self._graph.check_vertex(v) for v in vertices), dtype=np.int64
+            )
+            if vertices is not None
+            else np.arange(self._graph.num_vertices, dtype=np.int64)
+        )
+        if candidates.size == 0:
+            return 0, None
+        start = time.perf_counter()
+        with self._lock:
+            self._load_store_table()
+            network = self._get_network()
+            best_cut = 0
+            best_vertex: Optional[int] = None
+            # Known (cached) candidate values are free: scanning them first —
+            # in the caller's order, which fixes the witness tie-breaking on
+            # warm runs — seeds the prune threshold before any flow is paid.
+            for v in candidates.tolist():
+                value = self._known.get(v)
+                if value is not None and (value > best_cut or best_vertex is None):
+                    best_cut = value
+                    best_vertex = v
+            if self._prune:
+                candidates = network.candidate_order(candidates)
+                upper_bounds = network.prefix_upper_bounds()
+            fresh: Dict[int, int] = {}
+            flows_before = self.flow_calls
+            for v in candidates.tolist():
+                if v in self._known:
+                    continue  # already counted in the seeding scan
+                if (
+                    self._prune
+                    and best_vertex is not None
+                    and int(upper_bounds[v]) <= best_cut
+                ):
+                    self._pruned += 1
+                    continue
+                value = self._solve(v)
+                fresh[v] = value
+                if value > best_cut or best_vertex is None:
+                    best_cut = value
+                    best_vertex = v
+            self._publish(fresh, flow_calls=self.flow_calls - flows_before)
+            self._cut_seconds += time.perf_counter() - start
+        return best_cut, best_vertex
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _get_network(self) -> ConvexCutNetwork:
+        if self._network is None:
+            self._network = ConvexCutNetwork(self._graph)
+        return self._network
+
+    def _solve(self, vertex: int) -> int:
+        network = self._get_network()
+        if not network.has_descendants(vertex):
+            # The prefix can grow to the whole graph, whose wavefront is
+            # empty; no flow problem needs solving.
+            value = 0
+        else:
+            if self._backend is None:
+                self._backend = create_flow_backend(self._backend_id, network)
+            sources, sinks = network.terminals(vertex)
+            value = self._backend.min_cut(sources, sinks)
+        self._known[vertex] = value
+        return value
+
+    def _load_store_table(self) -> None:
+        if self._store is None or self._store_loaded:
+            return
+        self._store_loaded = True
+        table = self._store.get(self._graph.fingerprint())
+        if table is not None:
+            self._known.update(table.as_dict())
+            self._store_served = len(table)
+
+    def _publish(self, fresh: Dict[int, int], flow_calls: int) -> None:
+        self._known.update(fresh)
+        if self._store is None or not fresh:
+            return
+        self._store.merge(
+            self._graph.fingerprint(),
+            list(fresh.keys()),
+            list(fresh.values()),
+            flow_calls=flow_calls,
+            backend=self._backend_id,
+            lineage=self._lineage,
+        )
+
+
+def convex_min_cut_value(
+    graph: ComputationGraph,
+    vertex: int,
+    backend: Optional[str] = None,
+    store=None,
+) -> int:
     """The minimum wavefront ``C(v, G)`` of any convex prefix through ``vertex``.
 
     Returns 0 when ``vertex`` has no descendants (the prefix can then grow to
-    the whole graph, whose wavefront is empty).
+    the whole graph, whose wavefront is empty).  One-shot convenience over
+    :class:`MinCutEngine` — loops over many vertices of one graph should hold
+    an engine instead, which builds the flow network once and caches values.
     """
-    graph._check_vertex(vertex)  # noqa: SLF001 - cheap explicit validation
-    descendants = graph.descendants(vertex)
-    if not descendants:
-        return 0
-    ancestors = graph.ancestors(vertex)
-
-    n = graph.num_vertices
-    # Node layout: u_in = 2u, u_out = 2u + 1, source = 2n, sink = 2n + 1.
-    source = 2 * n
-    sink = 2 * n + 1
-    solver = MaxFlowSolver(2 * n + 2)
-
-    for u in range(n):
-        solver.add_edge(2 * u, 2 * u + 1, 1)
-    for u, w in graph.edges():
-        # If some successor w leaves the prefix, u's unit edge must be cut.
-        solver.add_edge(2 * u + 1, 2 * w, INFINITE_CAPACITY)
-        # Down-closure: w inside the prefix forces u inside the prefix.
-        solver.add_edge(2 * w, 2 * u, INFINITE_CAPACITY)
-    for u in ancestors | {vertex}:
-        solver.add_edge(source, 2 * u, INFINITE_CAPACITY)
-    for u in descendants:
-        solver.add_edge(2 * u, sink, INFINITE_CAPACITY)
-
-    value = solver.max_flow(source, sink)
-    if value >= INFINITE_CAPACITY:  # pragma: no cover - cannot happen on DAGs
-        raise RuntimeError("convex min-cut reduction produced an unbounded cut")
-    return int(value)
+    return MinCutEngine(graph, backend=backend, store=store).cut_value(vertex)
 
 
 def convex_min_cut_max_value(
-    graph: ComputationGraph, vertices: Optional[Iterable[int]] = None
-) -> tuple[int, Optional[int]]:
+    graph: ComputationGraph,
+    vertices: Optional[Iterable[int]] = None,
+    backend: Optional[str] = None,
+    store=None,
+    prune: bool = True,
+) -> Tuple[int, Optional[int]]:
     """``max_v C(v, G)`` over the requested vertices and its arg-max.
 
     The convex min-cut bound for any memory size is
@@ -99,21 +315,18 @@ def convex_min_cut_max_value(
     computations only depend on the graph; sweeps over several ``M`` values
     call this once and derive the bounds arithmetically.
     """
-    best_cut = 0
-    best_vertex: Optional[int] = None
-    candidates = list(vertices) if vertices is not None else list(graph.vertices())
-    for v in candidates:
-        cut = convex_min_cut_value(graph, v)
-        if cut > best_cut or best_vertex is None:
-            best_cut = cut
-            best_vertex = v
-    return best_cut, best_vertex
+    return MinCutEngine(graph, backend=backend, store=store, prune=prune).max_cut(
+        vertices
+    )
 
 
 def convex_min_cut_bound(
     graph: ComputationGraph,
     M: int,
     vertices: Optional[Iterable[int]] = None,
+    backend: Optional[str] = None,
+    store=None,
+    prune: bool = True,
 ) -> BaselineBoundResult:
     """Whole-graph convex min-cut lower bound
     ``max_v max(0, 2 (C(v, G) - M))`` (the variant plotted in Figures 7–10).
@@ -129,11 +342,15 @@ def convex_min_cut_bound(
         restricting the set is a valid — just possibly weaker — bound and is
         useful to keep the ``O(n)`` max-flow calls affordable on larger
         graphs.
+    backend, store, prune:
+        Forwarded to :class:`MinCutEngine` (max-flow backend selection,
+        persistent cut table, upper-bound pruning).
     """
     check_memory_size(M)
     start = time.perf_counter()
+    engine = MinCutEngine(graph, backend=backend, store=store, prune=prune)
     candidates = list(vertices) if vertices is not None else list(graph.vertices())
-    best_cut, best_vertex = convex_min_cut_max_value(graph, candidates)
+    best_cut, best_vertex = engine.max_cut(candidates)
     best_value = max(0.0, 2.0 * (best_cut - M))
     elapsed = time.perf_counter() - start
     return BaselineBoundResult(
@@ -142,8 +359,15 @@ def convex_min_cut_bound(
         num_vertices=graph.num_vertices,
         memory_size=M,
         witness_vertex=best_vertex,
-        details={"max_cut_value": float(best_cut), "vertices_examined": float(len(candidates))},
+        details={
+            "max_cut_value": float(best_cut),
+            "vertices_examined": float(len(candidates)),
+            "pruned": float(engine.pruned),
+            "store_served": float(engine.store_served),
+        },
         elapsed_seconds=elapsed,
+        backend=engine.backend_id,
+        flow_calls=engine.flow_calls,
     )
 
 
@@ -151,6 +375,9 @@ def partitioned_convex_min_cut_bound(
     graph: ComputationGraph,
     M: int,
     max_part_size: Optional[int] = None,
+    backend: Optional[str] = None,
+    store=None,
+    prune: bool = True,
 ) -> BaselineBoundResult:
     """Partitioned variant: sum of per-part convex min-cut bounds.
 
@@ -159,6 +386,11 @@ def partitioned_convex_min_cut_bound(
     graphs evaluated here, which is why the whole-graph variant is the one
     plotted.  The partitioned variant is provided for completeness and used in
     the ablation benchmarks.
+
+    Per-part maxima go through the same backend/caching path as the
+    whole-graph bound, and structurally identical parts (equal subgraph
+    fingerprints — common under the contiguous partitioners on regular
+    graphs) are solved once and reused.
     """
     check_memory_size(M)
     if max_part_size is None:
@@ -167,14 +399,22 @@ def partitioned_convex_min_cut_bound(
     start = time.perf_counter()
     total = 0.0
     per_part: Dict[int, float] = {}
+    max_cut_by_fingerprint: Dict[str, int] = {}
+    flow_calls = 0
     parts: List[List[int]] = contiguous_topological_partition(graph, max_part_size)
+    backend_id = resolve_flow_backend_id(backend)
     for index, part in enumerate(parts):
         subgraph, _ = graph.subgraph(part)
-        best = 0.0
-        for v in subgraph.vertices():
-            cut = convex_min_cut_value(subgraph, v)
-            best = max(best, 2.0 * (cut - M))
-        best = max(0.0, best)
+        fingerprint = subgraph.fingerprint()
+        max_cut = max_cut_by_fingerprint.get(fingerprint)
+        if max_cut is None:
+            engine = MinCutEngine(
+                subgraph, backend=backend_id, store=store, prune=prune
+            )
+            max_cut, _ = engine.max_cut()
+            flow_calls += engine.flow_calls
+            max_cut_by_fingerprint[fingerprint] = max_cut
+        best = max(0.0, 2.0 * (max_cut - M))
         per_part[index] = best
         total += best
     elapsed = time.perf_counter() - start
@@ -184,6 +424,12 @@ def partitioned_convex_min_cut_bound(
         num_vertices=graph.num_vertices,
         memory_size=M,
         witness_vertex=None,
-        details={"num_parts": float(len(parts)), "max_part_size": float(max_part_size)},
+        details={
+            "num_parts": float(len(parts)),
+            "max_part_size": float(max_part_size),
+            "unique_parts": float(len(max_cut_by_fingerprint)),
+        },
         elapsed_seconds=elapsed,
+        backend=backend_id,
+        flow_calls=flow_calls,
     )

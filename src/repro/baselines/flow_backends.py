@@ -1,0 +1,270 @@
+"""Pluggable max-flow backends for the convex min-cut baseline.
+
+Mirror of the spectral layer's :mod:`repro.solvers.backends`: backends are
+registered under an id, constructed *per network* (one
+:class:`~repro.baselines.flownet.ConvexCutNetwork` holds the fixed arcs of a
+graph's reduction), and solve per-vertex min cuts by swapping only the
+source/sink attachments:
+
+* ``dinic`` — the pure-Python Dinic reference: rebuilds a fresh
+  :class:`~repro.baselines.maxflow.MaxFlowSolver` per call (the legacy cost
+  profile, kept as the parity oracle and benchmark baseline);
+* ``array-dinic`` — Dinic on one persistent flat arc structure (``to`` /
+  ``head`` / capacity arrays built once from the network's numpy arc table);
+  per-vertex solves reset capacities from a saved snapshot instead of
+  re-adding ``O(n + m)`` arcs;
+* ``scipy`` — :func:`scipy.sparse.csgraph.maximum_flow` (C-compiled) on a
+  persistent CSR capacity template whose source/sink slots are flipped in
+  place per vertex; selected by default when available.
+
+All backends return the same integer ``C(v, G)`` — the randomized parity
+tests in ``tests/test_flow_backends.py`` assert it — so the choice is purely
+a speed/portability trade-off.  ``REPRO_MINCUT_BACKEND`` overrides the
+default (the escape hatch for suspected backend bugs: set it to ``dinic``
+to force the reference implementation everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.flownet import ConvexCutNetwork
+from repro.baselines.maxflow import INFINITE_CAPACITY, MaxFlowSolver, dinic_max_flow
+
+__all__ = [
+    "MaxFlowBackend",
+    "available_flow_backends",
+    "create_flow_backend",
+    "register_flow_backend",
+    "resolve_flow_backend_id",
+    "BACKEND_ENV_VAR",
+]
+
+#: Environment variable overriding the default backend id (parity escape
+#: hatch: ``REPRO_MINCUT_BACKEND=dinic`` forces the reference everywhere).
+BACKEND_ENV_VAR = "REPRO_MINCUT_BACKEND"
+
+
+class MaxFlowBackend(ABC):
+    """One max-flow engine bound to one :class:`ConvexCutNetwork`.
+
+    Subclasses implement :meth:`_solve`; the public :meth:`min_cut` wraps it
+    with the ``flow_calls`` counter every caching/pruning layer (and the CI
+    warm-run smoke test) audits.
+    """
+
+    id: ClassVar[str] = "abstract"
+
+    def __init__(self, network: ConvexCutNetwork) -> None:
+        self.network = network
+        self.flow_calls = 0
+
+    def min_cut(self, sources: np.ndarray, sinks: np.ndarray) -> int:
+        """Min-cut value with ``sources`` attached to the super-source and
+        ``sinks`` to the super-sink (both are graph-vertex id arrays)."""
+        self.flow_calls += 1
+        value = self._solve(
+            np.asarray(sources, dtype=np.int64), np.asarray(sinks, dtype=np.int64)
+        )
+        if value >= INFINITE_CAPACITY:  # pragma: no cover - impossible on DAGs
+            raise RuntimeError("convex min-cut reduction produced an unbounded cut")
+        return int(value)
+
+    @abstractmethod
+    def _solve(self, sources: np.ndarray, sinks: np.ndarray) -> int:
+        """Compute the max-flow value for one source/sink attachment."""
+
+
+class DinicRebuildBackend(MaxFlowBackend):
+    """Reference backend: a fresh pure-Python solver per vertex.
+
+    This is the legacy execution model (and therefore the baseline the
+    ``bench_mincut_baseline`` speedup is measured against): every call pays
+    ``O(n + m)`` Python-level ``add_edge`` work before the first BFS.
+    """
+
+    id = "dinic"
+
+    def _solve(self, sources: np.ndarray, sinks: np.ndarray) -> int:
+        net = self.network
+        solver = MaxFlowSolver(net.num_nodes)
+        n = net.num_vertices
+        m = net.num_edges
+        tails = net.arc_tails
+        heads = net.arc_heads
+        caps = net.arc_caps
+        for i in range(n + 2 * m):  # fixed arcs only; slots added below
+            solver.add_edge(int(tails[i]), int(heads[i]), int(caps[i]))
+        for u in sources.tolist():
+            solver.add_edge(net.source, 2 * u, INFINITE_CAPACITY)
+        for u in sinks.tolist():
+            solver.add_edge(2 * u, net.sink, INFINITE_CAPACITY)
+        return solver.max_flow(net.source, net.sink)
+
+
+class ArrayDinicBackend(MaxFlowBackend):
+    """Dinic on one persistent flat arc structure.
+
+    The adjacency (``to`` targets and per-node arc lists) is built once from
+    the network's arc table — vectorized grouping, no Python edge loop — and
+    never changes.  A solve copies the capacity snapshot (a C-level list
+    copy), flips the source/sink slots of the requested attachment, and runs
+    the shared :func:`~repro.baselines.maxflow.dinic_max_flow` kernel.
+    """
+
+    id = "array-dinic"
+
+    def __init__(self, network: ConvexCutNetwork) -> None:
+        super().__init__(network)
+        num_arcs = network.num_arcs
+        # Forward arc i becomes solver arc 2i; its residual twin is 2i + 1.
+        to = np.empty(2 * num_arcs, dtype=np.int64)
+        to[0::2] = network.arc_heads
+        to[1::2] = network.arc_tails
+        self._to: List[int] = to.tolist()
+        owners = np.empty(2 * num_arcs, dtype=np.int64)
+        owners[0::2] = network.arc_tails
+        owners[1::2] = network.arc_heads
+        order = np.argsort(owners, kind="stable")
+        boundaries = np.searchsorted(
+            owners[order], np.arange(network.num_nodes + 1, dtype=np.int64)
+        )
+        self._head: List[List[int]] = [
+            order[boundaries[i] : boundaries[i + 1]].tolist()
+            for i in range(network.num_nodes)
+        ]
+        caps = np.zeros(2 * num_arcs, dtype=np.int64)
+        caps[0::2] = network.arc_caps
+        self._cap_template: List[int] = caps.tolist()
+
+    def _solve(self, sources: np.ndarray, sinks: np.ndarray) -> int:
+        net = self.network
+        cap = self._cap_template.copy()
+        for u in sources.tolist():
+            cap[2 * int(net.source_arc[u])] = INFINITE_CAPACITY
+        for u in sinks.tolist():
+            cap[2 * int(net.sink_arc[u])] = INFINITE_CAPACITY
+        return dinic_max_flow(
+            net.num_nodes, self._to, self._head, cap, net.source, net.sink
+        )
+
+
+class ScipyMaxFlowBackend(MaxFlowBackend):
+    """C-compiled solves via :func:`scipy.sparse.csgraph.maximum_flow`.
+
+    One CSR capacity matrix is built per network (source/sink slots present
+    as explicit zeros so the sparsity pattern never changes); per-vertex
+    solves mutate only the slot entries of the shared ``data`` array.
+    Capacities use ``n + 1`` as the "infinite" value — every finite cut in
+    the reduction is at most ``n``, and the small constant keeps all flow
+    arithmetic comfortably inside the int32 scipy requires.
+    """
+
+    id = "scipy"
+
+    def __init__(self, network: ConvexCutNetwork) -> None:
+        super().__init__(network)
+        import scipy.sparse as sp
+
+        n = network.num_vertices
+        self._inf = n + 1
+        caps = np.minimum(network.arc_caps, self._inf).astype(np.int32)
+        matrix = sp.csr_matrix(
+            (caps, (network.arc_tails, network.arc_heads)),
+            shape=(network.num_nodes, network.num_nodes),
+        )
+        matrix.sort_indices()
+        indptr, indices = matrix.indptr, matrix.indices
+        u_in = 2 * np.arange(n, dtype=np.int64)
+        # Source arcs are the (sorted, unique) entries of the source row.
+        self._src_pos = indptr[network.source] + np.searchsorted(
+            indices[indptr[network.source] : indptr[network.source + 1]], u_in
+        )
+        # The sink column is the largest node id, so each vertex's sink slot
+        # is the last entry of its u_in row.
+        self._sink_pos = indptr[u_in + 1] - 1
+        if n and (
+            not np.array_equal(indices[self._src_pos], u_in)
+            or not np.all(indices[self._sink_pos] == network.sink)
+        ):  # pragma: no cover - layout invariant
+            raise AssertionError("scipy capacity template slot layout broken")
+        self._matrix = matrix
+
+    def _solve(self, sources: np.ndarray, sinks: np.ndarray) -> int:
+        from scipy.sparse.csgraph import maximum_flow
+
+        data = self._matrix.data
+        data[self._src_pos] = 0
+        data[self._sink_pos] = 0
+        data[self._src_pos[sources]] = self._inf
+        data[self._sink_pos[sinks]] = self._inf
+        return int(
+            maximum_flow(self._matrix, self.network.source, self.network.sink).flow_value
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_FLOW_BACKENDS: Dict[str, Callable[[ConvexCutNetwork], MaxFlowBackend]] = {}
+
+
+def register_flow_backend(
+    backend_id: str, factory: Callable[[ConvexCutNetwork], MaxFlowBackend]
+) -> None:
+    """Register (or replace) a backend factory under ``backend_id``."""
+    _FLOW_BACKENDS[backend_id] = factory
+
+
+def available_flow_backends() -> Tuple[str, ...]:
+    """Registered backend ids, sorted."""
+    return tuple(sorted(_FLOW_BACKENDS))
+
+
+def _scipy_maximum_flow_available() -> bool:
+    try:
+        from scipy.sparse.csgraph import maximum_flow  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy always present in CI
+        return False
+    return True
+
+
+def resolve_flow_backend_id(backend_id: Optional[str] = None) -> str:
+    """Resolve ``None``/``"auto"`` to a concrete backend id.
+
+    Resolution order: explicit id, ``$REPRO_MINCUT_BACKEND``, then ``scipy``
+    when :func:`scipy.sparse.csgraph.maximum_flow` imports, else
+    ``array-dinic``.
+    """
+    if backend_id is not None and backend_id != "auto":
+        resolved = backend_id
+    else:
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        if env:
+            resolved = env
+        elif _scipy_maximum_flow_available():
+            resolved = "scipy"
+        else:
+            resolved = "array-dinic"
+    if resolved not in _FLOW_BACKENDS:
+        known = ", ".join(available_flow_backends())
+        raise ValueError(
+            f"unknown max-flow backend {resolved!r}; known backends: {known}"
+        )
+    return resolved
+
+
+def create_flow_backend(
+    backend_id: Optional[str], network: ConvexCutNetwork
+) -> MaxFlowBackend:
+    """Construct the backend registered under ``backend_id`` for ``network``."""
+    return _FLOW_BACKENDS[resolve_flow_backend_id(backend_id)](network)
+
+
+register_flow_backend(DinicRebuildBackend.id, DinicRebuildBackend)
+register_flow_backend(ArrayDinicBackend.id, ArrayDinicBackend)
+register_flow_backend(ScipyMaxFlowBackend.id, ScipyMaxFlowBackend)

@@ -9,17 +9,118 @@ thousands of max-flow calls the baseline makes on small and medium graphs.
 The implementation uses integer capacities with a large finite constant for
 "infinite" arcs (safe because every finite cut in our constructions is at most
 the number of graph vertices).
+
+The algorithm itself lives in :func:`dinic_max_flow`, a module-level kernel
+over flat arc arrays (``to``/``head``/``cap``), so the reusable flow networks
+of :mod:`repro.baselines.flow_backends` can run Dinic repeatedly on one
+persistent arc structure — resetting a capacity list is orders of magnitude
+cheaper than re-adding every arc through :meth:`MaxFlowSolver.add_edge`.
+:class:`MaxFlowSolver` remains the convenient incremental front-end.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Set
+from typing import List, Sequence, Set
 
-__all__ = ["MaxFlowSolver", "INFINITE_CAPACITY"]
+__all__ = ["MaxFlowSolver", "INFINITE_CAPACITY", "dinic_max_flow"]
 
 #: Effectively infinite capacity for structural (uncuttable) arcs.
 INFINITE_CAPACITY = 1 << 50
+
+
+def _bfs_levels(
+    num_nodes: int, to: Sequence[int], head: Sequence[Sequence[int]],
+    cap: Sequence[int], source: int, sink: int,
+) -> List[int]:
+    level = [-1] * num_nodes
+    level[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for idx in head[u]:
+            v = to[idx]
+            if cap[idx] > 0 and level[v] < 0:
+                level[v] = level[u] + 1
+                queue.append(v)
+    return level
+
+
+def _blocking_path(
+    to: Sequence[int], head: Sequence[Sequence[int]], cap: List[int],
+    source: int, sink: int, level: List[int], iters: List[int],
+) -> int:
+    """Find one augmenting path in the level graph (iterative DFS).
+
+    Returns the amount pushed (0 when the level graph admits no further
+    augmenting path).  Using an explicit stack keeps the solver safe on
+    the long chain-like networks the convex min-cut reduction produces.
+    """
+    path: List[int] = []  # edge indices of the current partial path
+    u = source
+    while True:
+        if u == sink:
+            bottleneck = min(cap[idx] for idx in path)
+            for idx in path:
+                cap[idx] -= bottleneck
+                cap[idx ^ 1] += bottleneck
+            return bottleneck
+        advanced = False
+        while iters[u] < len(head[u]):
+            idx = head[u][iters[u]]
+            v = to[idx]
+            if cap[idx] > 0 and level[v] == level[u] + 1:
+                path.append(idx)
+                u = v
+                advanced = True
+                break
+            iters[u] += 1
+        if advanced:
+            continue
+        # Dead end: retreat (and make sure we never try this vertex again
+        # within the current level graph).
+        level[u] = -1
+        if not path:
+            return 0
+        idx = path.pop()
+        u = to[idx ^ 1]
+        iters[u] += 1
+
+
+def dinic_max_flow(
+    num_nodes: int,
+    to: Sequence[int],
+    head: Sequence[Sequence[int]],
+    cap: List[int],
+    source: int,
+    sink: int,
+) -> int:
+    """Dinic's algorithm on flat arc arrays; returns the max-flow value.
+
+    ``to[idx]`` is the target of arc ``idx``, ``head[u]`` the arc indices out
+    of node ``u``, and ``cap`` the *mutable* residual capacities — arcs come
+    in ``(forward, reverse)`` pairs with ``reverse == forward ^ 1``, exactly
+    the layout :meth:`MaxFlowSolver.add_edge` produces.  ``cap`` is consumed
+    in place (on return it holds the residual network), which is what lets a
+    persistent network re-run the solver from a capacity snapshot.
+    """
+    if not 0 <= source < num_nodes or not 0 <= sink < num_nodes:
+        raise ValueError(
+            f"source/sink out of range for network with {num_nodes} nodes"
+        )
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    flow = 0
+    while True:
+        level = _bfs_levels(num_nodes, to, head, cap, source, sink)
+        if level[sink] < 0:
+            return flow
+        iters = [0] * num_nodes
+        while True:
+            pushed = _blocking_path(to, head, cap, source, sink, level, iters)
+            if pushed == 0:
+                break
+            flow += pushed
 
 
 class MaxFlowSolver:
@@ -65,69 +166,9 @@ class MaxFlowSolver:
         """Maximum flow value from ``source`` to ``sink``."""
         self._check_node(source)
         self._check_node(sink)
-        if source == sink:
-            raise ValueError("source and sink must differ")
-        flow = 0
-        while True:
-            level = self._bfs_levels(source, sink)
-            if level[sink] < 0:
-                return flow
-            iters = [0] * self.num_nodes
-            while True:
-                pushed = self._blocking_path(source, sink, level, iters)
-                if pushed == 0:
-                    break
-                flow += pushed
-
-    def _bfs_levels(self, source: int, sink: int) -> List[int]:
-        level = [-1] * self.num_nodes
-        level[source] = 0
-        queue = deque([source])
-        while queue:
-            u = queue.popleft()
-            for idx in self._head[u]:
-                v = self._to[idx]
-                if self._cap[idx] > 0 and level[v] < 0:
-                    level[v] = level[u] + 1
-                    queue.append(v)
-        return level
-
-    def _blocking_path(self, source: int, sink: int, level: List[int], iters: List[int]) -> int:
-        """Find one augmenting path in the level graph (iterative DFS).
-
-        Returns the amount pushed (0 when the level graph admits no further
-        augmenting path).  Using an explicit stack keeps the solver safe on
-        the long chain-like networks the convex min-cut reduction produces.
-        """
-        path: List[int] = []  # edge indices of the current partial path
-        u = source
-        while True:
-            if u == sink:
-                bottleneck = min(self._cap[idx] for idx in path)
-                for idx in path:
-                    self._cap[idx] -= bottleneck
-                    self._cap[idx ^ 1] += bottleneck
-                return bottleneck
-            advanced = False
-            while iters[u] < len(self._head[u]):
-                idx = self._head[u][iters[u]]
-                v = self._to[idx]
-                if self._cap[idx] > 0 and level[v] == level[u] + 1:
-                    path.append(idx)
-                    u = v
-                    advanced = True
-                    break
-                iters[u] += 1
-            if advanced:
-                continue
-            # Dead end: retreat (and make sure we never try this vertex again
-            # within the current level graph).
-            level[u] = -1
-            if not path:
-                return 0
-            idx = path.pop()
-            u = self._to[idx ^ 1]
-            iters[u] += 1
+        return dinic_max_flow(
+            self.num_nodes, self._to, self._head, self._cap, source, sink
+        )
 
     # ------------------------------------------------------------------
     # cuts

@@ -627,10 +627,21 @@ class ComputationGraph:
     def __hash__(self) -> int:  # graphs are mutable; identity hash
         return id(self)
 
-    def _check_vertex(self, v: int) -> None:
+    def check_vertex(self, v: int) -> int:
+        """Validate a vertex id against this graph and return it as ``int``.
+
+        Raises ``TypeError`` for non-integer ids (booleans included) and
+        ``ValueError`` for out-of-range ids.  This is the public entry point
+        for code outside the graph layer (baselines, schedulers) that needs
+        explicit validation before doing per-vertex work.
+        """
         if not isinstance(v, (int, np.integer)) or isinstance(v, bool):
             raise TypeError(f"vertex id must be an integer, got {type(v).__name__}")
         if not 0 <= v < self.num_vertices:
             raise ValueError(
                 f"vertex {v} out of range for graph with {self.num_vertices} vertices"
             )
+        return int(v)
+
+    def _check_vertex(self, v: int) -> None:
+        self.check_vertex(v)

@@ -15,7 +15,12 @@ Three subcommands expose the runtime subsystem without writing any Python:
 ``solve`` and ``sweep`` take ``--solver`` (``auto``/``dense``/``sparse``/
 ``lanczos``/``power``/``lobpcg``) and ``--dtype`` (``float64``/``float32``)
 to pick the spectral backend; every cache tier keys on both, so variants
-coexist.
+coexist.  ``--mincut-backend`` (``auto``/``dinic``/``array-dinic``/
+``scipy``) picks the max-flow backend of the convex min-cut baseline
+(``sweep --methods convex-min-cut`` / ``solve --method convex-min-cut``);
+cut values are exact, so all backends share one fingerprint-keyed cut table
+and a warm re-run performs zero max-flow calls (``num_flow_calls`` in the
+``sweep --json`` payload, ``cuts.flows_recorded`` in ``cache stats``).
 
 All subcommands share one persistent :class:`~repro.runtime.store
 .SpectrumStore` (``--store DIR``, ``$REPRO_SPECTRUM_STORE``, or
@@ -35,10 +40,11 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_table
+from repro.baselines.flow_backends import available_flow_backends
 from repro.runtime.families import FAMILY_BUILDERS, GraphSpec
 from repro.runtime.orchestrator import SweepOrchestrator
 from repro.runtime.service import BoundQuery, BoundService
-from repro.runtime.store import SpectrumStore, default_store_root
+from repro.runtime.store import CutStore, SpectrumStore, default_store_root
 from repro.solvers.backend import EigenSolverOptions
 from repro.solvers.backends import available_backends
 
@@ -90,6 +96,22 @@ def _eig_options_from_args(args: argparse.Namespace) -> Optional[EigenSolverOpti
     return EigenSolverOptions(method=solver, dtype=dtype)
 
 
+def _add_mincut_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mincut-backend",
+        choices=("auto",) + available_flow_backends(),
+        default="auto",
+        help="max-flow backend for the convex min-cut baseline "
+        "(default: auto = scipy when available; dinic forces the "
+        "pure-Python reference)",
+    )
+
+
+def _mincut_backend_from_args(args: argparse.Namespace) -> Optional[str]:
+    backend = getattr(args, "mincut_backend", "auto")
+    return None if backend == "auto" else backend
+
+
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--family",
@@ -139,10 +161,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the unnormalized Laplacian bound (Theorem 5)",
     )
     solve.add_argument(
+        "--method",
+        choices=["spectral", "convex-min-cut"],
+        default="spectral",
+        help="bound method (convex-min-cut = the Elango et al. baseline)",
+    )
+    solve.add_argument(
         "--num-eigenvalues", type=int, default=100, help="eigenvalue truncation h"
     )
     solve.add_argument("--json", action="store_true", help="print JSON instead of a table")
     _add_solver_arguments(solve)
+    _add_mincut_arguments(solve)
     _add_store_arguments(solve)
 
     sweep = sub.add_parser("sweep", help="sweep a graph family (figure workloads)")
@@ -182,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write rows + summary as JSON ('-' for stdout)",
     )
     _add_solver_arguments(sweep)
+    _add_mincut_arguments(sweep)
     _add_store_arguments(sweep)
 
     cache = sub.add_parser("cache", help="inspect/verify/reset the persistent spectrum store")
@@ -218,6 +248,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         store=_store_from_args(args),
         num_eigenvalues=args.num_eigenvalues,
         eig_options=_eig_options_from_args(args),
+        mincut_backend=_mincut_backend_from_args(args),
     )
     normalization = "unnormalized" if args.unnormalized else "normalized"
     queries = [
@@ -226,6 +257,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             memory_size=M,
             num_processors=args.processors,
             normalization=normalization,
+            method=args.method,
         )
         for M in args.memory_sizes
     ]
@@ -238,7 +270,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(
             f"[eigensolves: {stats['cache_misses']}, memory hits: "
             f"{stats['cache_hits'] - stats['store_hits']}, store hits: "
-            f"{stats['store_hits']}]"
+            f"{stats['store_hits']}, flow calls: {stats['flow_calls']}]"
         )
     return 0
 
@@ -250,6 +282,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         processes=args.processes if args.processes > 0 else None,
         num_eigenvalues=args.num_eigenvalues,
         eig_options=_eig_options_from_args(args),
+        mincut_backend=_mincut_backend_from_args(args),
     )
     report = orchestrator.run_family(
         args.family, None, args.sizes, args.memory_sizes, methods=tuple(args.methods)
@@ -258,6 +291,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     summary = report.summary()
     print(
         f"[{summary['num_rows']} rows, {summary['num_eigensolves']} eigensolves, "
+        f"{summary['num_flow_calls']} flow calls, "
         f"{summary['elapsed_seconds']}s, processes={summary['processes']}, "
         f"store={summary['store_root'] or 'disabled'}]"
     )
@@ -277,17 +311,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     if store is None:
         raise SystemExit("error: cache management needs a store (drop --no-store)")
+    cut_store = CutStore(store.root)
     if args.action == "stats":
-        print(json.dumps(store.stats(), indent=2))
+        stats = store.stats()
+        stats["cuts"] = cut_store.stats()
+        print(json.dumps(stats, indent=2))
     elif args.action == "list":
         entries = store.entries()
         print(format_table(entries, title=f"== spectrum store: {store.root} =="))
+        cut_entries = cut_store.entries()
+        if cut_entries:
+            print(format_table(cut_entries, title=f"== cut store: {store.root} =="))
     elif args.action == "verify":
         report = store.verify(fix=args.fix)
+        report["cuts"] = cut_store.verify(fix=args.fix)
+        report["ok"] = bool(report["ok"] and report["cuts"]["ok"])
         print(json.dumps(report, indent=2))
         return 0 if report["ok"] or args.fix else 1
     else:  # clear
         removed = store.clear(
+            lineage=args.family, fingerprint_prefix=args.fingerprint
+        )
+        removed += cut_store.clear(
             lineage=args.family, fingerprint_prefix=args.fingerprint
         )
         print(f"removed {removed} entries from {store.root}")

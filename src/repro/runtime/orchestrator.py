@@ -12,15 +12,26 @@ dominant task (the family's largest level) before the small fry keeps the
 pool busy instead of idling behind it; rows are reassembled in task order, so
 the output is identical to the serial sweep.
 
+The convex min-cut baseline gets the same treatment at a finer grain: its
+work is ``O(n)`` *independent* per-vertex max-flow calls, so each graph's
+``convex-min-cut`` task further splits into candidate-vertex **chunks** (one
+per worker by default) that the pool interleaves with the eigensolve tasks;
+chunk rows are max-merged on reassembly, which is exact because ``max_v``
+over a union of candidate sets is the max of per-chunk maxima.
+
 Workers never receive a live graph.  A task carries either a picklable
 builder callable (the generators are module-level functions) or a
 :class:`~repro.runtime.families.GraphSpec`; the worker rehydrates the graph
 locally, evaluates every ``M`` through the shared per-graph kernel
 :func:`repro.analysis.sweep.evaluate_graph_rows`, and — when the
 orchestrator was given a persistent :class:`~repro.runtime.store
-.SpectrumStore` — publishes every fresh eigensolve back through the store,
-so concurrent workers and *future runs* share spectra even though each
-worker process has its own memory cache.
+.SpectrumStore` — publishes every fresh eigensolve (and, through the
+sibling :class:`~repro.runtime.store.CutStore`, every fresh min-cut value)
+back through the store, so concurrent workers and *future runs* share
+results even though each worker process has its own memory cache.  Pool
+workers pin BLAS threading to one thread each (see
+:func:`pin_worker_blas_threads`), so ``p`` workers consume ``p`` cores
+instead of ``p * blas_threads``.
 
 With ``processes=1`` the orchestrator degenerates to the serial loop the
 analysis harness always ran: tasks execute in submission order (which also
@@ -38,15 +49,60 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import dataclasses
+
 from repro.analysis.sweep import METHODS, SweepRow, evaluate_graph_rows
 from repro.core.engine import SolveRecord
 from repro.graphs.compgraph import ComputationGraph
 from repro.runtime.families import GraphSpec, estimate_num_vertices, family_builder
-from repro.runtime.store import SpectrumStore
+from repro.runtime.store import CutStore, SpectrumStore
 from repro.solvers.backend import EigenSolverOptions
 from repro.solvers.spectrum_cache import SpectrumCache
 
-__all__ = ["SweepTask", "SolveTask", "TaskRecord", "SweepReport", "SweepOrchestrator"]
+__all__ = [
+    "SweepTask",
+    "SolveTask",
+    "TaskRecord",
+    "SweepReport",
+    "SweepOrchestrator",
+    "BLAS_THREAD_ENV_VARS",
+    "pin_worker_blas_threads",
+]
+
+#: Threading knobs of the BLAS/LAPACK stacks numpy/scipy may link against.
+#: Pool workers pin them all to 1: each worker is one schedulable unit, and a
+#: worker-level eigensolve that fans out over every core oversubscribes the
+#: host as soon as two workers run (p workers x c BLAS threads on c cores).
+BLAS_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def pin_worker_blas_threads() -> None:
+    """``ProcessPoolExecutor`` initializer: single-threaded BLAS per worker.
+
+    ``setdefault`` keeps explicit operator overrides (e.g. a deliberate
+    ``OMP_NUM_THREADS=2``) in force; only unset knobs are pinned.  The env
+    vars fully configure spawn-started workers (they import numpy/scipy
+    after the initializer) and the lazily initialised OpenMP regions of
+    fork-started ones; a BLAS thread pool already *sized* in the parent
+    before the fork ignores them, so when :mod:`threadpoolctl` is importable
+    it is used as well — its limits apply to already-loaded libraries.
+    """
+    for name in BLAS_THREAD_ENV_VARS:
+        os.environ.setdefault(name, "1")
+    try:
+        import threadpoolctl
+    except ImportError:
+        return
+    try:
+        threadpoolctl.threadpool_limits(1)
+    except Exception:  # pragma: no cover - diagnostics-only safety net
+        pass
 
 
 @dataclass(frozen=True)
@@ -81,24 +137,39 @@ class SweepTask:
 
 @dataclass(frozen=True)
 class SolveTask:
-    """The schedulable unit: one (graph, method) evaluation.
+    """The schedulable unit: one (graph, method[, candidate-chunk]) evaluation.
 
     ``methods`` usually holds a single method — per-normalisation splitting
     is what lets the pool schedule the two eigensolves of one graph on
     different workers — but carries the whole method tuple when splitting is
     disabled.  ``size_estimate`` orders the queue largest-first;
     ``order_index`` restores row order on reassembly.
+
+    The convex min-cut baseline additionally splits *within* a graph:
+    ``(chunk_index, num_chunks)`` restricts the task to one strided slice of
+    the candidate vertices (see :func:`repro.analysis.sweep
+    .convex_candidates`), so one graph's ``O(n)`` flow calls interleave with
+    spectral solve tasks across the pool.  Chunk rows are max-merged on
+    reassembly — ``max_v`` over a union is the max of per-slice maxima.
     """
 
     task: SweepTask
     methods: Tuple[str, ...]
     size_estimate: int
     order_index: int
+    chunk_index: int = 0
+    num_chunks: int = 1
 
 
 @dataclass(frozen=True)
 class TaskRecord:
-    """Per solve-task observability record (surfaces in CLI JSON output)."""
+    """Per solve-task observability record (surfaces in CLI JSON output).
+
+    Spectral tasks fill ``backend``/``dtype``/``solve_seconds``; convex
+    min-cut tasks fill ``flow_backend``/``flow_calls``/``cut_seconds`` (and
+    their chunk coordinates when the orchestrator split the per-vertex flow
+    calls across workers).
+    """
 
     family: str
     size_param: int
@@ -110,6 +181,11 @@ class TaskRecord:
     backend: str
     dtype: str
     solve_seconds: float
+    flow_backend: Optional[str] = None
+    flow_calls: int = 0
+    cut_seconds: float = 0.0
+    chunk_index: int = 0
+    num_chunks: int = 1
 
     def as_dict(self) -> Dict[str, object]:
         data = asdict(self)
@@ -128,6 +204,7 @@ class SweepReport:
     store_root: Optional[str] = None
     per_task_seconds: List[float] = field(default_factory=list)
     tasks: List[TaskRecord] = field(default_factory=list)
+    num_flow_calls: int = 0
 
     @property
     def num_rows(self) -> int:
@@ -138,6 +215,7 @@ class SweepReport:
         return {
             "num_rows": self.num_rows,
             "num_eigensolves": self.num_eigensolves,
+            "num_flow_calls": self.num_flow_calls,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "processes": self.processes,
             "store_root": self.store_root,
@@ -154,17 +232,21 @@ _TaskPayload = Tuple[
     Optional[Dict[str, int]],  # max_vertices
     Optional[str],  # store root
     Optional[EigenSolverOptions],
+    Optional[str],  # mincut backend id
 ]
 
-_TaskOutcome = Tuple[List[SweepRow], int, float, List[SolveRecord]]
+_TaskOutcome = Tuple[
+    List[SweepRow], int, float, List[SolveRecord], Optional[Dict[str, object]]
+]
 
 
 def _execute_task(payload: _TaskPayload) -> _TaskOutcome:
     """Run one solve task (in a pool worker or inline) and time it.
 
-    Each invocation builds its own store handle and memory cache: handles are
-    not picklable/fork-safe, but the store *directory* is shared, which is
-    how workers publish spectra to each other and to later runs.
+    Each invocation builds its own store handles and memory cache: handles
+    are not picklable/fork-safe, but the store *directory* is shared, which
+    is how workers publish spectra and cut tables to each other and to later
+    runs.
     """
     (
         solve_task,
@@ -175,13 +257,20 @@ def _execute_task(payload: _TaskPayload) -> _TaskOutcome:
         max_vertices,
         store_root,
         eig_options,
+        mincut_backend,
     ) = payload
     start = time.perf_counter()
     task = solve_task.task
     graph = task.build_graph()
     store = SpectrumStore(store_root) if store_root else None
     cache = SpectrumCache(store=store)
-    rows, eigensolves, records = evaluate_graph_rows(
+    cut_store = CutStore(store_root) if store_root else None
+    chunk = (
+        (solve_task.chunk_index, solve_task.num_chunks)
+        if solve_task.num_chunks > 1
+        else None
+    )
+    rows, eigensolves, records, cut_stats = evaluate_graph_rows(
         task.family,
         task.size_param,
         graph,
@@ -193,8 +282,11 @@ def _execute_task(payload: _TaskPayload) -> _TaskOutcome:
         max_vertices=max_vertices,
         cache=cache,
         eig_options=eig_options,
+        mincut_backend=mincut_backend,
+        cut_store=cut_store,
+        convex_chunk=chunk,
     )
-    return rows, eigensolves, time.perf_counter() - start, records
+    return rows, eigensolves, time.perf_counter() - start, records, cut_stats
 
 
 def _task_record(
@@ -203,7 +295,7 @@ def _task_record(
     outcome: _TaskOutcome,
     eig_options: Optional[EigenSolverOptions],
 ) -> TaskRecord:
-    _, eigensolves, seconds, records = outcome
+    _, eigensolves, seconds, records, cut_stats = outcome
     solved = [r for r in records if not r.cache_hit]
     reference = solved[0] if solved else (records[0] if records else None)
     options = eig_options or EigenSolverOptions()
@@ -218,7 +310,37 @@ def _task_record(
         backend=reference.backend if reference is not None else "-",
         dtype=reference.dtype if reference is not None else options.dtype,
         solve_seconds=sum(r.solve_seconds for r in solved),
+        flow_backend=str(cut_stats["backend"]) if cut_stats else None,
+        flow_calls=int(cut_stats["flow_calls"]) if cut_stats else 0,
+        cut_seconds=float(cut_stats["cut_seconds"]) if cut_stats else 0.0,
+        chunk_index=solve_task.chunk_index,
+        num_chunks=solve_task.num_chunks,
     )
+
+
+def _merge_chunk_rows(chunk_rows: List[List[SweepRow]]) -> List[SweepRow]:
+    """Combine the rows of one graph's convex chunk tasks.
+
+    Every chunk evaluates the same (method, M) grid over a disjoint slice of
+    the candidate vertices, so the merged bound at each grid point is the
+    maximum over chunks (``max_v`` over a union of candidate sets); elapsed
+    time sums (it is real work done, split across workers).
+    """
+    reference = chunk_rows[0]
+    for other in chunk_rows[1:]:
+        if len(other) != len(reference):  # pragma: no cover - expansion invariant
+            raise AssertionError("convex chunk tasks produced mismatched row grids")
+    merged: List[SweepRow] = []
+    for position, row in enumerate(reference):
+        siblings = [rows[position] for rows in chunk_rows]
+        merged.append(
+            dataclasses.replace(
+                row,
+                bound=max(r.bound for r in siblings),
+                elapsed_seconds=sum(r.elapsed_seconds for r in siblings),
+            )
+        )
+    return merged
 
 
 class SweepOrchestrator:
@@ -245,6 +367,17 @@ class SweepOrchestrator:
         Schedule pooled tasks by descending size estimate (the default) so
         the dominant eigensolve starts first.  Serial execution always runs
         in submission order (warm starts chain through ascending levels).
+    mincut_backend:
+        Max-flow backend id for the convex min-cut baseline (``None`` =
+        auto: scipy when available).
+    convex_chunks:
+        Number of candidate-vertex chunks each graph's convex min-cut task
+        splits into (``None`` = one chunk per worker process when pooled,
+        no chunking serially).  Chunks are scheduled like any other solve
+        task, so per-vertex flow calls interleave with eigensolves.
+    pin_blas:
+        Pin BLAS threading to 1 in pool workers (the default) so ``p``
+        workers use ``p`` cores instead of ``p * blas_threads``.
     """
 
     def __init__(
@@ -258,14 +391,20 @@ class SweepOrchestrator:
         eig_options: Optional[EigenSolverOptions] = None,
         split_methods: bool = True,
         largest_first: bool = True,
+        mincut_backend: Optional[str] = None,
+        convex_chunks: Optional[int] = None,
+        pin_blas: bool = True,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = SpectrumStore(store)
         self._store = store
+        self._cut_store = CutStore(store.root) if store is not None else None
         if processes is None:
             processes = os.cpu_count() or 1
         if processes < 1:
             raise ValueError(f"processes must be positive, got {processes}")
+        if convex_chunks is not None and convex_chunks < 1:
+            raise ValueError(f"convex_chunks must be positive, got {convex_chunks}")
         self._processes = int(processes)
         self._num_eigenvalues = int(num_eigenvalues)
         self._skip_infeasible = bool(skip_infeasible)
@@ -274,6 +413,9 @@ class SweepOrchestrator:
         self._eig_options = eig_options
         self._split_methods = bool(split_methods)
         self._largest_first = bool(largest_first)
+        self._mincut_backend = mincut_backend
+        self._convex_chunks = convex_chunks
+        self._pin_blas = bool(pin_blas)
 
     @property
     def store(self) -> Optional[SpectrumStore]:
@@ -358,16 +500,28 @@ class SweepOrchestrator:
             outcomes, ranks = self._run_pooled(solve_tasks, memory_tuple, store_root)
         rows: List[SweepRow] = []
         eigensolves = 0
+        flow_calls = 0
         per_task_seconds: List[float] = []
         task_records: List[TaskRecord] = []
-        for solve_task, rank, outcome in zip(solve_tasks, ranks, outcomes):
-            task_rows, task_solves, seconds, _ = outcome
-            rows.extend(task_rows)
-            eigensolves += task_solves
-            per_task_seconds.append(seconds)
-            task_records.append(
-                _task_record(solve_task, rank, outcome, self._eig_options)
-            )
+        index = 0
+        while index < len(solve_tasks):
+            # Chunked convex tasks of one graph are adjacent by construction;
+            # their rows merge into one logical row group.
+            group = range(index, index + max(1, solve_tasks[index].num_chunks))
+            for j in group:
+                _, task_solves, seconds, _, cut_stats = outcomes[j]
+                eigensolves += task_solves
+                per_task_seconds.append(seconds)
+                if cut_stats is not None:
+                    flow_calls += int(cut_stats["flow_calls"])
+                task_records.append(
+                    _task_record(solve_tasks[j], ranks[j], outcomes[j], self._eig_options)
+                )
+            if len(group) == 1:
+                rows.extend(outcomes[index][0])
+            else:
+                rows.extend(_merge_chunk_rows([outcomes[j][0] for j in group]))
+            index = group.stop
         return SweepReport(
             rows=rows,
             num_eigensolves=eigensolves,
@@ -376,6 +530,7 @@ class SweepOrchestrator:
             store_root=store_root,
             per_task_seconds=per_task_seconds,
             tasks=task_records,
+            num_flow_calls=flow_calls,
         )
 
     # ------------------------------------------------------------------
@@ -384,17 +539,40 @@ class SweepOrchestrator:
     def _expand(
         self, tasks: Sequence[SweepTask], methods: Tuple[str, ...]
     ) -> List[SolveTask]:
-        """Expand graph tasks into schedulable solve tasks, in row order."""
+        """Expand graph tasks into schedulable solve tasks, in row order.
+
+        Convex min-cut tasks additionally split into candidate-vertex chunks
+        (one per worker by default when pooled) so a single graph's ``O(n)``
+        flow calls spread across the pool instead of serialising on one
+        worker while eigensolves run elsewhere.
+        """
+        chunks = self._convex_chunks
+        if chunks is None:
+            chunks = self._processes if self._processes > 1 else 1
         solve_tasks: List[SolveTask] = []
         for task in tasks:
             estimate = task.estimate_num_vertices()
             if self._split_methods and len(methods) > 1:
-                for method in methods:
-                    solve_tasks.append(
-                        SolveTask(task, (method,), estimate, len(solve_tasks))
-                    )
+                method_groups: List[Tuple[str, ...]] = [(m,) for m in methods]
             else:
-                solve_tasks.append(SolveTask(task, methods, estimate, len(solve_tasks)))
+                method_groups = [methods]
+            for group in method_groups:
+                if group == ("convex-min-cut",) and chunks > 1:
+                    for chunk_index in range(chunks):
+                        solve_tasks.append(
+                            SolveTask(
+                                task,
+                                group,
+                                max(1, estimate // chunks),
+                                len(solve_tasks),
+                                chunk_index=chunk_index,
+                                num_chunks=chunks,
+                            )
+                        )
+                else:
+                    solve_tasks.append(
+                        SolveTask(task, group, estimate, len(solve_tasks))
+                    )
         return solve_tasks
 
     def _payload(
@@ -412,6 +590,7 @@ class SweepOrchestrator:
             self._max_vertices,
             store_root,
             self._eig_options,
+            self._mincut_backend,
         )
 
     def _run_pooled(
@@ -436,7 +615,8 @@ class SweepOrchestrator:
             ranks[index] = rank
         workers = min(self._processes, len(solve_tasks))
         outcomes: List[Optional[_TaskOutcome]] = [None] * len(solve_tasks)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        initializer = pin_worker_blas_threads if self._pin_blas else None
+        with ProcessPoolExecutor(max_workers=workers, initializer=initializer) as pool:
             futures = {
                 index: pool.submit(
                     _execute_task,
@@ -475,7 +655,12 @@ class SweepOrchestrator:
             else:
                 graph = task.build_graph()
                 built = (task, graph)
-            rows, solves, records = evaluate_graph_rows(
+            chunk = (
+                (solve_task.chunk_index, solve_task.num_chunks)
+                if solve_task.num_chunks > 1
+                else None
+            )
+            rows, solves, records, cut_stats = evaluate_graph_rows(
                 task.family,
                 task.size_param,
                 graph,
@@ -487,6 +672,11 @@ class SweepOrchestrator:
                 max_vertices=self._max_vertices,
                 cache=cache,
                 eig_options=self._eig_options,
+                mincut_backend=self._mincut_backend,
+                cut_store=self._cut_store,
+                convex_chunk=chunk,
             )
-            outcomes.append((rows, solves, time.perf_counter() - start, records))
+            outcomes.append(
+                (rows, solves, time.perf_counter() - start, records, cut_stats)
+            )
         return outcomes

@@ -24,10 +24,11 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.baselines.convex_mincut import MinCutEngine
 from repro.core.engine import BoundEngine
 from repro.graphs.compgraph import ComputationGraph
 from repro.runtime.families import GraphSpec
-from repro.runtime.store import SpectrumStore
+from repro.runtime.store import CutStore, SpectrumStore
 from repro.solvers.backend import EigenSolverOptions
 from repro.solvers.spectrum_cache import SpectrumCache
 
@@ -50,6 +51,9 @@ class BoundQuery:
 
     ``graph`` may be a :class:`GraphSpec`, a path to a saved graph
     (``.npz``/``.json``), or a live :class:`ComputationGraph`.
+    ``method="convex-min-cut"`` routes to the baseline (``normalization``
+    and ``num_processors`` are then ignored); the default ``"spectral"``
+    keeps the Theorem 4/5/6 behaviour selected by ``normalization``.
     """
 
     graph: GraphRef
@@ -57,6 +61,7 @@ class BoundQuery:
     num_processors: int = 1
     normalization: str = "normalized"
     k: Optional[int] = None
+    method: str = "spectral"
 
 
 @dataclass(frozen=True)
@@ -91,6 +96,9 @@ class BoundService:
         LRU budget of per-graph engines kept alive between batches.
     eig_options:
         Solver options forwarded to every engine.
+    mincut_backend:
+        Max-flow backend id for ``method="convex-min-cut"`` queries
+        (``None`` = auto).
     """
 
     def __init__(
@@ -99,18 +107,25 @@ class BoundService:
         num_eigenvalues: int = 100,
         max_engines: int = 64,
         eig_options: Optional[EigenSolverOptions] = None,
+        mincut_backend: Optional[str] = None,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = SpectrumStore(store)
         if max_engines < 1:
             raise ValueError(f"max_engines must be positive, got {max_engines}")
         self._cache = SpectrumCache(max_entries=max(128, 4 * max_engines), store=store)
+        self._cut_store = CutStore(store.root) if store is not None else None
         self._num_eigenvalues = int(num_eigenvalues)
         self._eig_options = eig_options
+        self._mincut_backend = mincut_backend
         self._max_engines = int(max_engines)
         self._engines: "OrderedDict[object, BoundEngine]" = OrderedDict()
+        self._mincut_engines: "OrderedDict[object, MinCutEngine]" = OrderedDict()
         self._lock = threading.Lock()
         self._queries_served = 0
+        # Cumulative across the service lifetime — engines evicted from the
+        # LRU must not take their flow-call history with them.
+        self._flow_calls = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -131,9 +146,13 @@ class BoundService:
             "cache_hits": self._cache.hits,
             "cache_misses": self._cache.misses,
             "store_hits": self._cache.store_hits,
+            "mincut_engines_cached": len(self._mincut_engines),
+            "flow_calls": self._flow_calls,
         }
         if self.store is not None:
             stats["store"] = self.store.stats()
+        if self._cut_store is not None:
+            stats["cut_store"] = self._cut_store.stats()
         return stats
 
     # ------------------------------------------------------------------
@@ -165,6 +184,13 @@ class BoundService:
     # internals
     # ------------------------------------------------------------------
     def _answer(self, query: BoundQuery) -> BoundAnswer:
+        if query.method == "convex-min-cut":
+            return self._answer_mincut(query)
+        if query.method != "spectral":
+            raise ValueError(
+                f"unknown method {query.method!r}; expected 'spectral' or "
+                f"'convex-min-cut'"
+            )
         try:
             normalized = _NORMALIZATIONS[query.normalization]
         except KeyError:
@@ -199,19 +225,76 @@ class BoundService:
             eig_elapsed_seconds=result.eig_elapsed_seconds,
         )
 
+    def _answer_mincut(self, query: BoundQuery) -> BoundAnswer:
+        """Serve one convex min-cut query through a (cached) MinCutEngine."""
+        engine, description = self._mincut_engine_for(query.graph)
+        start = time.perf_counter()
+        flows_before = engine.flow_calls
+        best_cut, _ = engine.max_cut()
+        with self._lock:
+            self._flow_calls += engine.flow_calls - flows_before
+        bound = max(0.0, 2.0 * (best_cut - int(query.memory_size)))
+        return BoundAnswer(
+            graph=description,
+            memory_size=int(query.memory_size),
+            num_processors=1,
+            normalization="-",
+            bound=bound,
+            raw_value=2.0 * (best_cut - int(query.memory_size)),
+            best_k=None,
+            num_vertices=engine.graph.num_vertices,
+            elapsed_seconds=time.perf_counter() - start,
+            eig_elapsed_seconds=0.0,
+        )
+
+    @staticmethod
+    def _ref_key(ref: GraphRef):
+        """The LRU key and display name of a graph reference."""
+        if isinstance(ref, ComputationGraph):
+            return id(ref), f"graph:{ref.fingerprint()[:12]}"
+        if isinstance(ref, GraphSpec):
+            return ref, ref.describe()
+        if isinstance(ref, str):
+            return ref, GraphSpec(path=ref).describe()
+        raise TypeError(f"cannot serve a graph of type {type(ref).__name__}")
+
+    def _mincut_engine_for(self, ref: GraphRef):
+        """The (LRU-cached) convex min-cut engine for a graph reference.
+
+        Mirrors :meth:`_engine_for`; the engine's in-memory cut table (and
+        the shared persistent :class:`CutStore`) make repeat queries on the
+        same graph flow-free regardless of the memory size asked about.
+        """
+        key, description = self._ref_key(ref)
+        with self._lock:
+            engine = self._mincut_engines.get(key)
+            if engine is not None:
+                self._mincut_engines.move_to_end(key)
+                return engine, description
+        graph = ref if isinstance(ref, ComputationGraph) else (
+            ref.build() if isinstance(ref, GraphSpec) else GraphSpec(path=ref).build()
+        )
+        lineage = ref.family if isinstance(ref, GraphSpec) else None
+        engine = MinCutEngine(
+            graph,
+            backend=self._mincut_backend,
+            store=self._cut_store,
+            lineage=lineage,
+        )
+        with self._lock:
+            existing = self._mincut_engines.get(key)
+            if existing is not None:
+                engine = existing
+            else:
+                self._mincut_engines[key] = engine
+            self._mincut_engines.move_to_end(key)
+            while len(self._mincut_engines) > self._max_engines:
+                self._mincut_engines.popitem(last=False)
+        return engine, description
+
     def _engine_for(self, ref: GraphRef):
         """The (LRU-cached) engine for a graph reference, plus its name."""
-        if isinstance(ref, ComputationGraph):
-            key: object = id(ref)
-            description = f"graph:{ref.fingerprint()[:12]}"
-        elif isinstance(ref, GraphSpec):
-            key = ref
-            description = ref.describe()
-        elif isinstance(ref, str):
-            key = ref
-            description = GraphSpec(path=ref).describe()
-        else:
-            raise TypeError(f"cannot serve a graph of type {type(ref).__name__}")
+        key, description = self._ref_key(ref)
         with self._lock:
             engine = self._engines.get(key)
             if engine is not None:

@@ -111,6 +111,42 @@ class TestBound:
         assert convex_min_cut_bound(ComputationGraph(), M=2).value == 0.0
 
 
+class TestBackendsAndCaching:
+    def test_bound_records_backend_and_flow_calls(self):
+        g = fft_graph(3)
+        result = convex_min_cut_bound(g, M=4)
+        assert result.backend is not None
+        assert result.flow_calls > 0
+        assert result.details["pruned"] >= 0.0
+
+    def test_bound_identical_across_backends(self):
+        g = fft_graph(3)
+        values = {
+            backend: convex_min_cut_bound(g, M=3, backend=backend).value
+            for backend in ("dinic", "array-dinic", "scipy")
+        }
+        assert len(set(values.values())) == 1, values
+
+    def test_warm_store_bound_is_flow_free(self, tmp_path):
+        from repro.runtime.store import CutStore
+
+        store = CutStore(tmp_path / "cuts")
+        g = fft_graph(4)
+        cold = convex_min_cut_bound(g, M=3, store=store)
+        assert cold.flow_calls > 0
+        warm = convex_min_cut_bound(g, M=3, store=store)
+        assert warm.value == cold.value
+        assert warm.flow_calls == 0
+        assert warm.details["store_served"] > 0
+
+    def test_prune_disabled_matches_legacy_witness(self):
+        g = fft_graph(3)
+        max_cut, witness = convex_min_cut_max_value(g, prune=False)
+        # Exhaustive order: the witness is the first maximiser in vertex order.
+        cuts = [convex_min_cut_value(g, v) for v in g.vertices()]
+        assert witness == cuts.index(max(cuts))
+
+
 class TestPartitionedVariant:
     def test_partitioned_runs_and_is_nonnegative(self):
         g = fft_graph(3)
@@ -132,3 +168,32 @@ class TestPartitionedVariant:
         g = fft_graph(3)
         result = partitioned_convex_min_cut_bound(g, M=4, max_part_size=16)
         assert result.details["max_part_size"] == 16.0
+
+    def test_identical_parts_are_deduplicated(self):
+        # A long chain partitions into structurally identical chains: only
+        # the distinct fingerprints pay for cuts.
+        g = chain_graph(32)
+        result = partitioned_convex_min_cut_bound(g, M=2, max_part_size=4)
+        assert result.details["num_parts"] == 8.0
+        assert result.details["unique_parts"] < result.details["num_parts"]
+
+    def test_partitioned_value_unchanged_by_dedup_and_backend(self):
+        g = fft_graph(3)
+        results = [
+            partitioned_convex_min_cut_bound(g, M=4, backend=backend).value
+            for backend in ("dinic", "array-dinic", "scipy")
+        ]
+        assert len(set(results)) == 1
+
+    def test_partitioned_uses_cut_store(self, tmp_path):
+        from repro.runtime.store import CutStore
+
+        store = CutStore(tmp_path / "cuts")
+        # Chain parts have internal edges, so per-part cuts need real flows
+        # (an fft's contiguous parts are edgeless columns — trivially zero).
+        g = chain_graph(24)
+        cold = partitioned_convex_min_cut_bound(g, M=2, max_part_size=6, store=store)
+        assert cold.flow_calls > 0
+        warm = partitioned_convex_min_cut_bound(g, M=2, max_part_size=6, store=store)
+        assert warm.value == cold.value
+        assert warm.flow_calls == 0

@@ -1,0 +1,313 @@
+"""Tests for the reusable flow network and the max-flow backend registry.
+
+The contract every backend must honour: identical ``C(v, G)`` to the
+pure-Python Dinic reference on every vertex of every DAG (the cut value is
+an exact integer, so parity is equality, not approximation).  On top of it,
+the pruning layer must provably never change ``max_v C(v, G)``, and the
+caching layers must make warm re-runs flow-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.convex_mincut import (
+    MinCutEngine,
+    convex_min_cut_max_value,
+    convex_min_cut_value,
+)
+from repro.baselines.flow_backends import (
+    BACKEND_ENV_VAR,
+    ArrayDinicBackend,
+    DinicRebuildBackend,
+    ScipyMaxFlowBackend,
+    available_flow_backends,
+    create_flow_backend,
+    resolve_flow_backend_id,
+)
+from repro.baselines.flownet import ConvexCutNetwork
+from repro.baselines.maxflow import INFINITE_CAPACITY
+from repro.graphs.compgraph import ComputationGraph
+from repro.graphs.generators import (
+    chain_graph,
+    diamond_graph,
+    fft_graph,
+    hypercube_graph,
+    naive_matmul_graph,
+)
+from repro.graphs.generators.random_graphs import random_dag
+
+ALL_BACKENDS = ("dinic", "array-dinic", "scipy")
+
+dag_params = st.tuples(
+    st.integers(min_value=2, max_value=20),
+    st.floats(min_value=0.05, max_value=0.8),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+common_settings = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def build(params):
+    n, p, seed = params
+    return random_dag(n, edge_probability=p, seed=seed)
+
+
+def reference_cuts(graph):
+    """All C(v, G) via the reference backend (no pruning, no caching)."""
+    engine = MinCutEngine(graph, backend="dinic", prune=False)
+    return [engine.cut_value(v) for v in graph.vertices()]
+
+
+class TestNetworkConstruction:
+    def test_arc_layout(self):
+        g = diamond_graph(3)
+        net = ConvexCutNetwork(g)
+        n, m = g.num_vertices, g.num_edges
+        assert net.num_nodes == 2 * n + 2
+        assert net.num_arcs == 2 * n + 2 * m + n
+        assert net.arc_tails.shape == net.arc_heads.shape == net.arc_caps.shape
+        # Unit arcs split every vertex with capacity 1.
+        assert np.array_equal(net.arc_caps[:n], np.ones(n, dtype=np.int64))
+        # Structural arcs are uncuttable.
+        assert np.all(net.arc_caps[n : n + 2 * m] == INFINITE_CAPACITY)
+        # Source/sink slots start absent (capacity 0).
+        assert np.all(net.arc_caps[n + 2 * m :] == 0)
+        assert np.array_equal(net.arc_tails[net.source_arc], np.full(n, net.source))
+        assert np.array_equal(net.arc_heads[net.sink_arc], np.full(n, net.sink))
+
+    def test_arc_arrays_immutable(self):
+        net = ConvexCutNetwork(chain_graph(4))
+        with pytest.raises(ValueError):
+            net.arc_caps[0] = 5
+
+    def test_terminals_match_graph_reachability(self):
+        g = fft_graph(3)
+        net = ConvexCutNetwork(g)
+        for v in (0, 7, 17, g.num_vertices - 1):
+            sources, sinks = net.terminals(v)
+            assert set(sources.tolist()) == g.ancestors(v) | {v}
+            assert set(sinks.tolist()) == g.descendants(v)
+
+    def test_empty_and_edgeless_graphs(self):
+        net = ConvexCutNetwork(ComputationGraph())
+        assert net.num_arcs == 0 and net.prefix_upper_bounds().shape == (0,)
+        net = ConvexCutNetwork(ComputationGraph(3))
+        sources, sinks = net.terminals(1)
+        assert sources.tolist() == [1] and sinks.tolist() == []
+        assert net.prefix_upper_bounds().tolist() == [0, 0, 0]
+
+
+class TestUpperBounds:
+    def test_bounds_dominate_cut_values(self):
+        for graph in (chain_graph(6), diamond_graph(4), fft_graph(3)):
+            net = ConvexCutNetwork(graph)
+            ub = net.prefix_upper_bounds()
+            cuts = reference_cuts(graph)
+            assert all(int(ub[v]) >= cuts[v] for v in graph.vertices())
+
+    def test_sinks_get_exact_zero(self):
+        g = fft_graph(3)
+        ub = ConvexCutNetwork(g).prefix_upper_bounds()
+        for v in g.sinks():
+            assert ub[v] == 0
+
+    def test_chain_bounds_are_tight(self):
+        g = chain_graph(5)
+        ub = ConvexCutNetwork(g).prefix_upper_bounds()
+        assert ub.tolist() == [1, 1, 1, 1, 0]
+
+    @given(params=dag_params)
+    @common_settings
+    def test_bounds_dominate_on_random_dags(self, params):
+        graph = build(params)
+        net = ConvexCutNetwork(graph)
+        ub = net.prefix_upper_bounds()
+        engine = MinCutEngine(graph, backend="array-dinic", prune=False)
+        for v in graph.vertices():
+            assert int(ub[v]) >= engine.cut_value(v)
+
+    def test_candidate_order_is_descending_ub(self):
+        g = fft_graph(3)
+        net = ConvexCutNetwork(g)
+        ordered = net.candidate_order(np.arange(g.num_vertices))
+        ub = net.prefix_upper_bounds()
+        values = ub[ordered]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend_id", ALL_BACKENDS)
+    def test_closed_form_families(self, backend_id):
+        for graph in (chain_graph(6), diamond_graph(4), fft_graph(3),
+                      hypercube_graph(3), naive_matmul_graph(2)):
+            expected = reference_cuts(graph)
+            engine = MinCutEngine(graph, backend=backend_id, prune=False)
+            assert [engine.cut_value(v) for v in graph.vertices()] == expected
+
+    @given(params=dag_params)
+    @common_settings
+    def test_random_dag_parity(self, params):
+        """All backends agree with the reference Dinic on every vertex."""
+        graph = build(params)
+        expected = reference_cuts(graph)
+        for backend_id in ("array-dinic", "scipy"):
+            engine = MinCutEngine(graph, backend=backend_id, prune=False)
+            got = [engine.cut_value(v) for v in graph.vertices()]
+            assert got == expected, f"backend {backend_id} disagrees"
+
+    @given(params=dag_params)
+    @common_settings
+    def test_pruned_max_equals_exhaustive_max(self, params):
+        """The acceptance criterion: pruning never changes max_v C(v, G)."""
+        graph = build(params)
+        exhaustive, _ = convex_min_cut_max_value(graph, prune=False, backend="dinic")
+        for backend_id in ALL_BACKENDS:
+            engine = MinCutEngine(graph, backend=backend_id, prune=True)
+            pruned_max, witness = engine.max_cut()
+            assert pruned_max == exhaustive
+            assert witness is not None
+
+    def test_persistent_backend_state_is_reset_between_solves(self):
+        """Back-to-back solves on one backend instance must not leak residual
+        capacities or stale source/sink attachments."""
+        g = fft_graph(3)
+        expected = reference_cuts(g)
+        for backend_id in ("array-dinic", "scipy"):
+            net = ConvexCutNetwork(g)
+            backend = create_flow_backend(backend_id, net)
+            for _ in range(2):  # second pass hits the same instance again
+                for v in g.vertices():
+                    if not net.has_descendants(v):
+                        continue
+                    sources, sinks = net.terminals(v)
+                    assert backend.min_cut(sources, sinks) == expected[v]
+
+    def test_flow_calls_counter(self):
+        g = diamond_graph(3)
+        net = ConvexCutNetwork(g)
+        backend = create_flow_backend("array-dinic", net)
+        assert backend.flow_calls == 0
+        sources, sinks = net.terminals(0)
+        backend.min_cut(sources, sinks)
+        backend.min_cut(sources, sinks)
+        assert backend.flow_calls == 2
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert set(ALL_BACKENDS) <= set(available_flow_backends())
+
+    def test_explicit_ids_resolve(self):
+        for backend_id in ALL_BACKENDS:
+            assert resolve_flow_backend_id(backend_id) == backend_id
+
+    def test_auto_prefers_scipy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_flow_backend_id(None) == "scipy"
+        assert resolve_flow_backend_id("auto") == "scipy"
+
+    def test_env_var_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "dinic")
+        assert resolve_flow_backend_id(None) == "dinic"
+        # Explicit ids beat the environment.
+        assert resolve_flow_backend_id("scipy") == "scipy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown max-flow backend"):
+            resolve_flow_backend_id("nope")
+
+    def test_create_returns_registered_classes(self):
+        net = ConvexCutNetwork(chain_graph(3))
+        assert isinstance(create_flow_backend("dinic", net), DinicRebuildBackend)
+        assert isinstance(create_flow_backend("array-dinic", net), ArrayDinicBackend)
+        assert isinstance(create_flow_backend("scipy", net), ScipyMaxFlowBackend)
+
+
+class TestMinCutEngine:
+    def test_memory_cache_makes_repeat_queries_flow_free(self):
+        engine = MinCutEngine(fft_graph(3))
+        first, witness = engine.max_cut()
+        flows = engine.flow_calls
+        assert flows > 0
+        again, witness_again = engine.max_cut()
+        assert (again, witness_again) == (first, witness)
+        assert engine.flow_calls == flows  # nothing re-solved
+
+    def test_pruning_skips_candidates(self):
+        g = fft_graph(4)
+        pruned = MinCutEngine(g, prune=True)
+        exhaustive = MinCutEngine(g, prune=False)
+        assert pruned.max_cut()[0] == exhaustive.max_cut()[0]
+        assert pruned.flow_calls < exhaustive.flow_calls
+        assert pruned.pruned > 0
+
+    def test_engine_matches_legacy_function(self):
+        g = diamond_graph(4)
+        engine = MinCutEngine(g)
+        for v in g.vertices():
+            assert engine.cut_value(v) == convex_min_cut_value(g, v)
+
+    def test_invalid_vertex_rejected(self):
+        engine = MinCutEngine(chain_graph(3))
+        with pytest.raises(ValueError):
+            engine.cut_value(10)
+        with pytest.raises(ValueError):
+            engine.max_cut([0, 99])
+
+    def test_empty_candidates(self):
+        assert MinCutEngine(chain_graph(3)).max_cut([]) == (0, None)
+        assert MinCutEngine(ComputationGraph()).max_cut() == (0, None)
+
+    def test_stats_shape(self):
+        engine = MinCutEngine(fft_graph(3))
+        engine.max_cut()
+        stats = engine.stats()
+        assert stats["backend"] in available_flow_backends()
+        assert stats["flow_calls"] == engine.flow_calls > 0
+        assert stats["cut_seconds"] > 0.0
+
+
+class TestWarmStore:
+    def test_warm_engine_is_flow_free(self, tmp_path):
+        from repro.runtime.store import CutStore
+
+        store = CutStore(tmp_path / "store")
+        g = fft_graph(3)
+        cold = MinCutEngine(g, store=store)
+        cold_max, _ = cold.max_cut()
+        assert cold.flow_calls > 0
+        assert store.stats()["flows_recorded"] == cold.flow_calls
+
+        warm = MinCutEngine(g, store=store)
+        warm_max, _ = warm.max_cut()
+        assert warm_max == cold_max
+        assert warm.flow_calls == 0
+        assert warm.store_served > 0
+
+    def test_store_is_backend_independent(self, tmp_path):
+        from repro.runtime.store import CutStore
+
+        store = CutStore(tmp_path / "store")
+        g = diamond_graph(4)
+        MinCutEngine(g, backend="array-dinic", store=store).max_cut()
+        warm = MinCutEngine(g, backend="scipy", store=store)
+        warm.max_cut()
+        assert warm.flow_calls == 0  # cut values are exact; backends share
+
+    def test_partial_table_serves_known_vertices_only(self, tmp_path):
+        from repro.runtime.store import CutStore
+
+        store = CutStore(tmp_path / "store")
+        g = fft_graph(3)
+        seed = MinCutEngine(g, store=store)
+        seed.max_cut(range(0, g.num_vertices, 2))
+        warm = MinCutEngine(g, store=store)
+        warm.max_cut()  # full candidate set: odd vertices may need flows
+        full = MinCutEngine(g, prune=False).max_cut()[0]
+        assert warm.max_cut()[0] == full

@@ -276,3 +276,176 @@ class TestCLI:
         monkeypatch.setenv("REPRO_SPECTRUM_STORE", str(tmp_path / "env-store"))
         self.run_cli("sweep", "--family", "fft", "--sizes", "3", "--memory-sizes", "4")
         assert (tmp_path / "env-store" / "index.json").exists()
+
+
+class TestConvexMinCutCLI:
+    def run_cli(self, *argv):
+        return main(list(argv))
+
+    def test_sweep_convex_cold_then_warm_is_flow_free(self, tmp_path):
+        store = tmp_path / "spectra"
+        out1, out2 = tmp_path / "r1.json", tmp_path / "r2.json"
+        args = [
+            "sweep", "--family", "fft", "--sizes", "3",
+            "--memory-sizes", "4", "--methods", "spectral", "convex-min-cut",
+            "--store", str(store),
+        ]
+        assert self.run_cli(*args, "--json", str(out1)) == 0
+        assert self.run_cli(*args, "--json", str(out2)) == 0
+        run1 = json.loads(out1.read_text())
+        run2 = json.loads(out2.read_text())
+        assert run1["num_flow_calls"] > 0
+        assert run2["num_flow_calls"] == 0
+        assert run2["num_eigensolves"] == 0
+        assert [r["bound"] for r in run1["rows"]] == [r["bound"] for r in run2["rows"]]
+
+    def test_sweep_mincut_backend_flag_in_task_records(self, tmp_path):
+        out = tmp_path / "run.json"
+        assert (
+            self.run_cli(
+                "sweep", "--family", "fft", "--sizes", "3",
+                "--memory-sizes", "4", "--methods", "convex-min-cut",
+                "--mincut-backend", "array-dinic",
+                "--store", str(tmp_path / "s"), "--json", str(out),
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        (record,) = payload["tasks"]
+        assert record["flow_backend"] == "array-dinic"
+        assert record["flow_calls"] > 0
+        assert record["cut_seconds"] >= 0.0
+
+    def test_solve_method_convex_min_cut(self, tmp_path, capsys):
+        assert (
+            self.run_cli(
+                "solve", "--family", "fft", "--size", "4", "-M", "3", "8",
+                "--method", "convex-min-cut", "--store", str(tmp_path / "s"),
+                "--json",
+            )
+            == 0
+        )
+        answers = json.loads(capsys.readouterr().out)
+        assert len(answers) == 2
+        assert answers[0]["bound"] >= answers[1]["bound"] >= 0.0
+        assert answers[0]["graph"] == "fft:4"
+
+    def test_cache_stats_includes_cut_section(self, tmp_path, capsys):
+        store = str(tmp_path / "s")
+        self.run_cli(
+            "sweep", "--family", "fft", "--sizes", "3", "--memory-sizes", "4",
+            "--methods", "convex-min-cut", "--store", store,
+        )
+        capsys.readouterr()
+        assert self.run_cli("cache", "stats", "--store", store) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cuts"]["num_graphs"] == 1
+        assert stats["cuts"]["flows_recorded"] > 0
+
+    def test_cache_clear_removes_cut_tables_too(self, tmp_path, capsys):
+        store = str(tmp_path / "s")
+        self.run_cli(
+            "sweep", "--family", "fft", "--sizes", "3", "--memory-sizes", "4",
+            "--methods", "spectral", "convex-min-cut", "--store", store,
+        )
+        capsys.readouterr()
+        assert self.run_cli("cache", "clear", "--store", store) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert self.run_cli("cache", "stats", "--store", store) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["num_entries"] == 0 and stats["cuts"]["num_graphs"] == 0
+
+    def test_cache_verify_covers_cut_tables(self, tmp_path, capsys):
+        store = str(tmp_path / "s")
+        self.run_cli(
+            "sweep", "--family", "fft", "--sizes", "3", "--memory-sizes", "4",
+            "--methods", "convex-min-cut", "--store", store,
+        )
+        capsys.readouterr()
+        assert self.run_cli("cache", "verify", "--store", store) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["cuts"]["entries_checked"] == 1
+        # Corrupt the cut blob: verify fails, --fix repairs.
+        (blob,) = list((tmp_path / "s" / "cuts").glob("*.npz"))
+        blob.write_bytes(b"garbage")
+        assert self.run_cli("cache", "verify", "--store", store) == 1
+        capsys.readouterr()
+        assert self.run_cli("cache", "verify", "--store", store, "--fix") == 0
+        capsys.readouterr()
+        assert self.run_cli("cache", "verify", "--store", store) == 0
+        assert json.loads(capsys.readouterr().out)["ok"]
+
+    def test_cache_clear_family_filter_covers_cut_tables(self, tmp_path, capsys):
+        """A family clear must force a genuinely cold re-run: both the
+        spectra and the cut tables of that lineage go."""
+        store = str(tmp_path / "s")
+        out = tmp_path / "rerun.json"
+        args = [
+            "sweep", "--family", "fft", "--sizes", "3", "--memory-sizes", "4",
+            "--methods", "spectral", "convex-min-cut", "--store", store,
+        ]
+        self.run_cli(*args)
+        capsys.readouterr()
+        assert self.run_cli("cache", "clear", "--store", store, "--family", "fft") == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        self.run_cli(*args, "--json", str(out))
+        rerun = json.loads(out.read_text())
+        assert rerun["num_eigensolves"] == 1
+        assert rerun["num_flow_calls"] > 0
+
+
+class TestBoundServiceConvex:
+    def test_convex_query_matches_direct_bound(self):
+        from repro.baselines.convex_mincut import convex_min_cut_bound
+        from repro.graphs.generators import fft_graph as _fft
+
+        service = BoundService()
+        answer = service.solve(
+            BoundQuery(GraphSpec(family="fft", size_param=4), 3, method="convex-min-cut")
+        )
+        direct = convex_min_cut_bound(_fft(4), M=3)
+        assert answer.bound == direct.value
+        assert answer.normalization == "-"
+
+    def test_repeat_convex_queries_share_one_engine(self):
+        service = BoundService()
+        spec = GraphSpec(family="fft", size_param=3)
+        service.submit(
+            [BoundQuery(spec, M, method="convex-min-cut") for M in (2, 4, 8)]
+        )
+        stats = service.stats()
+        assert stats["mincut_engines_cached"] == 1
+        first_flows = stats["flow_calls"]
+        assert first_flows > 0
+        service.solve(BoundQuery(spec, 16, method="convex-min-cut"))
+        assert service.stats()["flow_calls"] == first_flows  # cached cuts
+
+    def test_warm_store_convex_service_is_flow_free(self, tmp_path):
+        store_root = tmp_path / "spectra"
+        spec = GraphSpec(family="fft", size_param=3)
+        cold = BoundService(store=store_root)
+        cold.solve(BoundQuery(spec, 4, method="convex-min-cut"))
+        assert cold.stats()["flow_calls"] > 0
+        warm = BoundService(store=store_root)
+        warm.solve(BoundQuery(spec, 4, method="convex-min-cut"))
+        assert warm.stats()["flow_calls"] == 0
+
+    def test_unknown_method_rejected(self):
+        service = BoundService()
+        with pytest.raises(ValueError, match="method"):
+            service.solve(
+                BoundQuery(GraphSpec(family="fft", size_param=3), 4, method="bogus")
+            )
+
+    def test_flow_calls_survive_engine_eviction(self):
+        service = BoundService(max_engines=1)
+        for size in (2, 3, 4):
+            service.solve(
+                BoundQuery(GraphSpec(family="fft", size_param=size), 2,
+                           method="convex-min-cut")
+            )
+        stats = service.stats()
+        assert stats["mincut_engines_cached"] == 1  # two engines evicted
+        # The cumulative counter keeps the evicted engines' work.
+        total_vertices_bound = sum((l + 1) * 2 ** l for l in (2, 3, 4))
+        assert 0 < stats["flow_calls"] <= total_vertices_bound

@@ -222,6 +222,129 @@ class TestOrchestrator:
         assert summary["processes"] == 1
 
 
+class TestConvexMinCutOrchestration:
+    CONVEX_METHODS = ("spectral", "convex-min-cut")
+
+    def test_serial_convex_rows_match_legacy_sweep(self):
+        legacy = sweep(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=self.CONVEX_METHODS,
+            num_eigenvalues=30,
+        )
+        report = SweepOrchestrator(num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=self.CONVEX_METHODS
+        )
+        assert [row_key(r) for r in report.rows] == [row_key(r) for r in legacy]
+        assert report.num_flow_calls > 0
+
+    def test_pooled_chunked_convex_matches_serial(self, tmp_path):
+        serial = SweepOrchestrator(num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=self.CONVEX_METHODS
+        )
+        pooled = SweepOrchestrator(
+            store=tmp_path / "s", processes=2, num_eigenvalues=30
+        ).run_family("fft", fft_graph, SIZES, MEMORY_SIZES, methods=self.CONVEX_METHODS)
+        assert [row_key(r) for r in pooled.rows] == [row_key(r) for r in serial.rows]
+        # Each graph's convex task split into one chunk per worker, scheduled
+        # alongside the spectral tasks.
+        convex_records = [
+            r for r in pooled.tasks if r.methods == ("convex-min-cut",)
+        ]
+        assert len(convex_records) == 2 * len(SIZES)
+        assert {r.num_chunks for r in convex_records} == {2}
+        assert all(r.flow_backend is not None for r in convex_records)
+        spectral_records = [r for r in pooled.tasks if r.methods == ("spectral",)]
+        assert all(r.flow_backend is None and r.flow_calls == 0 for r in spectral_records)
+
+    def test_explicit_chunk_count(self, tmp_path):
+        report = SweepOrchestrator(
+            store=tmp_path / "s", processes=2, convex_chunks=3, num_eigenvalues=30
+        ).run_family("fft", fft_graph, [3], MEMORY_SIZES, methods=("convex-min-cut",))
+        convex_records = [r for r in report.tasks if r.methods == ("convex-min-cut",)]
+        assert len(convex_records) == 3
+        assert sorted(r.chunk_index for r in convex_records) == [0, 1, 2]
+        serial = SweepOrchestrator(num_eigenvalues=30).run_family(
+            "fft", fft_graph, [3], MEMORY_SIZES, methods=("convex-min-cut",)
+        )
+        assert [row_key(r) for r in report.rows] == [row_key(r) for r in serial.rows]
+
+    def test_warm_store_run_is_flow_free(self, tmp_path):
+        store_root = tmp_path / "s"
+        cold = SweepOrchestrator(store=store_root, num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=self.CONVEX_METHODS
+        )
+        assert cold.num_flow_calls > 0
+        warm = SweepOrchestrator(store=store_root, num_eigenvalues=30).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=self.CONVEX_METHODS
+        )
+        assert warm.num_flow_calls == 0
+        assert warm.num_eigensolves == 0
+        assert [row_key(r) for r in warm.rows] == [row_key(r) for r in cold.rows]
+
+    def test_pooled_warm_store_run_is_flow_free(self, tmp_path):
+        store_root = tmp_path / "s"
+        kwargs = dict(store=store_root, processes=2, num_eigenvalues=30)
+        SweepOrchestrator(**kwargs).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=self.CONVEX_METHODS
+        )
+        warm = SweepOrchestrator(**kwargs).run_family(
+            "fft", fft_graph, SIZES, MEMORY_SIZES, methods=self.CONVEX_METHODS
+        )
+        assert warm.num_flow_calls == 0
+
+    def test_mincut_backend_selection_flows_to_records(self):
+        report = SweepOrchestrator(
+            num_eigenvalues=30, mincut_backend="array-dinic"
+        ).run_family("fft", fft_graph, [3], MEMORY_SIZES, methods=("convex-min-cut",))
+        (record,) = report.tasks
+        assert record.flow_backend == "array-dinic"
+        assert record.flow_calls > 0
+        assert record.cut_seconds > 0.0
+
+    def test_summary_reports_flow_calls(self):
+        report = SweepOrchestrator(num_eigenvalues=30).run_family(
+            "fft", fft_graph, [3], MEMORY_SIZES, methods=("convex-min-cut",)
+        )
+        assert report.summary()["num_flow_calls"] == report.num_flow_calls > 0
+
+    def test_invalid_chunk_count_rejected(self):
+        with pytest.raises(ValueError, match="convex_chunks"):
+            SweepOrchestrator(convex_chunks=0)
+
+
+class TestBlasPinning:
+    def test_initializer_pins_unset_vars(self, monkeypatch):
+        from repro.runtime.orchestrator import (
+            BLAS_THREAD_ENV_VARS,
+            pin_worker_blas_threads,
+        )
+
+        for name in BLAS_THREAD_ENV_VARS:
+            # setenv first so monkeypatch records the original state (and
+            # removes the pinned value again on teardown), then delenv to
+            # present the "unset" case to the initializer.
+            monkeypatch.setenv(name, "sentinel")
+            monkeypatch.delenv(name)
+        pin_worker_blas_threads()
+        import os
+
+        assert all(os.environ[name] == "1" for name in BLAS_THREAD_ENV_VARS)
+
+    def test_initializer_respects_explicit_overrides(self, monkeypatch):
+        from repro.runtime.orchestrator import pin_worker_blas_threads
+
+        monkeypatch.setenv("OMP_NUM_THREADS", "4")
+        pin_worker_blas_threads()
+        import os
+
+        assert os.environ["OMP_NUM_THREADS"] == "4"
+
+    def test_pooled_run_with_pinning_disabled_still_works(self, tmp_path):
+        report = SweepOrchestrator(
+            store=tmp_path / "s", processes=2, num_eigenvalues=20, pin_blas=False
+        ).run_family("fft", fft_graph, [3], MEMORY_SIZES, methods=("spectral",))
+        assert report.num_rows == len(MEMORY_SIZES)
+
+
 class TestSweepFunctionIntegration:
     def test_sweep_with_processes_and_store(self, tmp_path):
         store_root = tmp_path / "spectra"

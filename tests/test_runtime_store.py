@@ -250,3 +250,143 @@ class TestEngineStoreParameter:
     def test_engine_rejects_cache_and_store_together(self, store):
         with pytest.raises(ValueError, match="not both"):
             BoundEngine(fft_graph(3), cache=SpectrumCache(), store=store)
+
+
+class TestCutStore:
+    @pytest.fixture
+    def cuts(self, tmp_path):
+        from repro.runtime.store import CutStore
+
+        return CutStore(tmp_path / "store")
+
+    def test_miss_then_merge_then_hit(self, cuts):
+        assert cuts.get("fp") is None
+        assert cuts.misses == 1
+        assert cuts.merge("fp", [3, 1], [7, 2], flow_calls=2) == 2
+        table = cuts.get("fp")
+        assert table.as_dict() == {1: 2, 3: 7}
+        assert cuts.hits == 1 and cuts.puts == 1
+
+    def test_merge_unions_and_counts_flows(self, cuts):
+        cuts.merge("fp", [0, 1], [4, 5], flow_calls=2)
+        cuts.merge("fp", [1, 2], [5, 6], flow_calls=1)
+        assert cuts.get("fp").as_dict() == {0: 4, 1: 5, 2: 6}
+        stats = cuts.stats()
+        assert stats["flows_recorded"] == 3
+        assert stats["num_graphs"] == 1 and stats["num_cuts"] == 3
+
+    def test_tables_are_per_fingerprint(self, cuts):
+        cuts.merge("aa", [0], [1])
+        cuts.merge("bb", [0], [9])
+        assert cuts.get("aa").as_dict() == {0: 1}
+        assert cuts.get("bb").as_dict() == {0: 9}
+        assert len(cuts) == 2
+
+    def test_loaded_arrays_are_read_only(self, cuts):
+        cuts.merge("fp", [0], [1])
+        table = cuts.get("fp")
+        with pytest.raises(ValueError):
+            table.values[0] = 5
+
+    def test_clear_all_and_filtered(self, cuts):
+        cuts.merge("aaa1", [0], [1], flow_calls=1)
+        cuts.merge("bbb2", [0], [2], flow_calls=1)
+        assert cuts.clear(fingerprint_prefix="aaa") == 1
+        assert cuts.get("bbb2") is not None
+        # Filtered clears keep the work counter; a full clear resets it.
+        assert cuts.stats()["flows_recorded"] == 2
+        assert cuts.clear() == 1
+        assert cuts.stats()["flows_recorded"] == 0
+
+    def test_clear_filtered_by_lineage(self, cuts):
+        cuts.merge("aaa1", [0], [1], lineage="fft")
+        cuts.merge("bbb2", [0], [2], lineage="matmul")
+        assert cuts.clear(lineage="nope") == 0
+        assert cuts.clear(lineage="fft") == 1
+        assert cuts.get("aaa1") is None
+        assert cuts.get("bbb2") is not None
+
+    def test_mismatched_merge_rejected(self, cuts):
+        with pytest.raises(ValueError, match="equal length"):
+            cuts.merge("fp", [0, 1], [1])
+
+    def test_corrupt_blob_is_a_miss(self, cuts):
+        cuts.merge("fp", [0], [1])
+        blob = cuts.root / "cuts" / "fp.npz"
+        blob.write_bytes(b"garbage")
+        assert cuts.get("fp") is None
+
+    def test_merge_does_not_inflate_lookup_counters(self, cuts):
+        cuts.merge("fp", [0], [1])
+        cuts.merge("fp", [1], [2])  # internal union read must not count
+        assert cuts.hits == 0 and cuts.misses == 0
+        cuts.get("fp")
+        assert cuts.hits == 1 and cuts.misses == 0
+
+    def test_verify_clean_store(self, cuts):
+        cuts.merge("fp", [0, 1], [1, 2])
+        report = cuts.verify()
+        assert report["ok"] and report["entries_checked"] == 1
+        assert not report["missing"] and not report["corrupt"]
+
+    def test_verify_detects_and_fixes_corrupt_and_missing(self, cuts):
+        cuts.merge("aa", [0], [1])
+        cuts.merge("bb", [0], [2])
+        (cuts.root / "cuts" / "aa.npz").write_bytes(b"garbage")
+        (cuts.root / "cuts" / "bb.npz").unlink()
+        report = cuts.verify()
+        assert not report["ok"]
+        assert report["corrupt"] == ["aa"] and report["missing"] == ["bb"]
+        fixed = cuts.verify(fix=True)
+        assert fixed["entries_removed"] == 2
+        assert cuts.verify()["ok"]
+        assert len(cuts) == 0
+
+    def test_verify_detects_num_cuts_mismatch(self, cuts):
+        import numpy as _np
+
+        cuts.merge("fp", [0, 1], [1, 2])
+        # Overwrite the blob with a shorter (valid-looking) table: the index
+        # still says num_cuts == 2.
+        _np.savez_compressed(
+            cuts.root / "cuts" / "fp.npz",
+            vertices=_np.array([0]), values=_np.array([1]),
+        )
+        report = cuts.verify()
+        assert report["corrupt"] == ["fp"]
+
+    def test_read_only_handle_creates_no_directories(self, tmp_path):
+        from repro.runtime.store import CutStore
+
+        root = tmp_path / "never-created"
+        store = CutStore(root)
+        assert store.get("fp") is None
+        assert store.stats()["num_graphs"] == 0
+        assert not root.exists()
+
+    def test_concurrent_merges_do_not_lose_entries(self, cuts):
+        import threading as _threading
+
+        def writer(offset):
+            cuts.merge("fp", [offset], [offset + 100], flow_calls=1)
+
+        threads = [_threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cuts.get("fp").as_dict() == {i: i + 100 for i in range(8)}
+        assert cuts.stats()["flows_recorded"] == 8
+
+    def test_shares_root_with_spectrum_store(self, tmp_path):
+        from repro.runtime.store import CutStore
+
+        root = tmp_path / "store"
+        spectra = SpectrumStore(root)
+        cuts = CutStore(root)
+        spectra.put("fp", np.array([0.0, 1.0]), 0.1)
+        cuts.merge("fp", [0], [1])
+        # Different indexes, blobs, locks — no interference.
+        assert len(spectra) == 1 and len(cuts) == 1
+        assert spectra.stats()["solves_recorded"] == 1
+        assert cuts.stats()["flows_recorded"] == 0
