@@ -20,7 +20,10 @@ Reproduction of Jain & Zaharia, SPAA 2020.  The package provides:
   used by the benchmark suite;
 * :mod:`repro.runtime` — the production runtime layer: persistent on-disk
   spectrum store, process-pool sweep orchestrator, batch bound service and
-  the ``python -m repro`` CLI.
+  the ``python -m repro`` CLI;
+* :mod:`repro.server` — the HTTP serving layer over the bound service:
+  versioned ``/v1`` JSON batch queries, Prometheus ``/metrics``, admission
+  control and in-flight coalescing (``python -m repro serve``).
 
 Quickstart
 ----------

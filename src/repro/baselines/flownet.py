@@ -22,10 +22,14 @@ Node layout (unchanged from the original reduction):
   0 = absent) that backends flip in place.
 
 The network also provides the cheap per-vertex **upper bound** used for
-search pruning: for any topological order, the prefix ending at ``v`` is a
-convex schedule prefix through ``v``, so its wavefront bounds ``C(v, G)``
-from above; all ``n`` prefix wavefronts of one order cost ``O(n + E)`` total
-(a difference array over live intervals).
+search pruning: for any topological order, *every* prefix ending at a
+position in ``[pos(v), min_{w in succ(v)} pos(w) - 1]`` is a convex schedule
+prefix through ``v`` (ancestors all precede ``v``, and the earliest-position
+descendant is always a direct successor), so the *window minimum* of the
+prefix wavefronts over that range bounds ``C(v, G)`` from above.  All ``n``
+prefix wavefronts of one order cost ``O(n + E)`` (a difference array over
+live intervals) and the per-vertex window minima one vectorized
+sparse-table sweep on top.
 """
 
 from __future__ import annotations
@@ -39,6 +43,36 @@ from repro.baselines.maxflow import INFINITE_CAPACITY
 from repro.graphs.compgraph import ComputationGraph
 
 __all__ = ["ConvexCutNetwork"]
+
+
+def _window_minimum(
+    values: np.ndarray, left: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """``min(values[left[i] : left[i] + lengths[i]])`` for every query.
+
+    Vectorized sparse-table range minimum: level ``k`` holds the minima of
+    every aligned window of ``2**k`` values, and a query of length ``L`` is
+    the minimum of the two (overlapping) level-``floor(log2 L)`` windows
+    covering it.  All lengths must be >= 1.
+    """
+    if left.size == 0:
+        return np.zeros(0, dtype=values.dtype)
+    max_length = int(lengths.max())
+    levels = [values]
+    while (1 << len(levels)) <= max_length:
+        previous = levels[-1]
+        half = 1 << (len(levels) - 1)
+        levels.append(np.minimum(previous[: previous.size - half], previous[half:]))
+    result = np.empty(left.shape, dtype=values.dtype)
+    query_level = np.floor(np.log2(lengths)).astype(np.int64)
+    for level, table in enumerate(levels):
+        at_level = query_level == level
+        if not at_level.any():
+            continue
+        starts = left[at_level]
+        ends = starts + lengths[at_level] - (1 << level)
+        result[at_level] = np.minimum(table[starts], table[ends])
+    return result
 
 
 class ConvexCutNetwork:
@@ -134,14 +168,21 @@ class ConvexCutNetwork:
     # cheap upper bounds (search pruning)
     # ------------------------------------------------------------------
     def prefix_upper_bounds(self) -> np.ndarray:
-        """Per-vertex upper bounds ``ub(v) >= C(v, G)``, ``O(n + E)`` total.
+        """Per-vertex upper bounds ``ub(v) >= C(v, G)``, near-linear total.
 
-        For one topological order, the prefix that ends right after ``v`` is
-        a valid convex prefix through ``v`` (it is down-closed, contains
-        ``anc(v) ∪ {v}`` and excludes ``desc(v)``), so its wavefront bounds
-        the min cut from above.  A vertex ``u`` is live in exactly the
+        For one topological order, every prefix ending at a position in the
+        window ``pos(v) <= i < min_{w in succ(v)} pos(w)`` is a valid convex
+        prefix through ``v``: it is down-closed, contains ``anc(v) ∪ {v}``
+        (ancestors precede ``v`` in any topological order) and excludes
+        ``desc(v)`` (the earliest-position descendant is always a direct
+        successor).  The *minimum* wavefront over that window therefore
+        bounds the min cut from above — strictly tighter than the single
+        prefix ending at ``v`` whenever the wavefront dips before the first
+        successor is computed.  A vertex ``u`` is live in exactly the
         prefixes ``pos(u) <= i < max_{w in succ(u)} pos(w)``, so all ``n``
-        prefix wavefronts follow from one difference array.  Vertices without
+        prefix wavefronts follow from one difference array; the per-vertex
+        window minima come from one sparse-table range-minimum sweep
+        (``O(n log n)`` build, all vectorized).  Vertices without
         descendants get the exact value 0 (the prefix can grow to the whole
         graph).
         """
@@ -166,16 +207,25 @@ class ConvexCutNetwork:
             order = np.asarray(self.graph.topological_order(), dtype=np.int64)
             pos = np.empty(n, dtype=np.int64)
             pos[order] = np.arange(n, dtype=np.int64)
-            wavefront = np.zeros(n + 1, dtype=np.int64)
+            ub = np.zeros(n, dtype=np.int64)
             if self.num_edges:
                 a, b = self.graph.freeze().edge_endpoints()
                 last_use = np.full(n, -1, dtype=np.int64)
                 np.maximum.at(last_use, a, pos[b])
+                first_use = np.full(n, n, dtype=np.int64)
+                np.minimum.at(first_use, a, pos[b])
                 live = self._out_degrees > 0
+                wavefront = np.zeros(n + 1, dtype=np.int64)
                 np.add.at(wavefront, pos[live.nonzero()[0]], 1)
                 np.add.at(wavefront, last_use[live], -1)
                 np.cumsum(wavefront, out=wavefront)
-            ub = np.where(self._out_degrees > 0, wavefront[pos], 0)
+                # ub(v) = min wavefront over the valid prefix window
+                # [pos(v), first_use(v) - 1]; sinks stay at the exact 0.
+                candidates = live.nonzero()[0]
+                left = pos[candidates]
+                ub[candidates] = _window_minimum(
+                    wavefront[:n], left, first_use[candidates] - left
+                )
             self._bounds = (ub, order, pos)
         return self._bounds
 

@@ -1,6 +1,6 @@
 """``python -m repro`` — batch bounds from the command line.
 
-Three subcommands expose the runtime subsystem without writing any Python:
+Four subcommands expose the runtime subsystem without writing any Python:
 
 * ``solve`` — evaluate the spectral bound for one graph at one or more
   memory sizes (optionally the Theorem 6 parallel bound via ``-p``);
@@ -10,7 +10,13 @@ Three subcommands expose the runtime subsystem without writing any Python:
   records, so scheduling and backend choices are observable);
 * ``cache`` — inspect (``stats``, ``list``), integrity-check (``verify
   [--fix]``) or reset (``clear``, optionally filtered by ``--family`` /
-  ``--fingerprint``) the persistent spectrum store.
+  ``--fingerprint``) the persistent spectrum store;
+* ``serve`` — expose the same :class:`~repro.runtime.service.BoundService`
+  over HTTP (the :mod:`repro.server` subsystem: versioned ``/v1`` JSON
+  batch queries, Prometheus ``/metrics``, admission control and in-flight
+  coalescing).  Against a pre-warmed ``--store`` the whole HTTP path
+  answers without a single eigensolve or max-flow call, which the CI serve
+  smoke asserts via ``repro_eigensolves_total`` / ``repro_flow_calls_total``.
 
 ``solve`` and ``sweep`` take ``--solver`` (``auto``/``dense``/``sparse``/
 ``lanczos``/``power``/``lobpcg``) and ``--dtype`` (``float64``/``float32``)
@@ -214,6 +220,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mincut_arguments(sweep)
     _add_store_arguments(sweep)
 
+    serve = sub.add_parser("serve", help="serve bounds over HTTP (repro.server)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--num-eigenvalues", type=int, default=100, help="eigenvalue truncation h"
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=4,
+        help="solve batches allowed to run concurrently",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="solve batches allowed to wait for a slot before 429s start",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint attached to 429 responses",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable in-flight coalescing of identical queries",
+    )
+    _add_solver_arguments(serve)
+    _add_mincut_arguments(serve)
+    _add_store_arguments(serve)
+
     cache = sub.add_parser("cache", help="inspect/verify/reset the persistent spectrum store")
     cache.add_argument(
         "action",
@@ -307,6 +349,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_server_from_args(args: argparse.Namespace):
+    """Construct the :class:`~repro.server.runner.BoundServer` ``serve`` runs.
+
+    Factored out of :func:`_cmd_serve` so tests can boot the exact CLI
+    server wiring on an ephemeral port without blocking in
+    ``serve_forever``.  Imported lazily: the other subcommands must not pay
+    for (or depend on) the serving stack.
+    """
+    from repro.server.runner import BoundServer
+
+    service = BoundService(
+        store=_store_from_args(args),
+        num_eigenvalues=args.num_eigenvalues,
+        eig_options=_eig_options_from_args(args),
+        mincut_backend=_mincut_backend_from_args(args),
+    )
+    return BoundServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        retry_after_seconds=args.retry_after,
+        coalesce=not args.no_coalesce,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = build_server_from_args(args)
+    store = server.service.store
+    # `is not None`, not truthiness: an empty SpectrumStore has len() == 0.
+    store_label = store.root if store is not None else "disabled"
+    print(f"serving bounds on {server.url} (store: {store_label})")
+    print("endpoints: POST /v1/bounds  GET /v1/stats  GET /healthz  GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     if store is None:
@@ -341,7 +426,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
-    handlers = {"solve": _cmd_solve, "sweep": _cmd_sweep, "cache": _cmd_cache}
+    handlers = {
+        "solve": _cmd_solve,
+        "sweep": _cmd_sweep,
+        "cache": _cmd_cache,
+        "serve": _cmd_serve,
+    }
     return handlers[args.command](args)
 
 

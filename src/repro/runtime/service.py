@@ -10,9 +10,10 @@ persistent :class:`~repro.runtime.store.SpectrumStore` — so against a warm
 store the service answers whole batches without a single eigensolve, and a
 cold graph pays its eigensolve exactly once for every future query on it.
 
-The CLI's ``solve`` subcommand is a thin wrapper over one service call; an
-HTTP front-end only needs to JSON-decode requests into
-:class:`BoundQuery` objects and call :meth:`BoundService.submit`.
+The CLI's ``solve`` subcommand is a thin wrapper over one service call, and
+the :mod:`repro.server` subsystem is exactly the promised HTTP front-end: it
+JSON-decodes requests into :class:`BoundQuery` objects and calls
+:meth:`BoundService.submit` (``python -m repro serve``).
 """
 
 from __future__ import annotations
@@ -32,7 +33,13 @@ from repro.runtime.store import CutStore, SpectrumStore
 from repro.solvers.backend import EigenSolverOptions
 from repro.solvers.spectrum_cache import SpectrumCache
 
-__all__ = ["BoundQuery", "BoundAnswer", "BoundService"]
+__all__ = [
+    "BoundQuery",
+    "BoundAnswer",
+    "BoundService",
+    "KNOWN_METHODS",
+    "KNOWN_NORMALIZATIONS",
+]
 
 GraphRef = Union[GraphSpec, ComputationGraph, str]
 
@@ -43,6 +50,12 @@ _NORMALIZATIONS = {
     "unnormalized": False,
     "spectral-unnormalized": False,
 }
+
+#: The closed vocabularies of :class:`BoundQuery` — the HTTP protocol
+#: validates against these *before* anything client-supplied can reach a
+#: metrics label (unbounded label values would grow /metrics forever).
+KNOWN_NORMALIZATIONS = frozenset(_NORMALIZATIONS)
+KNOWN_METHODS = frozenset({"spectral", "convex-min-cut"})
 
 
 @dataclass(frozen=True)
@@ -123,6 +136,7 @@ class BoundService:
         self._mincut_engines: "OrderedDict[object, MinCutEngine]" = OrderedDict()
         self._lock = threading.Lock()
         self._queries_served = 0
+        self._deduped = 0
         # Cumulative across the service lifetime — engines evicted from the
         # LRU must not take their flow-call history with them.
         self._flow_calls = 0
@@ -138,10 +152,13 @@ class BoundService:
     def store(self) -> Optional[SpectrumStore]:
         return self._cache.store
 
-    def stats(self) -> Dict[str, object]:
-        """Service counters plus the cache/store tiers' statistics."""
-        stats: Dict[str, object] = {
+    def counters(self) -> Dict[str, int]:
+        """The in-memory counters alone — cheap enough for every ``/metrics``
+        scrape (:meth:`stats` additionally reads the on-disk store indexes).
+        """
+        return {
             "queries_served": self._queries_served,
+            "deduped": self._deduped,
             "engines_cached": len(self._engines),
             "cache_hits": self._cache.hits,
             "cache_misses": self._cache.misses,
@@ -149,6 +166,10 @@ class BoundService:
             "mincut_engines_cached": len(self._mincut_engines),
             "flow_calls": self._flow_calls,
         }
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters plus the cache/store tiers' statistics."""
+        stats: Dict[str, object] = dict(self.counters())
         if self.store is not None:
             stats["store"] = self.store.stats()
         if self._cut_store is not None:
@@ -161,19 +182,30 @@ class BoundService:
     def submit(self, queries: Sequence[BoundQuery]) -> List[BoundAnswer]:
         """Answer a batch of queries, in input order.
 
-        Queries on the same graph reference share one engine (and therefore
-        one eigensolve per normalisation at most); across batches, engines
-        and spectra persist in the service's caches.  Batches from multiple
+        Identical queries within one batch are solved once and the answer is
+        fanned out to every duplicate position (the ``deduped`` counter in
+        :meth:`stats` tallies the positions served for free).  Queries on
+        the same graph reference share one engine (and therefore one
+        eigensolve per normalisation at most); across batches, engines and
+        spectra persist in the service's caches.  Batches from multiple
         threads run concurrently — the service lock only guards the engine
         registry, never the bound evaluations themselves (the spectrum cache
         has its own lock), so one client's cold eigensolve does not stall
         another client's warm batch.
         """
         answers: List[BoundAnswer] = []
-        for query in queries:
-            answers.append(self._answer(query))
-            with self._lock:
-                self._queries_served += 1
+        first_seen: Dict[BoundQuery, int] = {}
+        deduped = 0
+        for index, query in enumerate(queries):
+            original = first_seen.setdefault(query, index)
+            if original == index:
+                answers.append(self._answer(query))
+            else:
+                answers.append(answers[original])
+                deduped += 1
+        with self._lock:
+            self._queries_served += len(queries)
+            self._deduped += deduped
         return answers
 
     def solve(self, query: BoundQuery) -> BoundAnswer:

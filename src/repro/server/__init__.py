@@ -1,0 +1,45 @@
+"""repro.server — the HTTP serving layer over :class:`BoundService`.
+
+The runtime subsystem's promise — "an HTTP front-end only needs to
+JSON-decode requests into :class:`BoundQuery` objects and call
+:meth:`BoundService.submit`" — made real, stdlib-only:
+
+* :mod:`repro.server.protocol` — the versioned ``/v1`` JSON wire schema
+  (shared by server and client, structured errors, graph refs as family
+  specs / inline edge lists / fingerprints);
+* :mod:`repro.server.app` — the WSGI application (``POST /v1/bounds``,
+  ``GET /v1/stats``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.server.metrics` — thread-safe counters/gauges/histograms
+  with Prometheus text rendering and passthrough of the service-level
+  eigensolve/flow-call/cache counters;
+* :mod:`repro.server.runner` — the threaded stdlib server with admission
+  control (bounded in-flight solves + queue, 429 on overload) and
+  in-flight coalescing of identical queries;
+* :mod:`repro.server.client` — a thin :mod:`urllib` client.
+
+``python -m repro serve`` boots the whole stack from the CLI.
+"""
+
+from repro.server.app import BoundsApp, ServerOverloadedError
+from repro.server.client import BoundsClient, ServerError
+from repro.server.metrics import MetricsRegistry
+from repro.server.protocol import PROTOCOL_VERSION, GraphRegistry, ProtocolError
+from repro.server.runner import (
+    AdmissionController,
+    BoundServer,
+    QueryCoalescer,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BoundServer",
+    "BoundsApp",
+    "BoundsClient",
+    "GraphRegistry",
+    "MetricsRegistry",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryCoalescer",
+    "ServerError",
+    "ServerOverloadedError",
+]

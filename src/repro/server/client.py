@@ -1,0 +1,155 @@
+"""Thin stdlib HTTP client for the bounds server.
+
+:class:`BoundsClient` speaks the versioned ``/v1`` protocol of
+:mod:`repro.server.protocol` over :mod:`urllib` — no third-party
+dependencies, which is the point: the test suite and the load-generating
+benchmark exercise the server exactly the way an external service would,
+and any structured server error surfaces as a typed :class:`ServerError`
+(with ``status``, ``code`` and the 429 ``Retry-After`` hint) instead of a
+bare ``HTTPError``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Sequence, Union
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.runtime.service import BoundAnswer, BoundQuery
+from repro.server.protocol import decode_answers, encode_bounds_request
+
+__all__ = ["BoundsClient", "ServerError", "parse_metric"]
+
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$"
+)
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response, carrying the structured protocol error."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after_seconds = retry_after_seconds
+
+
+def parse_metric(metrics_text: str, name: str) -> float:
+    """Sum of every sample of ``name`` in a Prometheus text exposition.
+
+    Histogram series must be addressed by their full sample name
+    (``..._count``, ``..._sum``); plain counters and gauges by their metric
+    name.  Raises ``KeyError`` when no sample matches — asking for a metric
+    the server does not export should fail loudly in tests and CI.
+    """
+    total = 0.0
+    found = False
+    for line in metrics_text.splitlines():
+        if line.startswith("#"):
+            continue
+        match = _METRIC_LINE.match(line.strip())
+        if match and match.group("name") == name:
+            total += float(match.group("value"))
+            found = True
+    if not found:
+        raise KeyError(f"metric {name!r} not found in exposition")
+    return total
+
+
+class BoundsClient:
+    """Client for one bounds server, e.g. ``BoundsClient("http://host:port")``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: Optional[dict] = None) -> bytes:
+        url = f"{self.base_url}{path}"
+        if payload is not None:
+            request = Request(
+                url,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        else:
+            request = Request(url, method="GET")
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except HTTPError as exc:
+            raise self._server_error(exc) from None
+        except URLError as exc:
+            raise ServerError(0, "unreachable", f"{url}: {exc.reason}") from None
+
+    @staticmethod
+    def _server_error(exc: HTTPError) -> ServerError:
+        code, message = "unknown", exc.reason
+        try:
+            error = json.loads(exc.read().decode("utf-8")).get("error", {})
+            code = error.get("code", code)
+            message = error.get("message", message)
+        except (ValueError, AttributeError):
+            pass
+        retry_after = exc.headers.get("Retry-After") if exc.headers else None
+        try:
+            # RFC 9110 also allows an HTTP-date here (a proxy may shed load
+            # with one); anything non-numeric degrades to "no hint".
+            retry_after_seconds = float(retry_after) if retry_after is not None else None
+        except ValueError:
+            retry_after_seconds = None
+        return ServerError(exc.code, code, message, retry_after_seconds)
+
+    def _get_json(self, path: str) -> dict:
+        return json.loads(self._request(path).decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """``GET /healthz``."""
+        return self._get_json("/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        """``GET /v1/stats``."""
+        return self._get_json("/v1/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw Prometheus exposition."""
+        return self._request("/metrics").decode("utf-8")
+
+    def metric(self, name: str) -> float:
+        """One metric's summed value, scraped from ``GET /metrics``."""
+        return parse_metric(self.metrics_text(), name)
+
+    def bounds(
+        self, queries: Sequence[Union[BoundQuery, Dict[str, object]]]
+    ) -> List[BoundAnswer]:
+        """``POST /v1/bounds`` — answers in query order.
+
+        Queries are :class:`BoundQuery` objects (family-spec or live-graph
+        refs; live graphs are sent inline) or raw wire dicts (for
+        fingerprint refs).  The returned answers are full
+        :class:`BoundAnswer` instances, field-for-field what a direct
+        :meth:`BoundService.submit` call would produce.
+        """
+        payload = encode_bounds_request(queries)
+        raw = self._request("/v1/bounds", payload)
+        return decode_answers(json.loads(raw.decode("utf-8")))
+
+    def bounds_raw(self, payload: dict) -> dict:
+        """``POST /v1/bounds`` with a caller-built body, returning raw JSON."""
+        return json.loads(self._request("/v1/bounds", payload).decode("utf-8"))

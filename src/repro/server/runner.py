@@ -1,0 +1,357 @@
+"""Threaded server runner: admission control and in-flight coalescing.
+
+:class:`BoundServer` wraps the WSGI app of :mod:`repro.server.app` in a
+stdlib threading HTTP server (``wsgiref`` + ``socketserver.ThreadingMixIn``
+— one thread per connection, no third-party dependencies) and owns the two
+concurrency policies the app itself stays agnostic of:
+
+* **admission control** (:class:`AdmissionController`) — at most
+  ``max_in_flight`` solve batches run concurrently and at most
+  ``max_queue`` more may wait; beyond that the request is rejected
+  *immediately* with HTTP 429 and a ``Retry-After`` hint, so an overloaded
+  server degrades by shedding load instead of by stacking up threads until
+  every client times out;
+* **in-flight coalescing** (:class:`QueryCoalescer`) — identical
+  ``(graph, M, p, normalization, k, method)`` queries that arrive while
+  the first one is still solving wait for *that* solve instead of starting
+  their own.  A thundering herd on one cold graph pays exactly one
+  eigensolve; without this, concurrent misses race past the spectrum
+  cache and solve redundantly.  This composes with (rather than replaces)
+  the batch-level dedup inside
+  :meth:`~repro.runtime.service.BoundService.submit` and the
+  spectrum/cut cache tiers below it.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from socketserver import ThreadingMixIn
+from typing import Dict, Optional, Tuple
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from repro.runtime.service import BoundService
+from repro.server.app import BoundsApp, ServerOverloadedError
+from repro.server.metrics import MetricsRegistry
+
+__all__ = [
+    "AdmissionController",
+    "QueryCoalescer",
+    "ServerOverloadedError",
+    "SolveTicket",
+    "BoundServer",
+]
+
+DEFAULT_MAX_IN_FLIGHT = 4
+DEFAULT_MAX_QUEUE = 16
+DEFAULT_RETRY_AFTER_SECONDS = 1
+
+
+class AdmissionController:
+    """Bounded-concurrency gate for solve batches.
+
+    ``max_in_flight`` batches may run at once; up to ``max_queue`` more
+    block waiting for a slot; any further arrival fails fast with
+    :class:`ServerOverloadedError` (mapped to 429 + ``Retry-After``).
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be positive, got {max_in_flight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be non-negative, got {max_queue}")
+        self.max_in_flight = int(max_in_flight)
+        self.max_queue = int(max_queue)
+        self.retry_after_seconds = retry_after_seconds
+        self._condition = threading.Condition()
+        self._in_flight = 0
+        self._queued = 0
+        # Slots being handed directly from a releaser to a queued waiter
+        # (see release(): the slot never becomes visibly free, so fresh
+        # arrivals cannot barge past the queue).
+        self._handoffs = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected
+
+    def stats(self) -> Dict[str, int]:
+        with self._condition:
+            return {
+                "max_in_flight": self.max_in_flight,
+                "max_queue": self.max_queue,
+                "in_flight": self._in_flight,
+                "queued": self._queued,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+            }
+
+    def acquire(self) -> None:
+        with self._condition:
+            if (
+                self._in_flight < self.max_in_flight
+                and self._queued == 0
+                and self._handoffs == 0
+            ):
+                self._in_flight += 1
+                self._admitted += 1
+                return
+            if self._queued >= self.max_queue:
+                self._rejected += 1
+                raise ServerOverloadedError(
+                    f"{self._in_flight} solves in flight and {self._queued} "
+                    f"queued; retry after {self.retry_after_seconds}s",
+                    self.retry_after_seconds,
+                )
+            self._queued += 1
+            try:
+                while self._handoffs == 0 and self._in_flight >= self.max_in_flight:
+                    self._condition.wait()
+            finally:
+                self._queued -= 1
+            if self._handoffs:
+                self._handoffs -= 1  # slot transferred; in_flight unchanged
+            else:
+                self._in_flight += 1
+            self._admitted += 1
+
+    def release(self) -> None:
+        with self._condition:
+            if self._queued > 0:
+                # Hand the slot straight to a queued waiter instead of
+                # freeing it: the slot is never visibly free, so a fresh
+                # arrival can never barge past threads already waiting.
+                self._handoffs += 1
+            else:
+                self._in_flight -= 1
+            self._condition.notify()
+
+    @contextmanager
+    def slot(self):
+        """``with admission.slot():`` around one admitted solve batch."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+
+class SolveTicket:
+    """One in-flight solve: the leader resolves it, followers wait on it."""
+
+    def __init__(self, key: Tuple) -> None:
+        self.key = key
+        self._event = threading.Event()
+        self._value = None
+        self._error: Optional[BaseException] = None
+
+    def resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"timed out after {timeout}s waiting for an in-flight solve"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class QueryCoalescer:
+    """Share in-flight solves between requests asking the same question.
+
+    :meth:`claim` either makes the caller the *leader* for a key (it must
+    later :meth:`resolve`/:meth:`fail` the ticket, even on error) or hands
+    back the existing in-flight ticket to wait on.  Once resolved, the key
+    leaves the in-flight table — results are *not* cached here; the
+    spectrum/cut stores below already answer warm repeats, this layer only
+    collapses concurrent duplicates of one cold solve.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._in_flight: Dict[Tuple, SolveTicket] = {}
+        self._leaders = 0
+        self._coalesced = 0
+
+    @property
+    def leaders(self) -> int:
+        """Claims that had to run the solve themselves."""
+        return self._leaders
+
+    @property
+    def coalesced(self) -> int:
+        """Claims served by somebody else's in-flight solve."""
+        return self._coalesced
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "leaders": self._leaders,
+                "coalesced": self._coalesced,
+                "in_flight": len(self._in_flight),
+            }
+
+    def claim(self, key: Tuple) -> Tuple[SolveTicket, bool]:
+        """Returns ``(ticket, is_leader)`` for one query key."""
+        with self._lock:
+            ticket = self._in_flight.get(key)
+            if ticket is not None:
+                self._coalesced += 1
+                return ticket, False
+            ticket = SolveTicket(key)
+            self._in_flight[key] = ticket
+            self._leaders += 1
+            return ticket, True
+
+    def resolve(self, ticket: SolveTicket, value) -> None:
+        with self._lock:
+            self._in_flight.pop(ticket.key, None)
+        ticket.resolve(value)
+
+    def fail(self, ticket: SolveTicket, error: BaseException) -> None:
+        with self._lock:
+            self._in_flight.pop(ticket.key, None)
+        ticket.fail(error)
+
+
+class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _QuietRequestHandler(WSGIRequestHandler):
+    """Per-request access logging off: ``/metrics`` is the observability."""
+
+    # Socket timeout (socketserver applies it in setup()): a client that
+    # declares a Content-Length it never sends would otherwise park a
+    # handler thread in wsgi.input.read() forever — with this, the read
+    # raises TimeoutError, the app answers 503, and the thread is freed.
+    timeout = 30
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+
+class BoundServer:
+    """A :class:`~repro.runtime.service.BoundService` bound to a TCP port.
+
+    Parameters
+    ----------
+    service:
+        The service to expose (owns every cache tier).
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (tests do this).
+    max_in_flight, max_queue, retry_after_seconds:
+        Admission-control knobs (see :class:`AdmissionController`).
+    metrics:
+        Optional shared registry; by default the server owns a fresh one.
+    coalesce:
+        Set ``False`` to disable in-flight coalescing (benchmarks measure
+        the difference; production keeps it on).
+
+    Use either as a context manager around :meth:`start` (background
+    thread, e.g. tests/benchmarks) or via :meth:`serve_forever` (the CLI).
+    """
+
+    def __init__(
+        self,
+        service: BoundService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
+        metrics: Optional[MetricsRegistry] = None,
+        coalesce: bool = True,
+    ) -> None:
+        self.service = service
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.admission = AdmissionController(
+            max_in_flight=max_in_flight,
+            max_queue=max_queue,
+            retry_after_seconds=retry_after_seconds,
+        )
+        self.coalescer = QueryCoalescer() if coalesce else None
+        self.app = BoundsApp(
+            service,
+            metrics=self.metrics,
+            admission=self.admission,
+            coalescer=self.coalescer,
+        )
+        self._httpd = make_server(
+            host,
+            port,
+            self.app,
+            server_class=_ThreadingWSGIServer,
+            handler_class=_QuietRequestHandler,
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "BoundServer":
+        """Serve from a daemon thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"repro-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        self._httpd.serve_forever(poll_interval=0.5)
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "BoundServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

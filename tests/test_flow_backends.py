@@ -132,6 +132,51 @@ class TestUpperBounds:
         for v in graph.vertices():
             assert int(ub[v]) >= engine.cut_value(v)
 
+    @staticmethod
+    def single_prefix_ub(graph):
+        """The pre-window-min ceiling: the wavefront of the one prefix
+        ending right after v (the loosest point of each vertex's window)."""
+        n = graph.num_vertices
+        order = np.asarray(graph.topological_order(), dtype=np.int64)
+        pos = np.empty(n, dtype=np.int64)
+        pos[order] = np.arange(n, dtype=np.int64)
+        wavefront = np.zeros(n + 1, dtype=np.int64)
+        out_degrees = graph.freeze().out_degrees
+        if graph.num_edges:
+            a, b = graph.freeze().edge_endpoints()
+            last_use = np.full(n, -1, dtype=np.int64)
+            np.maximum.at(last_use, a, pos[b])
+            live = out_degrees > 0
+            np.add.at(wavefront, pos[live.nonzero()[0]], 1)
+            np.add.at(wavefront, last_use[live], -1)
+            np.cumsum(wavefront, out=wavefront)
+        return np.where(out_degrees > 0, wavefront[pos], 0)
+
+    def test_window_min_never_looser_than_single_prefix(self):
+        for graph in (chain_graph(6), diamond_graph(4), fft_graph(4),
+                      hypercube_graph(3), naive_matmul_graph(2)):
+            ub = ConvexCutNetwork(graph).prefix_upper_bounds()
+            assert np.all(ub <= self.single_prefix_ub(graph))
+
+    def test_window_min_strictly_tightens_butterfly(self):
+        # On the FFT butterfly the wavefront dips inside many vertices'
+        # valid windows, so the window minimum must beat the single-prefix
+        # ceiling somewhere (this is the ROADMAP "tighter ceiling" item).
+        graph = fft_graph(4)
+        ub = ConvexCutNetwork(graph).prefix_upper_bounds()
+        assert np.any(ub < self.single_prefix_ub(graph))
+
+    @given(params=dag_params)
+    @common_settings
+    def test_window_min_sandwiched_on_random_dags(self, params):
+        """cuts <= window-min ub <= single-prefix ub, vertex by vertex."""
+        graph = build(params)
+        ub = ConvexCutNetwork(graph).prefix_upper_bounds()
+        loose = self.single_prefix_ub(graph)
+        engine = MinCutEngine(graph, backend="array-dinic", prune=False)
+        for v in graph.vertices():
+            assert engine.cut_value(v) <= int(ub[v]) <= int(loose[v])
+
     def test_candidate_order_is_descending_ub(self):
         g = fft_graph(3)
         net = ConvexCutNetwork(g)

@@ -86,6 +86,31 @@ class TestBoundService:
         # Identical structure -> the path-loaded graph reuses the spectrum.
         assert service.stats()["cache_misses"] == 1
 
+    def test_batch_dedup_solves_once_and_fans_out(self):
+        service = BoundService(num_eigenvalues=30)
+        spec = GraphSpec(family="fft", size_param=4)
+        query = BoundQuery(spec, 8)
+        answers = service.submit([query, BoundQuery(spec, 16), query, query])
+        assert answers[0] is answers[2] is answers[3]
+        assert answers[1].memory_size == 16
+        stats = service.stats()
+        assert stats["deduped"] == 2
+        assert stats["queries_served"] == 4
+
+    def test_batch_dedup_respects_query_fields(self):
+        service = BoundService(num_eigenvalues=30)
+        spec = GraphSpec(family="fft", size_param=3)
+        answers = service.submit(
+            [
+                BoundQuery(spec, 8),
+                BoundQuery(spec, 8, normalization="unnormalized"),
+                BoundQuery(spec, 8, num_processors=2),
+                BoundQuery(spec, 8, method="convex-min-cut"),
+            ]
+        )
+        assert service.stats()["deduped"] == 0
+        assert len({id(a) for a in answers}) == 4
+
     def test_invalid_normalization_rejected(self):
         service = BoundService(num_eigenvalues=20)
         with pytest.raises(ValueError, match="normalization"):
