@@ -45,8 +45,10 @@ __all__ = [
     "METHODS",
 ]
 
-#: Methods understood by :func:`sweep`.
-METHODS = ("spectral", "spectral-unnormalized", "convex-min-cut")
+#: Methods understood by :func:`sweep`.  ``spectral-coarse`` evaluates the
+#: interlacing-certified bound interval; its row ``bound`` is the certified
+#: *safe* lower end (see :class:`repro.core.result.IntervalBoundResult`).
+METHODS = ("spectral", "spectral-unnormalized", "spectral-coarse", "convex-min-cut")
 
 
 @dataclass(frozen=True)
@@ -219,7 +221,7 @@ def evaluate_graph_rows(
         cap = max_vertices.get(method)
         if cap is not None and graph.num_vertices > cap:
             continue
-        if method in ("spectral", "spectral-unnormalized"):
+        if method in ("spectral", "spectral-unnormalized", "spectral-coarse"):
             per_m = _evaluate_spectral(method, engine, feasible_ms)
         else:  # convex-min-cut
             mincut_engine = MinCutEngine(
@@ -290,8 +292,10 @@ def sweep(
         its root path) shared by all engines/workers of the sweep.
     solver, dtype:
         Shorthand for ``eig_options``: backend id (``auto``/``dense``/
-        ``sparse``/``lanczos``/``power``/``lobpcg``) and precision
-        (``float64``/``float32``).  Mutually exclusive with ``eig_options``.
+        ``sparse``/``lanczos``/``power``/``lobpcg``/``amg``) and precision
+        (``float64``/``float32``).  ``auto`` honours the
+        ``REPRO_SOLVER_BACKEND`` environment variable.  Mutually exclusive
+        with ``eig_options``.
     eig_options:
         Full :class:`~repro.solvers.backend.EigenSolverOptions` forwarded to
         every engine/worker of the sweep.

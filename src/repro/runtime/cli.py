@@ -19,9 +19,15 @@ Four subcommands expose the runtime subsystem without writing any Python:
   smoke asserts via ``repro_eigensolves_total`` / ``repro_flow_calls_total``.
 
 ``solve`` and ``sweep`` take ``--solver`` (``auto``/``dense``/``sparse``/
-``lanczos``/``power``/``lobpcg``) and ``--dtype`` (``float64``/``float32``)
-to pick the spectral backend; every cache tier keys on both, so variants
-coexist.  ``--mincut-backend`` (``auto``/``dinic``/``array-dinic``/
+``lanczos``/``power``/``lobpcg``/``amg``) and ``--dtype``
+(``float64``/``float32``) to pick the spectral backend; every cache tier
+keys on both, so variants coexist.  ``auto`` routes large graphs to the
+AMG-preconditioned LOBPCG backend, and ``$REPRO_SOLVER_BACKEND`` forces a
+backend id for every ``auto`` solve (mirroring ``$REPRO_MINCUT_BACKEND``)
+without touching scripts — it applies to ``solve``, ``sweep`` and ``serve``
+alike.  ``--method spectral-coarse`` (``sweep --methods spectral-coarse``)
+computes a *certified interval* bound from an interlacing-coarsened
+eigensolve: the reported bound is the provably-safe lower end.  ``--mincut-backend`` (``auto``/``dinic``/``array-dinic``/
 ``scipy``) picks the max-flow backend of the convex min-cut baseline
 (``sweep --methods convex-min-cut`` / ``solve --method convex-min-cut``);
 cut values are exact, so all backends share one fingerprint-keyed cut table
@@ -84,7 +90,8 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
         "--solver",
         choices=("auto",) + available_backends(),
         default="auto",
-        help="spectral backend (default: auto = dense small / sparse large)",
+        help="spectral backend (default: auto = dense / sparse / amg by size; "
+        "$REPRO_SOLVER_BACKEND forces a backend for auto solves)",
     )
     parser.add_argument(
         "--dtype",
@@ -168,9 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument(
         "--method",
-        choices=["spectral", "convex-min-cut"],
+        choices=["spectral", "spectral-coarse", "convex-min-cut"],
         default="spectral",
-        help="bound method (convex-min-cut = the Elango et al. baseline)",
+        help="bound method (spectral-coarse = certified interval from an "
+        "interlacing-coarsened eigensolve; convex-min-cut = the Elango et "
+        "al. baseline)",
     )
     solve.add_argument(
         "--num-eigenvalues", type=int, default=100, help="eigenvalue truncation h"
@@ -197,7 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--methods",
         nargs="+",
         default=["spectral"],
-        choices=["spectral", "spectral-unnormalized", "convex-min-cut"],
+        choices=[
+            "spectral",
+            "spectral-unnormalized",
+            "spectral-coarse",
+            "convex-min-cut",
+        ],
         help="bound methods to evaluate",
     )
     sweep.add_argument(

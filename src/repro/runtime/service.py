@@ -55,7 +55,7 @@ _NORMALIZATIONS = {
 #: validates against these *before* anything client-supplied can reach a
 #: metrics label (unbounded label values would grow /metrics forever).
 KNOWN_NORMALIZATIONS = frozenset(_NORMALIZATIONS)
-KNOWN_METHODS = frozenset({"spectral", "convex-min-cut"})
+KNOWN_METHODS = frozenset({"spectral", "spectral-coarse", "convex-min-cut"})
 
 
 @dataclass(frozen=True)
@@ -65,8 +65,11 @@ class BoundQuery:
     ``graph`` may be a :class:`GraphSpec`, a path to a saved graph
     (``.npz``/``.json``), or a live :class:`ComputationGraph`.
     ``method="convex-min-cut"`` routes to the baseline (``normalization``
-    and ``num_processors`` are then ignored); the default ``"spectral"``
-    keeps the Theorem 4/5/6 behaviour selected by ``normalization``.
+    and ``num_processors`` are then ignored); ``method="spectral-coarse"``
+    answers with a certified bound *interval* from an interlacing-coarsened
+    eigensolve (``bound`` is then the safe lower end, and ``bound_lo`` /
+    ``bound_hi`` are populated); the default ``"spectral"`` keeps the
+    Theorem 4/5/6 behaviour selected by ``normalization``.
     """
 
     graph: GraphRef
@@ -79,7 +82,13 @@ class BoundQuery:
 
 @dataclass(frozen=True)
 class BoundAnswer:
-    """The structured result of one :class:`BoundQuery`."""
+    """The structured result of one :class:`BoundQuery`.
+
+    ``bound_lo``/``bound_hi`` are populated only for ``spectral-coarse``
+    queries; ``bound`` then equals ``bound_lo``, the certified-safe end of
+    the interval, so consumers that only read ``bound`` keep a valid lower
+    bound regardless of the method.
+    """
 
     graph: str
     memory_size: int
@@ -91,6 +100,8 @@ class BoundAnswer:
     num_vertices: int
     elapsed_seconds: float
     eig_elapsed_seconds: float
+    bound_lo: Optional[float] = None
+    bound_hi: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -218,10 +229,10 @@ class BoundService:
     def _answer(self, query: BoundQuery) -> BoundAnswer:
         if query.method == "convex-min-cut":
             return self._answer_mincut(query)
-        if query.method != "spectral":
+        if query.method not in ("spectral", "spectral-coarse"):
             raise ValueError(
-                f"unknown method {query.method!r}; expected 'spectral' or "
-                f"'convex-min-cut'"
+                f"unknown method {query.method!r}; expected one of "
+                f"{sorted(KNOWN_METHODS)}"
             )
         try:
             normalized = _NORMALIZATIONS[query.normalization]
@@ -232,6 +243,27 @@ class BoundService:
             )
         engine, description = self._engine_for(query.graph)
         start = time.perf_counter()
+        if query.method == "spectral-coarse":
+            interval = engine.spectral_interval(
+                query.memory_size,
+                k=query.k,
+                normalized=normalized,
+                num_processors=int(query.num_processors),
+            )
+            return BoundAnswer(
+                graph=description,
+                memory_size=int(query.memory_size),
+                num_processors=int(query.num_processors),
+                normalization="normalized" if normalized else "unnormalized",
+                bound=interval.value,
+                raw_value=interval.raw_value_lo,
+                best_k=interval.best_k,
+                num_vertices=interval.num_vertices,
+                elapsed_seconds=time.perf_counter() - start,
+                eig_elapsed_seconds=interval.eig_elapsed_seconds,
+                bound_lo=interval.value_lo,
+                bound_hi=interval.value_hi,
+            )
         if int(query.num_processors) == 1:
             if normalized:
                 result = engine.spectral(query.memory_size, k=query.k)

@@ -100,6 +100,9 @@ class StoredSpectrum:
 
     ``eigenvalues`` is the *full* stored vector (``num_eigenvalues`` long,
     possibly more than the caller asked for — callers slice); read-only.
+    For interval variants (``variant != "exact"``) it holds the certified
+    *upper* interval ends and ``eigenvalues_lo`` the lower ends; exact
+    entries leave ``eigenvalues_lo`` as ``None``.
     """
 
     eigenvalues: np.ndarray
@@ -107,6 +110,8 @@ class StoredSpectrum:
     num_eigenvalues: int
     backend: str = "unknown"
     dtype: str = "float64"
+    eigenvalues_lo: Optional[np.ndarray] = None
+    variant: str = "exact"
 
 
 def _canonical_options(options: Optional[EigenSolverOptions]) -> Dict[str, object]:
@@ -118,12 +123,16 @@ def _base_id(
     normalized: bool,
     sparse: bool,
     options: Optional[EigenSolverOptions],
+    variant: str = "exact",
 ) -> str:
-    payload = json.dumps(
-        [fingerprint, bool(normalized), bool(sparse), _canonical_options(options)],
-        sort_keys=True,
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()[:40]
+    payload = [fingerprint, bool(normalized), bool(sparse), _canonical_options(options)]
+    if variant != "exact":
+        # Appended only for non-exact variants so every pre-variant entry id
+        # (and any store written by an older build) remains addressable.
+        payload.append(str(variant))
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:40]
 
 
 def _entry_id(base_id: str, num_eigenvalues: int) -> str:
@@ -263,19 +272,23 @@ class SpectrumStore:
         normalized: bool = True,
         sparse: bool = False,
         eig_options: Optional[EigenSolverOptions] = None,
+        variant: str = "exact",
     ) -> Optional[StoredSpectrum]:
         """Load a stored spectrum covering ``num_eigenvalues``, or ``None``.
 
         Any entry with the same (fingerprint, normalisation, assembly,
-        options) and a truncation ``h' >= num_eigenvalues`` qualifies
-        (eigenvalues are ascending, so a longer vector contains the answer);
-        the largest such entry is returned so in-memory tiers can cache the
-        most reusable vector.
+        options, variant) and a truncation ``h' >= num_eigenvalues``
+        qualifies (eigenvalues are ascending, so a longer vector contains
+        the answer); the largest such entry is returned so in-memory tiers
+        can cache the most reusable vector.  Non-exact variants (e.g.
+        ``"coarse-r50-s0"`` interval spectra) live under distinct ids, so an
+        exact refresh of the same graph lands next to — never on top of —
+        the certified entry.
         """
         h = int(num_eigenvalues)
         if h <= 0:
             return None
-        base = _base_id(fingerprint, normalized, sparse, eig_options)
+        base = _base_id(fingerprint, normalized, sparse, eig_options, variant)
         with self._locked(exclusive=False):
             index = self._read_index(allow_cached=True)
         # All qualifying entries, longest first (a longer vector serves more
@@ -294,12 +307,19 @@ class SpectrumStore:
                 with np.load(blob) as data:
                     values = np.ascontiguousarray(data["eigenvalues"], dtype=np.float64)
                     solve_seconds = float(data["solve_seconds"])
+                    values_lo = None
+                    if "eigenvalues_lo" in data.files:
+                        values_lo = np.ascontiguousarray(
+                            data["eigenvalues_lo"], dtype=np.float64
+                        )
             except (OSError, KeyError, ValueError, zipfile.BadZipFile):
                 # A blob lost to a partial copy / manual deletion: drop the
                 # stale entry (index and file) and try the next candidate.
                 self._drop_entry(entry_id)
                 continue
             values.flags.writeable = False
+            if values_lo is not None:
+                values_lo.flags.writeable = False
             meta = index["entries"][entry_id]
             options_meta = meta.get("options") or {}
             with self._counter_lock:
@@ -314,6 +334,8 @@ class SpectrumStore:
                 entry_h,
                 backend=str(meta.get("backend", "unknown")),
                 dtype=str(options_meta.get("dtype", "float64")),
+                eigenvalues_lo=values_lo,
+                variant=str(meta.get("variant", "exact")),
             )
         with self._counter_lock:
             self._misses += 1
@@ -329,6 +351,8 @@ class SpectrumStore:
         eig_options: Optional[EigenSolverOptions] = None,
         backend: Optional[str] = None,
         lineage: Optional[str] = None,
+        variant: str = "exact",
+        eigenvalues_lo: Optional[np.ndarray] = None,
     ) -> str:
         """Publish one solved spectrum; returns the entry id.
 
@@ -337,17 +361,29 @@ class SpectrumStore:
         eigensolve; the counter tracks work done, not entries).  ``backend``
         records the resolved backend id and ``lineage`` the family name of
         the producing sweep (``cache clear --family`` filters on it); both
-        are metadata only and never part of the content key.
+        are metadata only and never part of the content key.  ``variant``
+        *is* part of the key (non-exact spectra must never be served as
+        exact); interval variants pass the certified lower ends as
+        ``eigenvalues_lo`` with ``eigenvalues`` holding the upper ends.
         """
         values = np.ascontiguousarray(eigenvalues, dtype=np.float64)
         h = int(values.shape[0])
-        base = _base_id(fingerprint, normalized, sparse, eig_options)
+        base = _base_id(fingerprint, normalized, sparse, eig_options, variant)
         entry_id = _entry_id(base, h)
         self._ensure_dirs()
         blob = self._blob_dir / f"{entry_id}.npz"
-        self._atomic_write_npz(
-            blob, eigenvalues=values, solve_seconds=np.float64(solve_seconds)
-        )
+        arrays = {
+            "eigenvalues": values,
+            "solve_seconds": np.float64(solve_seconds),
+        }
+        if eigenvalues_lo is not None:
+            lo = np.ascontiguousarray(eigenvalues_lo, dtype=np.float64)
+            if lo.shape != values.shape:
+                raise ValueError(
+                    f"eigenvalues_lo shape {lo.shape} != eigenvalues {values.shape}"
+                )
+            arrays["eigenvalues_lo"] = lo
+        self._atomic_write_npz(blob, **arrays)
         now = time.time()
         with self._locked(exclusive=True):
             index = self._read_index()
@@ -360,6 +396,7 @@ class SpectrumStore:
                     "normalized": bool(normalized),
                     "sparse": bool(sparse),
                     "options": _canonical_options(eig_options),
+                    "variant": str(variant),
                     "backend": backend or "unknown",
                     "lineage": lineage,
                     "solve_seconds": float(solve_seconds),
@@ -391,6 +428,7 @@ class SpectrumStore:
                     "entry": entry_id,
                     "fingerprint": str(meta["fingerprint"])[:12],
                     "lineage": meta.get("lineage") or "-",
+                    "variant": str(meta.get("variant", "exact")),
                     "normalized": meta["normalized"],
                     "sparse": meta["sparse"],
                     "backend": str(meta.get("backend", "unknown")),
@@ -498,12 +536,24 @@ class SpectrumStore:
                 with np.load(blob) as data:
                     values = np.asarray(data["eigenvalues"], dtype=np.float64)
                     float(data["solve_seconds"])
+                    lo = None
+                    if "eigenvalues_lo" in data.files:
+                        lo = np.asarray(data["eigenvalues_lo"], dtype=np.float64)
                 ok = (
                     values.ndim == 1
                     and values.shape[0] == int(meta["h"])
                     and bool(np.all(np.isfinite(values)))
                     and bool(np.all(np.diff(values) >= -1e-9))
                 )
+                if ok and lo is not None:
+                    # Interval variants: lower ends must be well-formed and
+                    # never exceed the uppers (the interlacing invariant).
+                    ok = (
+                        lo.shape == values.shape
+                        and bool(np.all(np.isfinite(lo)))
+                        and bool(np.all(np.diff(lo) >= -1e-9))
+                        and bool(np.all(lo <= values + 1e-9))
+                    )
             except (OSError, KeyError, ValueError, zipfile.BadZipFile):
                 ok = False
             if not ok:

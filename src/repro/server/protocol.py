@@ -16,7 +16,8 @@ Request (``POST /v1/bounds``)::
                   "num_processors": 1,          # optional, default 1
                   "normalization": "normalized", # optional
                   "k": null,                     # optional truncation pin
-                  "method": "spectral"}]}        # or "convex-min-cut"
+                  "method": "spectral"}]}        # or "spectral-coarse" /
+                                                 # "convex-min-cut"
 
 Graph references come in three forms (server-side filesystem paths are
 deliberately *not* one of them — path refs stay a local CLI affordance):
@@ -33,6 +34,11 @@ Response::
 
     {"version": 1,
      "answers": [{... BoundAnswer fields ..., "fingerprint": "..."}]}
+
+``spectral-coarse`` answers additionally populate ``bound_lo`` /
+``bound_hi`` — the certified interval bracketing the exact bound — and
+``bound`` equals the safe lower end ``bound_lo`` (``null`` on both fields
+for every other method).
 
 Errors are structured objects, never bare strings::
 

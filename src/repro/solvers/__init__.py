@@ -6,9 +6,13 @@ only efficiently computable by power iteration" and costs ``O(h n^2)`` with
 Lanczos-Arnoldi; this subpackage therefore provides
 
 * :mod:`backends` — the :class:`SpectralBackend` protocol and registry
-  (``dense``, ``sparse``, ``lanczos``, ``power``, ``lobpcg``), plus
+  (``dense``, ``sparse``, ``lanczos``, ``power``, ``lobpcg``, ``amg``), plus
   :class:`WarmStartContext` for seeding consecutive family solves with the
   previous level's Ritz vectors,
+* :mod:`amg` — a pure-SciPy smoothed-aggregation multigrid V-cycle (the
+  ``amg`` backend's preconditioner when ``pyamg`` is not installed),
+* :mod:`coarsen` — interlacing-certified spectral coarsening: eigenvalue
+  *intervals* from a principal-submatrix solve at a fraction of the cost,
 * :mod:`backend` — :class:`EigenSolverOptions` (method/dtype/tolerance, the
   hashable object all cache tiers key on) and the legacy entry point
   :func:`smallest_eigenvalues`,
@@ -32,6 +36,7 @@ import warnings
 
 from repro.solvers.backend import EigenSolverOptions, smallest_eigenvalues
 from repro.solvers.backends import (
+    SOLVER_BACKEND_ENV_VAR,
     BackendSolveResult,
     SpectralBackend,
     WarmStartContext,
@@ -39,11 +44,18 @@ from repro.solvers.backends import (
     create_backend,
     default_warm_start_context,
     register_backend,
+    resolve_method,
     solve_smallest,
+)
+from repro.solvers.coarsen import (
+    IntervalSpectrum,
+    certified_interval_spectrum,
+    coarse_variant,
 )
 from repro.solvers.dense import dense_spectrum, dense_smallest_eigenvalues
 from repro.solvers.power_iteration import power_iteration_largest_eigenvalue
 from repro.solvers.spectrum_cache import (
+    CachedIntervalSpectrum,
     CachedSpectrum,
     SpectrumCache,
     default_spectrum_cache,
@@ -52,15 +64,21 @@ from repro.solvers.spectrum_cache import (
 __all__ = [
     "smallest_eigenvalues",
     "solve_smallest",
+    "resolve_method",
     "EigenSolverOptions",
     "BackendSolveResult",
     "SpectralBackend",
     "WarmStartContext",
+    "SOLVER_BACKEND_ENV_VAR",
     "available_backends",
     "create_backend",
     "register_backend",
     "default_warm_start_context",
+    "IntervalSpectrum",
+    "certified_interval_spectrum",
+    "coarse_variant",
     "CachedSpectrum",
+    "CachedIntervalSpectrum",
     "SpectrumCache",
     "default_spectrum_cache",
     "dense_spectrum",

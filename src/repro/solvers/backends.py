@@ -21,6 +21,7 @@ is now a thin wrapper over :func:`solve_smallest` below.
 
 from __future__ import annotations
 
+import os
 import threading
 import warnings
 from abc import ABC, abstractmethod
@@ -32,6 +33,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 from scipy.linalg import LinAlgWarning
 
+from repro.solvers.amg import smoothed_aggregation_preconditioner
 from repro.solvers.dense import dense_smallest_eigenvalues
 from repro.solvers.lanczos import lanczos_smallest_eigenvalues
 from repro.solvers.power_iteration import power_iteration_smallest_eigenvalues
@@ -43,14 +45,30 @@ __all__ = [
     "BackendSolveResult",
     "SpectralBackend",
     "WarmStartContext",
+    "SOLVER_BACKEND_ENV_VAR",
     "available_backends",
     "create_backend",
     "register_backend",
+    "resolve_method",
     "solve_smallest",
     "default_warm_start_context",
 ]
 
-MatrixLike = Union[np.ndarray, sp.spmatrix]
+MatrixLike = Union[np.ndarray, sp.spmatrix, spla.LinearOperator]
+
+#: Environment escape hatch: when set (and the caller asked for ``auto``),
+#: every solve routes to this backend id.  Mirrors ``REPRO_MINCUT_BACKEND``.
+SOLVER_BACKEND_ENV_VAR = "REPRO_SOLVER_BACKEND"
+
+#: Above this size ``auto`` prefers the AMG-preconditioned backend over
+#: ARPACK shift-invert: the sparse-LU fill of shift-invert grows
+#: superlinearly on expander-ish computation graphs while the AMG V-cycle
+#: stays O(m).
+AMG_AUTO_CUTOFF = 50_000
+
+#: ``auto`` never routes to ``dense`` above this size, whatever ``k`` — the
+#: dense matrix alone would be tens of GB.
+DENSE_AUTO_CAP = 50_000
 
 #: Supported floating-point precisions (option value -> numpy dtype).
 DTYPES: Dict[str, np.dtype] = {
@@ -84,12 +102,53 @@ class BackendSolveResult:
     warm_started: bool = False
 
 
+def _is_operator(matrix: MatrixLike) -> bool:
+    """True for abstract linear operators (matrix-free), not sparse matrices."""
+    return isinstance(matrix, spla.LinearOperator) and not sp.issparse(matrix)
+
+
 def _cast_matrix(matrix: MatrixLike, dtype: np.dtype) -> MatrixLike:
-    """Cast a dense/sparse matrix to the solve dtype (no-op when equal)."""
+    """Cast a dense/sparse/operator matrix to the solve dtype."""
     if sp.issparse(matrix):
         return matrix if matrix.dtype == dtype else matrix.astype(dtype)
+    if _is_operator(matrix):
+        if matrix.dtype == dtype:
+            return matrix
+        astype = getattr(matrix, "astype", None)
+        # Operators without a cast (rare; ours have one) run in their native
+        # dtype — results are float64 downstream either way.
+        return astype(dtype) if callable(astype) else matrix
     arr = np.asarray(matrix)
     return arr if arr.dtype == dtype else arr.astype(dtype)
+
+
+def _as_sparse(matrix: MatrixLike) -> sp.spmatrix:
+    """A sparse view of ``matrix`` for backends needing explicit entries.
+
+    Matrix-free operators must expose ``tocsr()``
+    (:class:`~repro.graphs.laplacian.LaplacianOperator` does, at O(m) cost);
+    a fully abstract operator cannot be factorised and is rejected.
+    """
+    if sp.issparse(matrix):
+        return matrix
+    if _is_operator(matrix):
+        tocsr = getattr(matrix, "tocsr", None)
+        if not callable(tocsr):
+            raise TypeError(
+                f"{type(matrix).__name__} is matrix-free with no tocsr(); "
+                f"use a matvec-only backend (lanczos) instead"
+            )
+        return tocsr()
+    return sp.csr_matrix(np.asarray(matrix))
+
+
+def _densify(matrix: MatrixLike) -> np.ndarray:
+    """A dense array view of ``matrix`` (for dense solves/fallbacks)."""
+    if sp.issparse(matrix):
+        return np.asarray(matrix.todense())
+    if _is_operator(matrix):
+        return np.asarray(_as_sparse(matrix).todense())
+    return np.asarray(matrix)
 
 
 def adapt_subspace(
@@ -255,10 +314,29 @@ def create_backend(name: str, options: "EigenSolverOptions") -> SpectralBackend:
 
 
 def resolve_method(method: str, n: int, k: int, options: "EigenSolverOptions") -> str:
-    """Map ``"auto"`` to a concrete backend id (dense small, sparse large)."""
+    """Map ``"auto"`` to a concrete backend id.
+
+    Resolution order: an explicit ``method`` always wins; then the
+    ``REPRO_SOLVER_BACKEND`` environment variable (validated against the
+    registry) overrides the size heuristic; then the heuristic picks
+    ``dense`` for small problems (n below ``options.dense_cutoff``, or
+    near-full spectra of moderate size), ``sparse`` (ARPACK shift-invert) up
+    to :data:`AMG_AUTO_CUTOFF`, and ``amg`` beyond — ``auto`` never densifies
+    above :data:`DENSE_AUTO_CAP`.
+    """
     if method != "auto":
         return method
-    return "dense" if n <= options.dense_cutoff or k >= n - 1 else "sparse"
+    forced = os.environ.get(SOLVER_BACKEND_ENV_VAR, "").strip()
+    if forced:
+        if forced not in _REGISTRY:
+            raise ValueError(
+                f"{SOLVER_BACKEND_ENV_VAR}={forced!r} is not a registered "
+                f"spectral backend; known: {available_backends()}"
+            )
+        return forced
+    if n <= options.dense_cutoff or (k >= n - 1 and n <= DENSE_AUTO_CAP):
+        return "dense"
+    return "sparse" if n <= AMG_AUTO_CUTOFF else "amg"
 
 
 # ----------------------------------------------------------------------
@@ -271,7 +349,7 @@ class DenseBackend(SpectralBackend):
     id = "dense"
 
     def solve(self, matrix, k, initial_subspace=None):
-        mat = _cast_matrix(matrix, self.dtype)
+        mat = _cast_matrix(_densify(matrix), self.dtype)
         values = dense_smallest_eigenvalues(mat, k)
         return BackendSolveResult(np.asarray(values, dtype=np.float64), None, self.id)
 
@@ -293,10 +371,11 @@ class SparseBackend(SpectralBackend):
         n = matrix.shape[0]
         options = self.options
         if k >= n - 1 or n <= 2:
-            values = dense_smallest_eigenvalues(_cast_matrix(matrix, self.dtype), k)
+            values = dense_smallest_eigenvalues(
+                _cast_matrix(_densify(matrix), self.dtype), k
+            )
             return BackendSolveResult(np.asarray(values, dtype=np.float64), None, self.id)
-        mat = matrix.tocsc() if sp.issparse(matrix) else sp.csc_matrix(np.asarray(matrix))
-        mat = _cast_matrix(mat, self.dtype)
+        mat = _cast_matrix(_as_sparse(matrix).tocsc(), self.dtype)
         # Graph Laplacians of symmetric graphs have heavily clustered
         # spectra; a generous Lanczos basis (ncv) is needed for ARPACK to
         # resolve whole clusters instead of returning a too-large value from
@@ -379,7 +458,10 @@ class PowerBackend(SpectralBackend):
     id = "power"
 
     def solve(self, matrix, k, initial_subspace=None):
-        mat = _cast_matrix(matrix, self.dtype)
+        # The Gershgorin shift needs explicit entries, so operators are
+        # lowered to their sparse form first.
+        mat = _as_sparse(matrix) if _is_operator(matrix) else matrix
+        mat = _cast_matrix(mat, self.dtype)
         values = power_iteration_smallest_eigenvalues(
             mat,
             k,
@@ -425,8 +507,7 @@ class LobpcgBackend(SpectralBackend):
         rng = np.random.default_rng(self.options.seed)
         if n < max(5 * block, 32):
             return self._dense_fallback(matrix, k)
-        mat = _cast_matrix(matrix, self.dtype)
-        mat = mat.tocsc() if sp.issparse(mat) else sp.csc_matrix(mat)
+        mat = _cast_matrix(_as_sparse(matrix).tocsc(), self.dtype)
         # Shift keeps L + sigma I comfortably positive definite; scaling by
         # the largest diagonal entry makes it dimensionless (the normalized
         # and unnormalized Laplacians differ by ~max degree).
@@ -474,10 +555,104 @@ class LobpcgBackend(SpectralBackend):
         return BackendSolveResult(values[:k], vectors, self.id, warm)
 
     def _dense_fallback(self, matrix: MatrixLike, k: int) -> BackendSolveResult:
-        dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
-        dense = np.asarray(_cast_matrix(dense, self.dtype), dtype=np.float64)
+        dense = np.asarray(_cast_matrix(_densify(matrix), self.dtype), dtype=np.float64)
         values, vectors = np.linalg.eigh(dense)
         return BackendSolveResult(values[:k], vectors[:, : max(k, 1)], self.id)
+
+
+@register_backend
+class AmgBackend(LobpcgBackend):
+    """LOBPCG preconditioned by an algebraic-multigrid V-cycle.
+
+    The paper-scale backend: where :class:`LobpcgBackend` pays one sparse LU
+    factorisation of ``L + sigma I`` (whose fill grows superlinearly on
+    expander-ish computation graphs — at n ~ 100k the factor dwarfs the
+    matrix), this backend builds a smoothed-aggregation hierarchy
+    (:mod:`repro.solvers.amg`, or ``pyamg`` when installed) in O(m) memory
+    and runs *un*-transformed LOBPCG on ``A = L + sigma I`` with the V-cycle
+    as the preconditioner ``M ~= A^{-1}``.  Per iteration that is a handful
+    of SpMVs instead of triangular solves against a dense-ish factor, and
+    setup is linear — the combination is what unlocks n >> 50k on one core.
+
+    Matrix-free inputs (:func:`repro.graphs.laplacian.laplacian_operator`)
+    are used directly for the LOBPCG matvecs (preserving any row-block
+    sharding); explicit entries are materialised only for the hierarchy
+    setup, which needs them.
+
+    Warm starts work exactly as for :class:`LobpcgBackend`: the whole
+    ``k + oversample`` block is reseeded from the lineage's previous Ritz
+    vectors.  Small problems (LOBPCG needs ``5 * block < n``) fall back to a
+    dense solve whose eigenvectors still feed the warm-start chain.
+    """
+
+    id = "amg"
+    supports_warm_start = True
+
+    #: Iteration cap when ``options.max_iterations`` is unset; preconditioned
+    #: LOBPCG converges in a few dozen iterations on Laplacian spectra.
+    default_iterations = 300
+
+    def solve(self, matrix, k, initial_subspace=None):
+        n = matrix.shape[0]
+        block = min(n, k + self.oversample)
+        rng = np.random.default_rng(self.options.seed)
+        if n < max(5 * block, 32):
+            return self._dense_fallback(matrix, k)
+        csr = _cast_matrix(_as_sparse(matrix).tocsr(), self.dtype)
+        sigma = float(max(self.shift_scale * csr.diagonal().max(), 1e-8))
+        shifted = (csr + sigma * sp.identity(n, dtype=csr.dtype, format="csr")).tocsr()
+        x = adapt_subspace(initial_subspace, n, block, rng)
+        warm = x is not None
+        if x is None:
+            x = rng.standard_normal((n, block))
+        x = np.ascontiguousarray(x, dtype=self.dtype)
+        maxiter = self.options.max_iterations or self.default_iterations
+        tol = max(self.options.tolerance, 1e-6 if self.options.dtype == "float32" else 0.0)
+        try:
+            preconditioner = smoothed_aggregation_preconditioner(
+                shifted, seed=self.options.seed
+            )
+            if _is_operator(matrix):
+                # Keep the caller's matrix-free application (row-block
+                # sharding and all); only the +sigma shift is added here.
+                base = _cast_matrix(matrix, self.dtype)
+                operator = spla.LinearOperator(
+                    (n, n),
+                    matvec=lambda v: base @ v + sigma * v,
+                    matmat=lambda V: base @ V + sigma * V,
+                    dtype=shifted.dtype,
+                )
+            else:
+                operator = shifted
+            with warnings.catch_warnings():
+                # Same rationale as LobpcgBackend: the convergence warning is
+                # noise at our tolerances; parity tests bound the accuracy.
+                warnings.simplefilter("ignore", UserWarning)
+                warnings.simplefilter("ignore", LinAlgWarning)
+                values, vectors = spla.lobpcg(
+                    operator,
+                    x,
+                    M=preconditioner,
+                    largest=False,
+                    tol=tol or None,
+                    maxiter=maxiter,
+                )
+        except Exception:
+            if n > self.dense_fallback_cap:
+                raise
+            return self._dense_fallback(matrix, k)
+        if not np.all(np.isfinite(values)):
+            if n > self.dense_fallback_cap:
+                raise RuntimeError(
+                    f"amg-preconditioned lobpcg diverged for n={n} and the "
+                    f"matrix is too large to densify; retry with method='lanczos'"
+                )
+            return self._dense_fallback(matrix, k)
+        values = np.asarray(values, dtype=np.float64) - sigma
+        order = np.argsort(values)
+        values = values[order]
+        vectors = np.asarray(vectors, dtype=np.float64)[:, order]
+        return BackendSolveResult(values[:k], vectors, self.id, warm)
 
 
 # ----------------------------------------------------------------------
@@ -506,7 +681,11 @@ def solve_smallest(
     if k > n:
         raise ValueError(f"requested {k} eigenvalues from an n={n} matrix")
     if k == 0:
-        return BackendSolveResult(np.zeros(0), None, options.method)
+        # Even the trivial solve reports the *resolved* backend id so records
+        # and store entries never show "auto".
+        return BackendSolveResult(
+            np.zeros(0), None, resolve_method(options.method, n, k, options)
+        )
 
     method = resolve_method(options.method, n, k, options)
     backend = create_backend(method, options)

@@ -1,0 +1,217 @@
+"""Interlacing-certified spectral coarsening.
+
+The spectral bound needs the ``h`` smallest Laplacian eigenvalues, and for
+paper-scale graphs even the AMG backend pays seconds per cold solve.  This
+module trades accuracy for time *without giving up correctness*: it solves
+the spectrum of a smaller matrix and returns certified **intervals** that
+provably contain the exact eigenvalues.
+
+The certificate is Cauchy's interlacing theorem.  Let ``A`` be the symmetric
+n-by-n fine Laplacian and ``B`` the principal submatrix obtained by deleting
+``m = n - nc`` rows/columns (i.e. the Laplacian restricted to a vertex
+subset — *not* a rebuilt quotient graph, which would certify nothing).  With
+eigenvalues ascending and 1-indexed,
+
+    lambda_i(A)  <=  lambda_i(B)  <=  lambda_{i+m}(A)    for i = 1..nc.
+
+Reading the two inequalities per fine eigenvalue ``lambda_i(A)``:
+
+* **upper end** — ``lambda_i(A) <= lambda_i(B)``: the i-th coarse eigenvalue.
+* **lower end** — ``lambda_{i-m}(B) <= lambda_i(A)`` when ``i > m``; for
+  ``i <= m`` interlacing says nothing and PSD-ness gives the trivial ``0``.
+
+One coarse solve of ``h`` eigenvalues therefore yields all ``h`` fine
+intervals.  The lower ends are informative only for ``i > m``, so aggressive
+coarsening (small ``ratio``) buys speed at the price of trivial lower ends —
+the intervals stay *valid* either way, which is what the property tests
+assert.  The bound formula is monotone non-decreasing in every eigenvalue,
+so evaluating it at the two endpoint vectors brackets the exact bound
+(:meth:`repro.core.engine.BoundEngine.spectral_interval`).
+
+Deletion is deterministic in ``seed``, so coarse spectra are cacheable under
+``(fingerprint, h, options, ratio, seed)`` like exact ones — the
+:class:`~repro.runtime.store.SpectrumStore` files them as a ``coarse``
+variant, letting exact refreshes land lazily next to the certified entry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.solvers.backends import (
+    MatrixLike,
+    WarmStartContext,
+    _as_sparse,
+    solve_smallest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.solvers.backend import EigenSolverOptions
+
+__all__ = [
+    "DEFAULT_COARSEN_RATIO",
+    "COARSEN_MIN_VERTICES",
+    "IntervalSpectrum",
+    "coarse_plan",
+    "coarse_variant",
+    "coarsen_keep_indices",
+    "principal_submatrix",
+    "certified_interval_spectrum",
+]
+
+#: Default fraction of vertices the coarse matrix keeps.  ``0.5`` halves the
+#: solve; raise it towards 1 for tighter (non-trivial) lower interval ends.
+DEFAULT_COARSEN_RATIO = 0.5
+
+#: Below this size coarsening cannot pay for itself; the exact spectrum is
+#: returned as degenerate intervals (``lower == upper``).
+COARSEN_MIN_VERTICES = 64
+
+
+@dataclass(frozen=True)
+class IntervalSpectrum:
+    """Certified eigenvalue intervals ``lower[i] <= lambda_i <= upper[i]``.
+
+    Attributes
+    ----------
+    lower / upper:
+        Ascending float64 arrays of length ``h``; both read-only.  Equal
+        when the spectrum is exact (``exact=True``).
+    num_vertices / num_coarse:
+        Fine size and the size of the solved principal submatrix.
+    backend:
+        Resolved backend id of the underlying (coarse or exact) solve.
+    exact:
+        True when no coarsening happened — the "intervals" are points.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    num_vertices: int
+    num_coarse: int
+    backend: str
+    exact: bool
+
+    @property
+    def num_deleted(self) -> int:
+        return self.num_vertices - self.num_coarse
+
+    def contains(self, eigenvalues: np.ndarray, slack: float = 1e-8) -> bool:
+        """Whether exact ``eigenvalues`` sit inside the intervals (+slack)."""
+        values = np.asarray(eigenvalues, dtype=np.float64)
+        h = min(values.shape[0], self.lower.shape[0])
+        return bool(
+            np.all(self.lower[:h] - slack <= values[:h])
+            and np.all(values[:h] <= self.upper[:h] + slack)
+        )
+
+
+def coarse_plan(num_vertices: int, h: int, ratio: float = DEFAULT_COARSEN_RATIO):
+    """``(num_coarse, exact)`` the coarsener will use for this solve.
+
+    Shared with the caching layers so a store hit can reconstruct the
+    deterministic coarsening metadata without re-deriving it ad hoc.
+    """
+    num_coarse = max(int(math.ceil(ratio * num_vertices)), h)
+    if num_vertices < COARSEN_MIN_VERTICES or num_coarse >= num_vertices:
+        return num_vertices, True
+    return num_coarse, False
+
+
+def coarse_variant(ratio: float = DEFAULT_COARSEN_RATIO, seed: int = 0) -> str:
+    """Store/cache variant tag for a coarsening configuration."""
+    return f"coarse-r{ratio:g}-s{int(seed)}"
+
+
+def coarsen_keep_indices(
+    num_vertices: int, num_coarse: int, seed: int = 0
+) -> np.ndarray:
+    """The sorted vertex subset the coarse matrix keeps (deterministic)."""
+    if not 0 <= num_coarse <= num_vertices:
+        raise ValueError(
+            f"num_coarse must be in [0, {num_vertices}], got {num_coarse}"
+        )
+    rng = np.random.default_rng(seed)
+    keep = rng.choice(num_vertices, size=num_coarse, replace=False)
+    return np.sort(keep)
+
+
+def principal_submatrix(matrix: MatrixLike, keep: np.ndarray) -> sp.csr_matrix:
+    """The principal submatrix ``A[keep, keep]`` as CSR.
+
+    This is the object interlacing speaks about; matrix-free operators are
+    lowered to their sparse form first (O(m)).
+    """
+    csr = _as_sparse(matrix).tocsr()
+    return csr[keep][:, keep].tocsr()
+
+
+def _interval_arrays(
+    coarse_values: np.ndarray, h: int, num_deleted: int
+) -> tuple:
+    """Lower/upper endpoint vectors from the coarse spectrum (see module doc)."""
+    upper = np.asarray(coarse_values[:h], dtype=np.float64).copy()
+    lower = np.zeros(h, dtype=np.float64)
+    if num_deleted < h:
+        lower[num_deleted:] = upper[: h - num_deleted]
+    # Guard against backend round-off inverting an interval at clustered
+    # eigenvalues (the theorem guarantees lower <= upper exactly).
+    return np.minimum(lower, upper), upper
+
+
+def certified_interval_spectrum(
+    matrix: MatrixLike,
+    h: int,
+    options: "Optional[EigenSolverOptions]" = None,
+    ratio: float = DEFAULT_COARSEN_RATIO,
+    seed: int = 0,
+    warm_start: Optional[WarmStartContext] = None,
+    lineage: Optional[str] = None,
+    normalized: bool = True,
+) -> IntervalSpectrum:
+    """Certified intervals for the ``h`` smallest eigenvalues of ``matrix``.
+
+    Solves the spectrum of a seeded-random principal submatrix keeping
+    ``max(ceil(ratio * n), h)`` vertices and converts it into interlacing
+    intervals.  Degenerates to an exact solve (``lower == upper``) when the
+    matrix is too small for coarsening to pay (:data:`COARSEN_MIN_VERTICES`)
+    or ``ratio`` rounds to keeping everything.  ``lineage`` is suffixed with
+    ``"::coarse"`` so coarse warm-start blocks never cross-seed exact solves.
+    """
+    from repro.solvers.backend import EigenSolverOptions
+
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    n = matrix.shape[0]
+    if h < 0:
+        raise ValueError(f"h must be non-negative, got {h}")
+    if h > n:
+        raise ValueError(f"requested {h} eigenvalues from an n={n} matrix")
+    options = options or EigenSolverOptions()
+    num_coarse, exact = coarse_plan(n, h, ratio)
+    coarse_lineage = f"{lineage}::coarse" if lineage is not None else None
+
+    if exact:
+        result = solve_smallest(
+            matrix, h, options, warm_start=warm_start,
+            lineage=lineage, normalized=normalized,
+        )
+        values = np.asarray(result.eigenvalues, dtype=np.float64)
+        values.flags.writeable = False
+        return IntervalSpectrum(values, values, n, n, result.backend, True)
+
+    keep = coarsen_keep_indices(n, num_coarse, seed=seed)
+    coarse = principal_submatrix(matrix, keep)
+    result = solve_smallest(
+        coarse, h, options, warm_start=warm_start,
+        lineage=coarse_lineage, normalized=normalized,
+    )
+    lower, upper = _interval_arrays(result.eigenvalues, h, n - num_coarse)
+    lower.flags.writeable = False
+    upper.flags.writeable = False
+    return IntervalSpectrum(lower, upper, n, num_coarse, result.backend, False)

@@ -33,7 +33,7 @@ from repro.solvers.backends import (
 from repro.solvers.spectrum_cache import SpectrumCache
 
 H = 12
-BACKENDS = ("dense", "sparse", "lanczos", "power", "lobpcg")
+BACKENDS = ("dense", "sparse", "lanczos", "power", "lobpcg", "amg")
 
 
 def fft_laplacian(levels: int, sparse: bool = True):
@@ -82,7 +82,7 @@ class TestClosedFormParity:
         atol = 1e-3 if backend == "power" else 1e-5
         np.testing.assert_allclose(values, exact[:h], atol=atol)
 
-    @pytest.mark.parametrize("backend", ("dense", "lobpcg"))
+    @pytest.mark.parametrize("backend", ("dense", "lobpcg", "amg"))
     def test_float32_parity_loose_tolerance(self, backend):
         levels = 4
         exact = butterfly_spectrum_array(levels)[:H]
