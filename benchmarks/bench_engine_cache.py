@@ -27,6 +27,7 @@ import time
 import pytest
 
 from benchmarks.common import bench_print, engine_for, pick, run_once, write_perf_record
+from repro import obs
 from repro.core.bounds import spectral_bound
 from repro.graphs.generators import fft_graph
 from repro.solvers.spectrum_cache import SpectrumCache
@@ -140,3 +141,54 @@ def test_warm_cache_sweep_is_solve_free(fft_family):
     _, eigensolves = _engine_sweep(fft_family, cache)
     assert eigensolves == 0
     assert cache.misses == misses_before
+
+
+def test_disabled_obs_is_noop_on_hot_path(fft_family):
+    """Disabled tracing must be invisible on the engine hot path (<2%).
+
+    With no tracer configured ``obs.span`` hands back one shared no-op
+    object (asserted by identity — the disabled path allocates no span),
+    so the only residual cost is the call itself.  The guard prices that
+    call at one span site per (graph, M, method) combination — already an
+    overcount: a fully warm sweep performs zero eigensolves, so it enters
+    zero eigensolve spans — and requires the total to stay under 2% of the
+    measured warm-sweep wall time.
+    """
+    obs.disable()
+    assert not obs.enabled()
+    noop = obs.span("eigensolve", fingerprint=None)
+    assert noop is obs.span("mincut")  # shared singleton, not a fresh object
+
+    cache = SpectrumCache(max_entries=2 * len(LEVELS))
+    _engine_sweep(fft_family, cache)  # warm every spectrum
+    warm_seconds = min(
+        _timed(lambda: _engine_sweep(fft_family, cache)) for _ in range(3)
+    )
+
+    calls = 20000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("eigensolve", fingerprint=None, h=100, dtype="float64"):
+            pass
+    per_span = (time.perf_counter() - start) / calls
+
+    sites = len(LEVELS) * len(METHODS) * len(MEMORY_SIZES)
+    overhead = per_span * sites
+    bench_print()
+    bench_print("== disabled-obs overhead guard ==")
+    bench_print(
+        f"  warm sweep: {warm_seconds * 1e3:8.3f}ms, no-op span: "
+        f"{per_span * 1e9:6.1f}ns, {sites} sites -> "
+        f"{overhead / warm_seconds * 100:.3f}% overhead"
+    )
+    if os.environ.get("REPRO_BENCH_TIMING_ASSERT", "1") != "0":
+        assert overhead < 0.02 * warm_seconds, (
+            f"no-op observability costs {overhead / warm_seconds * 100:.2f}% "
+            f"of a warm sweep (budget 2%)"
+        )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

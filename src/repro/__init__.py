@@ -21,6 +21,9 @@ Reproduction of Jain & Zaharia, SPAA 2020.  The package provides:
 * :mod:`repro.runtime` — the production runtime layer: persistent on-disk
   spectrum store, process-pool sweep orchestrator, batch bound service and
   the ``python -m repro`` CLI;
+* :mod:`repro.obs` — unified observability: span-based tracing with
+  cross-process propagation, the process-global metrics registry, and
+  opt-in per-task profiling (``python -m repro obs report``);
 * :mod:`repro.server` — the HTTP serving layer over the bound service:
   versioned ``/v1`` JSON batch queries, Prometheus ``/metrics``, admission
   control and in-flight coalescing (``python -m repro serve``).

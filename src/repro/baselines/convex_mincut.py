@@ -55,6 +55,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.flow_backends import (
     MaxFlowBackend,
     create_flow_backend,
@@ -65,6 +66,17 @@ from repro.baselines.partitioner import contiguous_topological_partition
 from repro.core.result import BaselineBoundResult
 from repro.graphs.compgraph import ComputationGraph
 from repro.utils.validation import check_memory_size, check_positive_int
+
+_MAXFLOW_SECONDS = obs.global_registry().histogram(
+    "repro_maxflow_seconds",
+    "Wall-clock latency of individual max-flow solves.",
+    labelnames=("backend",),
+)
+_CUT_LOOKUPS = obs.global_registry().counter(
+    "repro_cut_lookups_total",
+    "Cut-value fetches by serving tier (memory/store hit vs fresh flow).",
+    labelnames=("tier",),
+)
 
 __all__ = [
     "MinCutEngine",
@@ -156,13 +168,21 @@ class MinCutEngine:
         return self._cut_seconds
 
     def stats(self) -> Dict[str, object]:
-        """JSON-friendly counters (what sweeps record per task)."""
+        """JSON-friendly counters (what sweeps record per task).
+
+        ``trace_id``/``span_id`` reflect the active trace at call time (the
+        sweep task's span when called from a pool worker), so recorded cut
+        stats link into the trace tree instead of duplicating timings.
+        """
+        context = obs.current_context()
         return {
             "backend": self._backend_id,
             "flow_calls": self.flow_calls,
             "store_served": self._store_served,
             "pruned": self._pruned,
             "cut_seconds": self._cut_seconds,
+            "trace_id": context.trace_id if context else None,
+            "span_id": context.span_id if context else None,
         }
 
     # ------------------------------------------------------------------
@@ -181,6 +201,8 @@ class MinCutEngine:
                 self._publish(
                     {vertex: value}, flow_calls=self.flow_calls - flows_before
                 )
+            else:
+                _CUT_LOOKUPS.inc(tier="memory")
             self._cut_seconds += time.perf_counter() - start
         return value
 
@@ -203,7 +225,9 @@ class MinCutEngine:
         if candidates.size == 0:
             return 0, None
         start = time.perf_counter()
-        with self._lock:
+        with obs.span(
+            "mincut", backend=self._backend_id, candidates=int(candidates.size)
+        ), self._lock:
             self._load_store_table()
             network = self._get_network()
             best_cut = 0
@@ -213,7 +237,10 @@ class MinCutEngine:
             # warm runs — seeds the prune threshold before any flow is paid.
             for v in candidates.tolist():
                 value = self._known.get(v)
-                if value is not None and (value > best_cut or best_vertex is None):
+                if value is None:
+                    continue
+                _CUT_LOOKUPS.inc(tier="memory")
+                if value > best_cut or best_vertex is None:
                     best_cut = value
                     best_vertex = v
             if self._prune:
@@ -258,7 +285,12 @@ class MinCutEngine:
             if self._backend is None:
                 self._backend = create_flow_backend(self._backend_id, network)
             sources, sinks = network.terminals(vertex)
+            flow_start = time.perf_counter()
             value = self._backend.min_cut(sources, sinks)
+            _MAXFLOW_SECONDS.observe(
+                time.perf_counter() - flow_start, backend=self._backend_id
+            )
+        _CUT_LOOKUPS.inc(tier="flow")
         self._known[vertex] = value
         return value
 
@@ -270,6 +302,8 @@ class MinCutEngine:
         if table is not None:
             self._known.update(table.as_dict())
             self._store_served = len(table)
+            if self._store_served:
+                _CUT_LOOKUPS.inc(self._store_served, tier="store")
 
     def _publish(self, fresh: Dict[int, int], flow_calls: int) -> None:
         self._known.update(fresh)

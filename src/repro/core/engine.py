@@ -30,6 +30,7 @@ from typing import Deque, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.formula import (
     DEFAULT_NUM_EIGENVALUES,
     evaluate_bound_formula,
@@ -68,6 +69,10 @@ class SolveRecord:
     ``backend``/``dtype`` come from the backend registry via the cache;
     ``cache_hit`` distinguishes real eigensolves from served lookups, and
     ``solve_seconds`` is the cost of the underlying solve either way.
+    ``trace_id``/``span_id`` link the fetch into the active trace (the
+    enclosing span at fetch time) when tracing is enabled, ``None``
+    otherwise — JSON outputs carry the link instead of duplicating
+    timing fields.
     """
 
     normalized: bool
@@ -76,6 +81,8 @@ class SolveRecord:
     dtype: str
     solve_seconds: float
     cache_hit: bool
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -222,6 +229,7 @@ class BoundEngine:
         )
         if not fetched.cache_hit:
             self._eigensolves += 1
+        context = obs.current_context()
         record = SolveRecord(
             normalized=normalized,
             num_eigenvalues=h,
@@ -229,6 +237,8 @@ class BoundEngine:
             dtype=fetched.dtype,
             solve_seconds=fetched.solve_seconds,
             cache_hit=fetched.cache_hit,
+            trace_id=context.trace_id if context else None,
+            span_id=context.span_id if context else None,
         )
         (self._hit_log if fetched.cache_hit else self._miss_log).append(record)
         return fetched
@@ -248,6 +258,7 @@ class BoundEngine:
         )
         if not fetched.cache_hit:
             self._eigensolves += 1
+        context = obs.current_context()
         record = SolveRecord(
             normalized=normalized,
             num_eigenvalues=h,
@@ -255,6 +266,8 @@ class BoundEngine:
             dtype=fetched.dtype,
             solve_seconds=fetched.solve_seconds,
             cache_hit=fetched.cache_hit,
+            trace_id=context.trace_id if context else None,
+            span_id=context.span_id if context else None,
         )
         (self._hit_log if fetched.cache_hit else self._miss_log).append(record)
         return fetched

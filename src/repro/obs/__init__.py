@@ -1,0 +1,78 @@
+"""Unified observability: tracing, metrics, and profiling hooks.
+
+The three legs, all default-off or always-cheap:
+
+* :mod:`repro.obs.tracing` — span-based tracer with cross-process
+  propagation through the sweep pool; ``obs.span("eigensolve", ...)`` is
+  the instrumentation idiom and is a shared no-op object when disabled.
+* :mod:`repro.obs.metrics` — the process-global :class:`MetricsRegistry`
+  (promoted from ``repro.server.metrics``, which re-exports it); hot
+  seams record histograms/counters into :func:`global_registry`.
+* :mod:`repro.obs.profiling` — per-task cProfile capture behind
+  ``REPRO_PROFILE=1``, written next to the trace file.
+
+``python -m repro obs report trace.jsonl`` renders a collected trace
+(:mod:`repro.obs.report`).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS,
+    global_registry,
+)
+from .profiling import maybe_profile, profile_path, profiling_enabled
+from .report import build_trees, render_report, self_times
+from .tracing import (
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    configure,
+    current_context,
+    current_trace_context,
+    disable,
+    enabled,
+    get_tracer,
+    load_spans,
+    merge_shards,
+    recent_spans,
+    shard_path,
+    span,
+    worker_configure,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "global_registry",
+    # tracing
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "configure",
+    "current_context",
+    "current_trace_context",
+    "disable",
+    "enabled",
+    "get_tracer",
+    "load_spans",
+    "merge_shards",
+    "recent_spans",
+    "shard_path",
+    "span",
+    "worker_configure",
+    # profiling
+    "maybe_profile",
+    "profile_path",
+    "profiling_enabled",
+    # report
+    "build_trees",
+    "render_report",
+    "self_times",
+]

@@ -1,0 +1,44 @@
+"""Opt-in cProfile capture around traced units of work.
+
+Setting ``REPRO_PROFILE=1`` makes :func:`maybe_profile` wrap its body in
+a :class:`cProfile.Profile` and dump the stats next to the trace file as
+``<base>.profile-<tag>-<pid>.pstats`` (readable with :mod:`pstats` or
+``snakeviz``).  Any other value — including unset — keeps the wrapper a
+no-op, so the hook can sit permanently on hot paths like the pool
+worker's task execution.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["profiling_enabled", "maybe_profile", "profile_path"]
+
+ENV_VAR = "REPRO_PROFILE"
+
+
+def profiling_enabled() -> bool:
+    return os.environ.get(ENV_VAR, "") == "1"
+
+
+def profile_path(base: str, tag: str) -> str:
+    """Where the profile for one unit of work lands, unique per process."""
+    return f"{base}.profile-{tag}-{os.getpid()}.pstats"
+
+
+@contextmanager
+def maybe_profile(base: Optional[str], tag: str) -> Iterator[None]:
+    """Profile the body iff ``REPRO_PROFILE=1`` and a base path is known."""
+    if base is None or not profiling_enabled():
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(profile_path(base, tag))

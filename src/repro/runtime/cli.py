@@ -16,7 +16,17 @@ Four subcommands expose the runtime subsystem without writing any Python:
   batch queries, Prometheus ``/metrics``, admission control and in-flight
   coalescing).  Against a pre-warmed ``--store`` the whole HTTP path
   answers without a single eigensolve or max-flow call, which the CI serve
-  smoke asserts via ``repro_eigensolves_total`` / ``repro_flow_calls_total``.
+  smoke asserts via ``repro_eigensolves_total`` / ``repro_flow_calls_total``;
+* ``obs`` — observability utilities over :mod:`repro.obs`: ``obs report
+  trace.jsonl`` renders a trace (written via ``--trace`` on ``solve`` /
+  ``sweep`` / ``serve``) as a top-down span tree plus a self-time table.
+
+``--trace PATH`` on ``solve``, ``sweep`` and ``serve`` enables span-based
+tracing for the invocation and writes one JSON span per line to PATH;
+sweeps running with worker processes propagate the trace context into each
+task and fold the workers' span shards back into the same file.  Setting
+``REPRO_PROFILE=1`` additionally cProfiles each sweep task into
+``PATH.profile-<task>-<pid>.pstats``.
 
 ``solve`` and ``sweep`` take ``--solver`` (``auto``/``dense``/``sparse``/
 ``lanczos``/``power``/``lobpcg``/``amg``) and ``--dtype``
@@ -51,6 +61,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.analysis.reporting import format_table
 from repro.baselines.flow_backends import available_flow_backends
 from repro.runtime.families import FAMILY_BUILDERS, GraphSpec
@@ -107,6 +118,18 @@ def _eig_options_from_args(args: argparse.Namespace) -> Optional[EigenSolverOpti
     if solver == "auto" and dtype == "float64":
         return None
     return EigenSolverOptions(method=solver, dtype=dtype)
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL span trace to PATH (render it with "
+        "'python -m repro obs report PATH'; REPRO_PROFILE=1 adds per-task "
+        "cProfile dumps next to it)",
+    )
 
 
 def _add_mincut_arguments(parser: argparse.ArgumentParser) -> None:
@@ -188,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_arguments(solve)
     _add_mincut_arguments(solve)
     _add_store_arguments(solve)
+    _add_trace_argument(solve)
 
     sweep = sub.add_parser("sweep", help="sweep a graph family (figure workloads)")
     sweep.add_argument(
@@ -233,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_arguments(sweep)
     _add_mincut_arguments(sweep)
     _add_store_arguments(sweep)
+    _add_trace_argument(sweep)
 
     serve = sub.add_parser("serve", help="serve bounds over HTTP (repro.server)")
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -269,6 +294,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_arguments(serve)
     _add_mincut_arguments(serve)
     _add_store_arguments(serve)
+    _add_trace_argument(serve)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability utilities (render --trace output)"
+    )
+    obs_cmd.add_argument(
+        "action", choices=["report"], help="report: render a trace JSONL file"
+    )
+    obs_cmd.add_argument(
+        "trace_file", type=Path, metavar="TRACE", help="trace JSONL file to render"
+    )
 
     cache = sub.add_parser("cache", help="inspect/verify/reset the persistent spectrum store")
     cache.add_argument(
@@ -406,6 +442,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+
+    try:
+        spans = obs.load_spans(str(args.trace_file))
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such trace file: {args.trace_file}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {args.trace_file} is not valid JSONL: {exc}")
+    print(render_report(spans), end="")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     if store is None:
@@ -445,8 +494,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "obs": _cmd_obs,
     }
-    return handlers[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return handlers[args.command](args)
+    obs.configure(str(trace_path))
+    try:
+        return handlers[args.command](args)
+    finally:
+        obs.disable()  # flush + close the JSONL sink
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -51,6 +51,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 import dataclasses
 
+from repro import obs
 from repro.analysis.sweep import METHODS, SweepRow, evaluate_graph_rows
 from repro.core.engine import SolveRecord
 from repro.graphs.compgraph import ComputationGraph
@@ -186,6 +187,11 @@ class TaskRecord:
     cut_seconds: float = 0.0
     chunk_index: int = 0
     num_chunks: int = 1
+    #: Trace linkage: the id pair of this task's span when the sweep ran
+    #: with tracing enabled (``--trace``), ``None`` otherwise.  JSON output
+    #: links into the trace tree instead of duplicating timing fields.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         data = asdict(self)
@@ -222,7 +228,10 @@ class SweepReport:
         }
 
 
-# Worker payload: everything a pool worker needs, all picklable.
+# Worker payload: everything a pool worker needs, all picklable.  The trace
+# element carries the sweep span's context plus the shard base path workers
+# write their span shards next to; ``None`` keeps workers fully silent (the
+# zero-cost-when-disabled guarantee holds across the pool).
 _TaskPayload = Tuple[
     SolveTask,
     Tuple[int, ...],  # memory sizes
@@ -233,20 +242,38 @@ _TaskPayload = Tuple[
     Optional[str],  # store root
     Optional[EigenSolverOptions],
     Optional[str],  # mincut backend id
+    Optional[Tuple[obs.TraceContext, Optional[str]]],  # trace ctx + shard base
 ]
 
+# Rows, eigensolves, seconds, solve records, cut stats, task span id pair.
 _TaskOutcome = Tuple[
-    List[SweepRow], int, float, List[SolveRecord], Optional[Dict[str, object]]
+    List[SweepRow],
+    int,
+    float,
+    List[SolveRecord],
+    Optional[Dict[str, object]],
+    Optional[Tuple[str, str]],
 ]
+
+
+def _task_tag(solve_task: SolveTask) -> str:
+    """Filesystem-safe identity for per-task profile artefacts."""
+    task = solve_task.task
+    tag = f"{task.family}-{task.size_param}-{'+'.join(solve_task.methods)}"
+    if solve_task.num_chunks > 1:
+        tag += f"-c{solve_task.chunk_index}"
+    return "".join(c if c.isalnum() or c in "-+_." else "_" for c in tag)
 
 
 def _execute_task(payload: _TaskPayload) -> _TaskOutcome:
-    """Run one solve task (in a pool worker or inline) and time it.
+    """Run one solve task in a pool worker and time it.
 
     Each invocation builds its own store handles and memory cache: handles
     are not picklable/fork-safe, but the store *directory* is shared, which
     is how workers publish spectra and cut tables to each other and to later
-    runs.
+    runs.  Tracing is reconfigured per call: the inherited parent tracer is
+    always replaced (fork would share its open file), either with a per-pid
+    shard tracer re-rooted under the shipped sweep context or with nothing.
     """
     (
         solve_task,
@@ -258,35 +285,51 @@ def _execute_task(payload: _TaskPayload) -> _TaskOutcome:
         store_root,
         eig_options,
         mincut_backend,
+        trace,
     ) = payload
+    parent_context, shard_base = trace if trace is not None else (None, None)
+    obs.worker_configure(parent_context, shard_base)
     start = time.perf_counter()
     task = solve_task.task
-    graph = task.build_graph()
-    store = SpectrumStore(store_root) if store_root else None
-    cache = SpectrumCache(store=store)
-    cut_store = CutStore(store_root) if store_root else None
-    chunk = (
-        (solve_task.chunk_index, solve_task.num_chunks)
-        if solve_task.num_chunks > 1
+    with obs.span(
+        "task",
+        family=task.family,
+        size_param=task.size_param,
+        methods=list(solve_task.methods),
+        chunk_index=solve_task.chunk_index,
+        num_chunks=solve_task.num_chunks,
+    ) as task_span, obs.maybe_profile(shard_base, _task_tag(solve_task)):
+        graph = task.build_graph()
+        store = SpectrumStore(store_root) if store_root else None
+        cache = SpectrumCache(store=store)
+        cut_store = CutStore(store_root) if store_root else None
+        chunk = (
+            (solve_task.chunk_index, solve_task.num_chunks)
+            if solve_task.num_chunks > 1
+            else None
+        )
+        rows, eigensolves, records, cut_stats = evaluate_graph_rows(
+            task.family,
+            task.size_param,
+            graph,
+            memory_sizes,
+            methods=solve_task.methods,
+            num_eigenvalues=num_eigenvalues,
+            skip_infeasible=skip_infeasible,
+            convex_vertex_cap=convex_vertex_cap,
+            max_vertices=max_vertices,
+            cache=cache,
+            eig_options=eig_options,
+            mincut_backend=mincut_backend,
+            cut_store=cut_store,
+            convex_chunk=chunk,
+        )
+    span_ids = (
+        (task_span.trace_id, task_span.span_id)
+        if task_span.trace_id is not None
         else None
     )
-    rows, eigensolves, records, cut_stats = evaluate_graph_rows(
-        task.family,
-        task.size_param,
-        graph,
-        memory_sizes,
-        methods=solve_task.methods,
-        num_eigenvalues=num_eigenvalues,
-        skip_infeasible=skip_infeasible,
-        convex_vertex_cap=convex_vertex_cap,
-        max_vertices=max_vertices,
-        cache=cache,
-        eig_options=eig_options,
-        mincut_backend=mincut_backend,
-        cut_store=cut_store,
-        convex_chunk=chunk,
-    )
-    return rows, eigensolves, time.perf_counter() - start, records, cut_stats
+    return rows, eigensolves, time.perf_counter() - start, records, cut_stats, span_ids
 
 
 def _task_record(
@@ -295,7 +338,7 @@ def _task_record(
     outcome: _TaskOutcome,
     eig_options: Optional[EigenSolverOptions],
 ) -> TaskRecord:
-    _, eigensolves, seconds, records, cut_stats = outcome
+    _, eigensolves, seconds, records, cut_stats, span_ids = outcome
     solved = [r for r in records if not r.cache_hit]
     reference = solved[0] if solved else (records[0] if records else None)
     options = eig_options or EigenSolverOptions()
@@ -315,6 +358,8 @@ def _task_record(
         cut_seconds=float(cut_stats["cut_seconds"]) if cut_stats else 0.0,
         chunk_index=solve_task.chunk_index,
         num_chunks=solve_task.num_chunks,
+        trace_id=span_ids[0] if span_ids else None,
+        span_id=span_ids[1] if span_ids else None,
     )
 
 
@@ -493,11 +538,20 @@ class SweepOrchestrator:
         store_root = str(self._store.root) if self._store is not None else None
         start = time.perf_counter()
         solve_tasks = self._expand(tasks, method_tuple)
-        if self._processes == 1 or len(solve_tasks) <= 1:
-            outcomes = self._run_serial(solve_tasks, memory_tuple)
-            ranks = list(range(len(solve_tasks)))
-        else:
-            outcomes, ranks = self._run_pooled(solve_tasks, memory_tuple, store_root)
+        with obs.span(
+            "sweep",
+            num_tasks=len(solve_tasks),
+            num_graphs=len(tasks),
+            methods=list(method_tuple),
+            processes=self._processes,
+        ):
+            if self._processes == 1 or len(solve_tasks) <= 1:
+                outcomes = self._run_serial(solve_tasks, memory_tuple)
+                ranks = list(range(len(solve_tasks)))
+            else:
+                outcomes, ranks = self._run_pooled(
+                    solve_tasks, memory_tuple, store_root
+                )
         rows: List[SweepRow] = []
         eigensolves = 0
         flow_calls = 0
@@ -509,7 +563,7 @@ class SweepOrchestrator:
             # their rows merge into one logical row group.
             group = range(index, index + max(1, solve_tasks[index].num_chunks))
             for j in group:
-                _, task_solves, seconds, _, cut_stats = outcomes[j]
+                _, task_solves, seconds, _, cut_stats, _ = outcomes[j]
                 eigensolves += task_solves
                 per_task_seconds.append(seconds)
                 if cut_stats is not None:
@@ -580,6 +634,7 @@ class SweepOrchestrator:
         solve_task: SolveTask,
         memory_sizes: Tuple[int, ...],
         store_root: Optional[str],
+        trace: Optional[Tuple[obs.TraceContext, Optional[str]]],
     ) -> _TaskPayload:
         return (
             solve_task,
@@ -591,6 +646,7 @@ class SweepOrchestrator:
             store_root,
             self._eig_options,
             self._mincut_backend,
+            trace,
         )
 
     def _run_pooled(
@@ -616,16 +672,30 @@ class SweepOrchestrator:
         workers = min(self._processes, len(solve_tasks))
         outcomes: List[Optional[_TaskOutcome]] = [None] * len(solve_tasks)
         initializer = pin_worker_blas_threads if self._pin_blas else None
-        with ProcessPoolExecutor(max_workers=workers, initializer=initializer) as pool:
-            futures = {
-                index: pool.submit(
-                    _execute_task,
-                    self._payload(solve_tasks[index], memory_sizes, store_root),
-                )
-                for index in order
-            }
-            for index, future in futures.items():
-                outcomes[index] = future.result()
+        # Ship the sweep span's context so workers re-root under it; after
+        # the pool drains (even on task failure), fold the per-pid span
+        # shards into the main trace file so one sweep reads as one tree.
+        tracer = obs.get_tracer()
+        context = obs.current_context()
+        trace = (context, tracer.path) if tracer is not None and context else None
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=initializer
+            ) as pool:
+                futures = {
+                    index: pool.submit(
+                        _execute_task,
+                        self._payload(
+                            solve_tasks[index], memory_sizes, store_root, trace
+                        ),
+                    )
+                    for index in order
+                }
+                for index, future in futures.items():
+                    outcomes[index] = future.result()
+        finally:
+            if trace is not None and trace[1] is not None:
+                obs.merge_shards(trace[1], trace[1])
         return outcomes, ranks
 
     def _run_serial(
@@ -645,38 +715,53 @@ class SweepOrchestrator:
         )
         outcomes: List[_TaskOutcome] = []
         built: Tuple[Optional[SweepTask], Optional[ComputationGraph]] = (None, None)
+        tracer = obs.get_tracer()
+        profile_base = tracer.path if tracer is not None else None
         for solve_task in solve_tasks:
             start = time.perf_counter()
             task = solve_task.task
-            # Method-split tasks of one graph are adjacent (expansion order):
-            # build the graph once and reuse it for its siblings.
-            if built[0] is task:
-                graph = built[1]
-            else:
-                graph = task.build_graph()
-                built = (task, graph)
-            chunk = (
-                (solve_task.chunk_index, solve_task.num_chunks)
-                if solve_task.num_chunks > 1
+            with obs.span(
+                "task",
+                family=task.family,
+                size_param=task.size_param,
+                methods=list(solve_task.methods),
+                chunk_index=solve_task.chunk_index,
+                num_chunks=solve_task.num_chunks,
+            ) as task_span, obs.maybe_profile(profile_base, _task_tag(solve_task)):
+                # Method-split tasks of one graph are adjacent (expansion
+                # order): build the graph once and reuse it for its siblings.
+                if built[0] is task:
+                    graph = built[1]
+                else:
+                    graph = task.build_graph()
+                    built = (task, graph)
+                chunk = (
+                    (solve_task.chunk_index, solve_task.num_chunks)
+                    if solve_task.num_chunks > 1
+                    else None
+                )
+                rows, solves, records, cut_stats = evaluate_graph_rows(
+                    task.family,
+                    task.size_param,
+                    graph,
+                    memory_sizes,
+                    methods=solve_task.methods,
+                    num_eigenvalues=self._num_eigenvalues,
+                    skip_infeasible=self._skip_infeasible,
+                    convex_vertex_cap=self._convex_vertex_cap,
+                    max_vertices=self._max_vertices,
+                    cache=cache,
+                    eig_options=self._eig_options,
+                    mincut_backend=self._mincut_backend,
+                    cut_store=self._cut_store,
+                    convex_chunk=chunk,
+                )
+            span_ids = (
+                (task_span.trace_id, task_span.span_id)
+                if task_span.trace_id is not None
                 else None
             )
-            rows, solves, records, cut_stats = evaluate_graph_rows(
-                task.family,
-                task.size_param,
-                graph,
-                memory_sizes,
-                methods=solve_task.methods,
-                num_eigenvalues=self._num_eigenvalues,
-                skip_infeasible=self._skip_infeasible,
-                convex_vertex_cap=self._convex_vertex_cap,
-                max_vertices=self._max_vertices,
-                cache=cache,
-                eig_options=self._eig_options,
-                mincut_backend=self._mincut_backend,
-                cut_store=self._cut_store,
-                convex_chunk=chunk,
-            )
             outcomes.append(
-                (rows, solves, time.perf_counter() - start, records, cut_stats)
+                (rows, solves, time.perf_counter() - start, records, cut_stats, span_ids)
             )
         return outcomes

@@ -18,6 +18,7 @@ JSON-decodes requests into :class:`BoundQuery` objects and calls
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import OrderedDict
@@ -25,6 +26,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.baselines.convex_mincut import MinCutEngine
 from repro.core.engine import BoundEngine
 from repro.graphs.compgraph import ComputationGraph
@@ -88,6 +90,12 @@ class BoundAnswer:
     queries; ``bound`` then equals ``bound_lo``, the certified-safe end of
     the interval, so consumers that only read ``bound`` keep a valid lower
     bound regardless of the method.
+
+    ``trace_id`` links the answer to the query span that produced it when
+    tracing is enabled.  ``served_by_trace_id`` marks coalesced followers:
+    the answer was computed once by a leader request (whose trace id this
+    is) and fanned out, so the follower's ``eig_elapsed_seconds`` is
+    reported as 0.0 — the solve time is counted once, on the leader.
     """
 
     graph: str
@@ -102,6 +110,8 @@ class BoundAnswer:
     eig_elapsed_seconds: float
     bound_lo: Optional[float] = None
     bound_hi: Optional[float] = None
+    trace_id: Optional[str] = None
+    served_by_trace_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -227,6 +237,18 @@ class BoundService:
     # internals
     # ------------------------------------------------------------------
     def _answer(self, query: BoundQuery) -> BoundAnswer:
+        with obs.span(
+            "query",
+            method=query.method,
+            memory_size=int(query.memory_size),
+            normalization=query.normalization,
+        ) as active:
+            answer = self._answer_inner(query)
+        if active.trace_id is not None:
+            answer = dataclasses.replace(answer, trace_id=active.trace_id)
+        return answer
+
+    def _answer_inner(self, query: BoundQuery) -> BoundAnswer:
         if query.method == "convex-min-cut":
             return self._answer_mincut(query)
         if query.method not in ("spectral", "spectral-coarse"):

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import functools
 import hashlib
 import json
 import os
@@ -46,7 +47,33 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs.metrics import global_registry
 from repro.solvers.backend import EigenSolverOptions
+
+_STORE_IO_SECONDS = global_registry().histogram(
+    "repro_store_io_seconds",
+    "Wall-clock latency of persistent store operations.",
+    labelnames=("store", "op"),
+)
+
+
+def _timed_io(store: str, op: str):
+    """Observe the wrapped store method's latency into the I/O histogram."""
+
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _STORE_IO_SECONDS.observe(
+                    time.perf_counter() - start, store=store, op=op
+                )
+
+        return inner
+
+    return wrap
 
 __all__ = [
     "StoredSpectrum",
@@ -265,6 +292,7 @@ class SpectrumStore:
     # ------------------------------------------------------------------
     # lookup / publish
     # ------------------------------------------------------------------
+    @_timed_io("spectrum", "get")
     def get(
         self,
         fingerprint: str,
@@ -341,6 +369,7 @@ class SpectrumStore:
             self._misses += 1
         return None
 
+    @_timed_io("spectrum", "put")
     def put(
         self,
         fingerprint: str,
@@ -791,6 +820,7 @@ class CutStore:
     # ------------------------------------------------------------------
     # lookup / publish
     # ------------------------------------------------------------------
+    @_timed_io("cut", "get")
     def get(self, fingerprint: str) -> Optional[StoredCutTable]:
         """Load the stored cut table for a graph fingerprint, or ``None``."""
         table = self._load(fingerprint)
@@ -821,6 +851,7 @@ class CutStore:
         values.flags.writeable = False
         return StoredCutTable(vertices, values)
 
+    @_timed_io("cut", "merge")
     def merge(
         self,
         fingerprint: str,

@@ -30,13 +30,16 @@ unexpected to 500.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 import time
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.runtime.service import BoundService
-from repro.server.metrics import MetricsRegistry
+from repro import obs
+from repro.runtime.service import BoundAnswer, BoundService
+from repro.server.metrics import MetricsRegistry, global_registry
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     DecodedQuery,
@@ -46,8 +49,34 @@ from repro.server.protocol import (
     encode_answers,
     encode_error,
 )
+from repro.utils.logging import get_logger
 
-__all__ = ["BoundsApp", "ServerOverloadedError", "MAX_BODY_BYTES"]
+__all__ = [
+    "BoundsApp",
+    "ServerOverloadedError",
+    "MAX_BODY_BYTES",
+    "SLOW_QUERY_ENV_VAR",
+]
+
+#: Requests slower than this many seconds are logged (and counted in
+#: ``repro_slow_queries_total``); unset/unparsable disables the log.
+SLOW_QUERY_ENV_VAR = "REPRO_SLOW_QUERY_SECONDS"
+
+_SLOW_QUERIES = global_registry().counter(
+    "repro_slow_queries_total",
+    "HTTP requests slower than the REPRO_SLOW_QUERY_SECONDS threshold.",
+)
+
+
+def _slow_query_threshold() -> Optional[float]:
+    raw = os.environ.get(SLOW_QUERY_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
 
 #: Request bodies beyond this are rejected before JSON parsing (an inline
 #: edge list at this size is ~4M edges — send an .npz to the operator
@@ -122,6 +151,8 @@ class BoundsApp:
         self._admission = admission
         self._coalescer = coalescer
         self._solve_timeout = solve_timeout_seconds
+        self._slow_query_seconds = _slow_query_threshold()
+        self._slow_log = get_logger("server.slow")
         self._started = time.time()
         self._routes = {
             "/v1/bounds": ("bounds", self._handle_bounds, {"POST"}),
@@ -217,30 +248,32 @@ class BoundsApp:
         start = time.perf_counter()
         endpoint, handler, allowed = self._route(path)
         extra_headers: List[Tuple[str, str]] = []
-        if handler is None:
-            status, body = 404, encode_error(f"no such endpoint: {path}", "not-found")
-        elif method not in allowed:
-            extra_headers.append(("Allow", ", ".join(sorted(allowed))))
-            status, body = 405, encode_error(
-                f"{method} is not supported on {path}", "method-not-allowed"
-            )
-        else:
-            try:
-                status, body, extra_headers = handler(environ)
-            except ProtocolError as exc:
-                status, body = exc.status, encode_error(exc.message, exc.code, exc.detail)
-            except ServerOverloadedError as exc:
-                retry_after = max(1, int(round(exc.retry_after_seconds)))
-                extra_headers = [("Retry-After", str(retry_after))]
-                status, body = 429, encode_error(str(exc), "overloaded")
-            except TimeoutError as exc:
-                status, body = 503, encode_error(str(exc), "solve-timeout")
-            except ValueError as exc:
-                status, body = 400, encode_error(str(exc), "invalid-query")
-            except Exception as exc:  # noqa: BLE001 - the server must answer
-                status, body = 500, encode_error(
-                    f"{type(exc).__name__}: {exc}", "internal-error"
+        with obs.span("http_request", endpoint=endpoint, method=method) as request_span:
+            if handler is None:
+                status, body = 404, encode_error(f"no such endpoint: {path}", "not-found")
+            elif method not in allowed:
+                extra_headers.append(("Allow", ", ".join(sorted(allowed))))
+                status, body = 405, encode_error(
+                    f"{method} is not supported on {path}", "method-not-allowed"
                 )
+            else:
+                try:
+                    status, body, extra_headers = handler(environ)
+                except ProtocolError as exc:
+                    status, body = exc.status, encode_error(exc.message, exc.code, exc.detail)
+                except ServerOverloadedError as exc:
+                    retry_after = max(1, int(round(exc.retry_after_seconds)))
+                    extra_headers = [("Retry-After", str(retry_after))]
+                    status, body = 429, encode_error(str(exc), "overloaded")
+                except TimeoutError as exc:
+                    status, body = 503, encode_error(str(exc), "solve-timeout")
+                except ValueError as exc:
+                    status, body = 400, encode_error(str(exc), "invalid-query")
+                except Exception as exc:  # noqa: BLE001 - the server must answer
+                    status, body = 500, encode_error(
+                        f"{type(exc).__name__}: {exc}", "internal-error"
+                    )
+            request_span.set_attr(status_code=status)
         if isinstance(body, (dict, list)):
             raw = json.dumps(body).encode("utf-8")
             content_type = "application/json"
@@ -257,6 +290,19 @@ class BoundsApp:
             ("Content-Type", content_type),
             ("Content-Length", str(len(raw))),
         ] + list(extra_headers)
+        if request_span.trace_id is not None:
+            headers.append(("X-Repro-Trace-Id", request_span.trace_id))
+        if self._slow_query_seconds is not None and elapsed >= self._slow_query_seconds:
+            _SLOW_QUERIES.inc()
+            self._slow_log.warning(
+                "slow query: %s %s -> %d in %.3fs (threshold %.3fs, trace_id=%s)",
+                method,
+                path,
+                status,
+                elapsed,
+                self._slow_query_seconds,
+                request_span.trace_id or "-",
+            )
         start_response(f"{status} {_REASONS.get(status, 'Unknown')}", headers)
         return [raw]
 
@@ -275,7 +321,14 @@ class BoundsApp:
         return 200, body, []
 
     def _handle_metrics(self, environ):
-        return 200, self._metrics.render(), []
+        # Per-server metrics (request counters, callback gauges) plus the
+        # process-global registry (eigensolve/cache/flow instrumentation
+        # from repro.obs) in one exposition.
+        text = self._metrics.render()
+        shared = global_registry()
+        if shared is not self._metrics:
+            text += shared.render()
+        return 200, text, []
 
     def _handle_stats(self, environ):
         body: Dict[str, object] = {
@@ -372,8 +425,18 @@ class BoundsApp:
                     if key not in settled:
                         self._coalescer.fail(claims[key][0], exc)
                 raise
-        results = {
-            key: ticket.wait(self._solve_timeout)
-            for key, (ticket, _) in claims.items()
-        }
+        results = {}
+        for key, (ticket, is_leader) in claims.items():
+            answer = ticket.wait(self._solve_timeout)
+            if not is_leader and isinstance(answer, BoundAnswer):
+                # Followers rode the leader's in-flight solve: point at the
+                # trace that actually did the work and zero the eigensolve
+                # time so aggregating eig_elapsed_seconds over answers
+                # counts each solve exactly once.
+                answer = dataclasses.replace(
+                    answer,
+                    served_by_trace_id=answer.trace_id,
+                    eig_elapsed_seconds=0.0,
+                )
+            results[key] = answer
         return [results[item.key] for item in decoded]

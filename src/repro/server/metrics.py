@@ -1,29 +1,20 @@
-"""Thread-safe metrics registry with Prometheus text rendering.
+"""Compatibility shim: the metrics machinery moved to :mod:`repro.obs.metrics`.
 
-Pure stdlib, deliberately small: counters, gauges and latency histograms,
-each optionally labelled, rendered in the Prometheus text exposition
-format (``GET /metrics``) and snapshot-able as JSON (``GET /v1/stats``).
-
-Two kinds of values coexist:
-
-* **owned** metrics, mutated by the serving layer itself (request counts,
-  latency histograms, admission rejections);
-* **passthrough** metrics, read at scrape time from a callback — this is
-  how the service-level eigensolve / flow-call / cache-hit counters that
-  live inside :class:`~repro.runtime.service.BoundService` become visible
-  over the wire without double-counting, and what makes warm-store
-  zero-solve behaviour observable (``repro_eigensolves_total`` staying at
-  0 across a whole load run *is* the serving-layer cache contract).
-
-Every mutation takes one lock held for a few dict operations; scrape-time
-callbacks run outside it.
+Everything that used to live here — :class:`Counter`, :class:`Gauge`,
+:class:`Histogram`, :class:`MetricsRegistry`, the latency buckets — is
+re-exported unchanged so existing imports keep working.  New code should
+import from :mod:`repro.obs` and record process-wide metrics into
+:func:`repro.obs.global_registry`.
 """
 
-from __future__ import annotations
-
-import threading
-from bisect import bisect_left
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS,
+    global_registry,
+)
 
 __all__ = [
     "Counter",
@@ -31,302 +22,5 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "global_registry",
 ]
-
-#: Histogram bucket upper bounds (seconds) spanning warm in-memory answers
-#: (sub-millisecond) to cold paper-scale eigensolves.
-DEFAULT_LATENCY_BUCKETS = (
-    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
-)
-
-
-def _format_value(value: float) -> str:
-    if value == float("inf"):
-        return "+Inf"
-    as_int = int(value)
-    return str(as_int) if value == as_int else repr(float(value))
-
-
-def _format_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
-    if not labelnames:
-        return ""
-    escaped = (
-        str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
-        for value in labelvalues
-    )
-    pairs = ",".join(
-        f'{name}="{value}"' for name, value in zip(labelnames, escaped)
-    )
-    return "{" + pairs + "}"
-
-
-class _Metric:
-    """Shared bookkeeping: name, help text, label schema, value store."""
-
-    kind = "untyped"
-
-    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
-        self.name = name
-        self.help_text = help_text
-        self.labelnames = tuple(labelnames)
-        self._lock = threading.Lock()
-        self._values: Dict[Tuple[str, ...], float] = {}
-
-    def _label_key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
-        if set(labels) != set(self.labelnames):
-            raise ValueError(
-                f"metric {self.name!r} takes labels {self.labelnames}, "
-                f"got {tuple(sorted(labels))}"
-            )
-        return tuple(str(labels[name]) for name in self.labelnames)
-
-    def value(self, **labels: str) -> float:
-        """Current value of one label combination (0 if never touched)."""
-        with self._lock:
-            return self._values.get(self._label_key(labels), 0.0)
-
-    def total(self) -> float:
-        """Sum over every label combination."""
-        with self._lock:
-            return sum(self._values.values())
-
-    def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
-        with self._lock:
-            return sorted(self._values.items())
-
-    def render(self) -> List[str]:
-        lines = [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} {self.kind}",
-        ]
-        entries = self.samples() or ([((), 0.0)] if not self.labelnames else [])
-        for labelvalues, value in entries:
-            labels = _format_labels(self.labelnames, labelvalues)
-            lines.append(f"{self.name}{labels} {_format_value(value)}")
-        return lines
-
-
-class Counter(_Metric):
-    """A monotonically increasing count, or a callback-backed passthrough."""
-
-    kind = "counter"
-
-    def __init__(
-        self,
-        name: str,
-        help_text: str,
-        labelnames: Sequence[str] = (),
-        callback: Optional[Callable[[], float]] = None,
-    ) -> None:
-        if callback is not None and labelnames:
-            raise ValueError("callback counters cannot carry labels")
-        super().__init__(name, help_text, labelnames)
-        self._callback = callback
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        if self._callback is not None:
-            raise ValueError(f"counter {self.name!r} is callback-backed")
-        if amount < 0:
-            raise ValueError(f"counters only go up, got {amount}")
-        key = self._label_key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
-        if self._callback is not None:
-            return [((), float(self._callback()))]
-        return super().samples()
-
-    def total(self) -> float:
-        if self._callback is not None:
-            return float(self._callback())
-        return super().total()
-
-
-class Gauge(_Metric):
-    """A value that can go up and down, or a callback-backed passthrough."""
-
-    kind = "gauge"
-
-    def __init__(
-        self,
-        name: str,
-        help_text: str,
-        labelnames: Sequence[str] = (),
-        callback: Optional[Callable[[], float]] = None,
-    ) -> None:
-        if callback is not None and labelnames:
-            raise ValueError("callback gauges cannot carry labels")
-        super().__init__(name, help_text, labelnames)
-        self._callback = callback
-
-    def set(self, value: float, **labels: str) -> None:
-        if self._callback is not None:
-            raise ValueError(f"gauge {self.name!r} is callback-backed")
-        key = self._label_key(labels)
-        with self._lock:
-            self._values[key] = float(value)
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        if self._callback is not None:
-            raise ValueError(f"gauge {self.name!r} is callback-backed")
-        key = self._label_key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def dec(self, amount: float = 1.0, **labels: str) -> None:
-        self.inc(-amount, **labels)
-
-    def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
-        if self._callback is not None:
-            return [((), float(self._callback()))]
-        return super().samples()
-
-    def total(self) -> float:
-        if self._callback is not None:
-            return float(self._callback())
-        return super().total()
-
-
-class Histogram(_Metric):
-    """A latency distribution with cumulative Prometheus buckets."""
-
-    kind = "histogram"
-
-    def __init__(
-        self,
-        name: str,
-        help_text: str,
-        labelnames: Sequence[str] = (),
-        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
-    ) -> None:
-        super().__init__(name, help_text, labelnames)
-        self.buckets = tuple(sorted(buckets))
-        if not self.buckets:
-            raise ValueError("a histogram needs at least one bucket")
-        # Per label key: [per-bucket counts..., +Inf count], sum.
-        self._counts: Dict[Tuple[str, ...], List[int]] = {}
-        self._sums: Dict[Tuple[str, ...], float] = {}
-
-    def observe(self, value: float, **labels: str) -> None:
-        key = self._label_key(labels)
-        index = bisect_left(self.buckets, value)
-        with self._lock:
-            counts = self._counts.get(key)
-            if counts is None:
-                counts = self._counts[key] = [0] * (len(self.buckets) + 1)
-                self._sums[key] = 0.0
-            counts[index] += 1
-            self._sums[key] += value
-
-    def count(self, **labels: str) -> int:
-        """Number of observations for one label combination."""
-        with self._lock:
-            return sum(self._counts.get(self._label_key(labels), ()))
-
-    def total(self) -> float:
-        with self._lock:
-            return float(sum(sum(counts) for counts in self._counts.values()))
-
-    def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
-        with self._lock:
-            return sorted(
-                (key, float(sum(counts))) for key, counts in self._counts.items()
-            )
-
-    def render(self) -> List[str]:
-        lines = [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} {self.kind}",
-        ]
-        with self._lock:
-            items = sorted(self._counts.items())
-            sums = dict(self._sums)
-        for labelvalues, counts in items:
-            cumulative = 0
-            for upper, count in zip(self.buckets + (float("inf"),), counts):
-                cumulative += count
-                labels = _format_labels(
-                    self.labelnames + ("le",),
-                    labelvalues + (_format_value(upper),),
-                )
-                lines.append(f"{self.name}_bucket{labels} {cumulative}")
-            labels = _format_labels(self.labelnames, labelvalues)
-            lines.append(f"{self.name}_sum{labels} {repr(sums[labelvalues])}")
-            lines.append(f"{self.name}_count{labels} {cumulative}")
-        return lines
-
-
-class MetricsRegistry:
-    """All metrics of one server, creatable once and rendered together."""
-
-    def __init__(self) -> None:
-        self._metrics: "Dict[str, _Metric]" = {}
-        self._lock = threading.Lock()
-
-    def _register(self, metric: _Metric) -> _Metric:
-        with self._lock:
-            existing = self._metrics.get(metric.name)
-            if existing is not None:
-                if type(existing) is not type(metric) or (
-                    existing.labelnames != metric.labelnames
-                ):
-                    raise ValueError(
-                        f"metric {metric.name!r} already registered with a "
-                        f"different kind or label schema"
-                    )
-                return existing
-            self._metrics[metric.name] = metric
-            return metric
-
-    def counter(
-        self,
-        name: str,
-        help_text: str,
-        labelnames: Sequence[str] = (),
-        callback: Optional[Callable[[], float]] = None,
-    ) -> Counter:
-        metric = self._register(Counter(name, help_text, labelnames, callback))
-        assert isinstance(metric, Counter)
-        return metric
-
-    def gauge(
-        self,
-        name: str,
-        help_text: str,
-        labelnames: Sequence[str] = (),
-        callback: Optional[Callable[[], float]] = None,
-    ) -> Gauge:
-        metric = self._register(Gauge(name, help_text, labelnames, callback))
-        assert isinstance(metric, Gauge)
-        return metric
-
-    def histogram(
-        self,
-        name: str,
-        help_text: str,
-        labelnames: Sequence[str] = (),
-        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
-    ) -> Histogram:
-        metric = self._register(Histogram(name, help_text, labelnames, buckets))
-        assert isinstance(metric, Histogram)
-        return metric
-
-    def get(self, name: str) -> Optional[_Metric]:
-        with self._lock:
-            return self._metrics.get(name)
-
-    def render(self) -> str:
-        """The full Prometheus text exposition (``GET /metrics``)."""
-        with self._lock:
-            metrics = [self._metrics[name] for name in sorted(self._metrics)]
-        lines: List[str] = []
-        for metric in metrics:
-            lines.extend(metric.render())
-        return "\n".join(lines) + "\n"
-
-    def snapshot(self) -> Dict[str, float]:
-        """Per-metric totals as JSON-friendly numbers (``GET /v1/stats``)."""
-        with self._lock:
-            metrics = list(self._metrics.values())
-        return {metric.name: metric.total() for metric in metrics}

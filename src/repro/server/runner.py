@@ -25,11 +25,13 @@ concurrency policies the app itself stays agnostic of:
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from socketserver import ThreadingMixIn
 from typing import Dict, Optional, Tuple
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
+from repro.obs.metrics import global_registry
 from repro.runtime.service import BoundService
 from repro.server.app import BoundsApp, ServerOverloadedError
 from repro.server.metrics import MetricsRegistry
@@ -45,6 +47,16 @@ __all__ = [
 DEFAULT_MAX_IN_FLIGHT = 4
 DEFAULT_MAX_QUEUE = 16
 DEFAULT_RETRY_AFTER_SECONDS = 1
+
+_ADMISSION_WAIT_SECONDS = global_registry().histogram(
+    "repro_admission_wait_seconds",
+    "Time admitted solve batches spent waiting for an admission slot.",
+)
+_COALESCE_TOTAL = global_registry().counter(
+    "repro_coalesce_total",
+    "Coalescer claims by role: leaders run the solve, followers wait on it.",
+    labelnames=("role",),
+)
 
 
 class AdmissionController:
@@ -114,6 +126,7 @@ class AdmissionController:
             ):
                 self._in_flight += 1
                 self._admitted += 1
+                _ADMISSION_WAIT_SECONDS.observe(0.0)
                 return
             if self._queued >= self.max_queue:
                 self._rejected += 1
@@ -122,6 +135,7 @@ class AdmissionController:
                     f"queued; retry after {self.retry_after_seconds}s",
                     self.retry_after_seconds,
                 )
+            wait_start = time.perf_counter()
             self._queued += 1
             try:
                 while self._handoffs == 0 and self._in_flight >= self.max_in_flight:
@@ -133,6 +147,7 @@ class AdmissionController:
             else:
                 self._in_flight += 1
             self._admitted += 1
+            _ADMISSION_WAIT_SECONDS.observe(time.perf_counter() - wait_start)
 
     def release(self) -> None:
         with self._condition:
@@ -223,10 +238,12 @@ class QueryCoalescer:
             ticket = self._in_flight.get(key)
             if ticket is not None:
                 self._coalesced += 1
+                _COALESCE_TOTAL.inc(role="follower")
                 return ticket, False
             ticket = SolveTicket(key)
             self._in_flight[key] = ticket
             self._leaders += 1
+            _COALESCE_TOTAL.inc(role="leader")
             return ticket, True
 
     def resolve(self, ticket: SolveTicket, value) -> None:

@@ -41,6 +41,13 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs.metrics import global_registry
+
+_AMG_CYCLES = global_registry().counter(
+    "repro_amg_cycles_total",
+    "Top-level AMG V-cycles applied (one per preconditioner matvec/matmat).",
+)
+
 __all__ = [
     "AMGLevel",
     "SmoothedAggregationPreconditioner",
@@ -296,9 +303,11 @@ class SmoothedAggregationPreconditioner(spla.LinearOperator):
         return x + scale * (diag_inv * residual)
 
     def _matvec(self, x: np.ndarray) -> np.ndarray:
+        _AMG_CYCLES.inc()
         return self._cycle(0, np.asarray(x, dtype=np.float64).ravel())
 
     def _matmat(self, x: np.ndarray) -> np.ndarray:
+        _AMG_CYCLES.inc()
         return self._cycle(0, np.asarray(x, dtype=np.float64))
 
     def _adjoint(self) -> "SmoothedAggregationPreconditioner":

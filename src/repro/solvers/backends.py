@@ -33,6 +33,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 from scipy.linalg import LinAlgWarning
 
+from repro.obs.metrics import global_registry
 from repro.solvers.amg import smoothed_aggregation_preconditioner
 from repro.solvers.dense import dense_smallest_eigenvalues
 from repro.solvers.lanczos import lanczos_smallest_eigenvalues
@@ -55,6 +56,12 @@ __all__ = [
 ]
 
 MatrixLike = Union[np.ndarray, sp.spmatrix, spla.LinearOperator]
+
+_BACKEND_SOLVES = global_registry().counter(
+    "repro_backend_solves_total",
+    "Backend-level eigensolves by resolved backend id and warm-start use.",
+    labelnames=("backend", "warm"),
+)
 
 #: Environment escape hatch: when set (and the caller asked for ``auto``),
 #: every solve routes to this backend id.  Mirrors ``REPRO_MINCUT_BACKEND``.
@@ -707,6 +714,9 @@ def solve_smallest(
     values[np.abs(values) < clamp] = 0.0
     values[values < 0.0] = 0.0
     values = np.sort(values)
+    _BACKEND_SOLVES.inc(
+        backend=result.backend, warm="yes" if result.warm_started else "no"
+    )
     return BackendSolveResult(
         values, result.eigenvectors, result.backend, result.warm_started
     )

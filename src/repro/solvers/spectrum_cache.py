@@ -50,6 +50,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.runtime.store import SpectrumStore
 
+from repro import obs
 from repro.graphs.compgraph import ComputationGraph
 from repro.graphs.laplacian import laplacian, laplacian_operator
 from repro.solvers.backend import EigenSolverOptions
@@ -71,6 +72,17 @@ __all__ = [
 #: Graphs larger than this default to sparse Laplacian assembly (mirrors the
 #: heuristic the bound functions have always used).
 SPARSE_CUTOFF = 2000
+
+_EIG_SECONDS = obs.global_registry().histogram(
+    "repro_eigensolve_seconds",
+    "Wall-clock latency of real eigensolves (cache misses only).",
+    labelnames=("backend", "dtype"),
+)
+_SPECTRUM_LOOKUPS = obs.global_registry().counter(
+    "repro_spectrum_lookups_total",
+    "Spectrum fetches by serving tier (memory/store hit vs fresh solve).",
+    labelnames=("tier",),
+)
 
 
 @dataclass(frozen=True)
@@ -263,6 +275,7 @@ class SpectrumCache:
             if found is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                _SPECTRUM_LOOKUPS.inc(tier="memory")
                 return CachedSpectrum(found[0], found[1], True, found[2], dtype)
             # Prefix serving: any cached spectrum of the same graph /
             # normalisation / assembly / options with h' >= h contains the
@@ -271,6 +284,7 @@ class SpectrumCache:
                 if other_key[:4] == base_key and other_key[4] >= h:
                     self._entries.move_to_end(other_key)
                     self._hits += 1
+                    _SPECTRUM_LOOKUPS.inc(tier="memory")
                     prefix = values[:h]
                     prefix.flags.writeable = False
                     return CachedSpectrum(prefix, solve_seconds, True, backend, dtype)
@@ -307,6 +321,7 @@ class SpectrumCache:
                         self._entries.popitem(last=False)
                     self._hits += 1
                     self._store_hits += 1
+                _SPECTRUM_LOOKUPS.inc(tier="store")
                 prefix = stored.eigenvalues[:h]
                 prefix.flags.writeable = False
                 return CachedSpectrum(prefix, stored.solve_seconds, True, stored.backend, dtype)
@@ -337,6 +352,7 @@ class SpectrumCache:
             self._misses += 1
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
+        _SPECTRUM_LOOKUPS.inc(tier="solve")
         return CachedSpectrum(values, solve_seconds, False, backend, dtype)
 
     def _solve(
@@ -348,30 +364,39 @@ class SpectrumCache:
         use_sparse: bool,
         lineage: Optional[str],
     ) -> Tuple[np.ndarray, float, str]:
-        start = time.perf_counter()
-        # Sparse assembly hands backends the matrix-free LaplacianOperator:
-        # matvec-only backends (lanczos, amg's LOBPCG loop) never see an
-        # explicit Laplacian, and those needing entries lower it themselves
-        # at O(m).  The spectra are identical, so cache keys are unchanged.
-        if use_sparse:
-            lap = laplacian_operator(graph, normalized=normalized)
-        else:
-            lap = laplacian(graph, normalized=normalized, sparse=False)
-        result = solve_smallest(
-            lap,
-            h,
-            options,
-            warm_start=self._warm_start,
-            lineage=lineage,
-            normalized=normalized,
-        )
-        values = result.eigenvalues
-        if not normalized:
-            max_out = graph.freeze().max_out_degree
-            values = values / max_out if max_out else values * 0.0
-        values = np.ascontiguousarray(values, dtype=np.float64)
-        values.flags.writeable = False
-        return values, time.perf_counter() - start, result.backend
+        with obs.span(
+            "eigensolve",
+            fingerprint=graph.fingerprint() if obs.enabled() else None,
+            h=h,
+            dtype=options.dtype,
+        ) as active:
+            start = time.perf_counter()
+            # Sparse assembly hands backends the matrix-free LaplacianOperator:
+            # matvec-only backends (lanczos, amg's LOBPCG loop) never see an
+            # explicit Laplacian, and those needing entries lower it themselves
+            # at O(m).  The spectra are identical, so cache keys are unchanged.
+            if use_sparse:
+                lap = laplacian_operator(graph, normalized=normalized)
+            else:
+                lap = laplacian(graph, normalized=normalized, sparse=False)
+            result = solve_smallest(
+                lap,
+                h,
+                options,
+                warm_start=self._warm_start,
+                lineage=lineage,
+                normalized=normalized,
+            )
+            values = result.eigenvalues
+            if not normalized:
+                max_out = graph.freeze().max_out_degree
+                values = values / max_out if max_out else values * 0.0
+            values = np.ascontiguousarray(values, dtype=np.float64)
+            values.flags.writeable = False
+            elapsed = time.perf_counter() - start
+            active.set_attr(backend=result.backend)
+            _EIG_SECONDS.observe(elapsed, backend=result.backend, dtype=options.dtype)
+            return values, elapsed, result.backend
 
     # ------------------------------------------------------------------
     # certified interval lookup (coarsened spectra)
@@ -428,11 +453,13 @@ class SpectrumCache:
             if found is not None:
                 self._interval_entries.move_to_end(key)
                 self._hits += 1
+                _SPECTRUM_LOOKUPS.inc(tier="memory")
                 return _result(found[0], found[1], found[2], True, found[3])
             for other_key, (lower, upper, seconds, backend) in self._interval_entries.items():
                 if other_key[:5] == base_key and other_key[5] >= h:
                     self._interval_entries.move_to_end(other_key)
                     self._hits += 1
+                    _SPECTRUM_LOOKUPS.inc(tier="memory")
                     lo, up = lower[:h], upper[:h]
                     lo.flags.writeable = False
                     up.flags.writeable = False
@@ -466,36 +493,46 @@ class SpectrumCache:
                         self._interval_entries.popitem(last=False)
                     self._hits += 1
                     self._store_hits += 1
+                _SPECTRUM_LOOKUPS.inc(tier="store")
                 lo, up = lower[:h], upper[:h]
                 lo.flags.writeable = False
                 up.flags.writeable = False
                 return _result(lo, up, stored.solve_seconds, True, stored.backend)
 
-        start = time.perf_counter()
-        if use_sparse:
-            lap = laplacian_operator(graph, normalized=normalized)
-        else:
-            lap = laplacian(graph, normalized=normalized, sparse=False)
-        interval = certified_interval_spectrum(
-            lap,
-            h,
-            options,
-            ratio=ratio,
-            seed=coarsen_seed,
-            warm_start=self._warm_start,
-            lineage=lineage,
-            normalized=normalized,
-        )
-        lower, upper = interval.lower, interval.upper
-        if not normalized:
-            max_out = graph.freeze().max_out_degree
-            scale = 1.0 / max_out if max_out else 0.0
-            lower, upper = lower * scale, upper * scale
-        lower = np.ascontiguousarray(lower, dtype=np.float64)
-        upper = np.ascontiguousarray(upper, dtype=np.float64)
-        lower.flags.writeable = False
-        upper.flags.writeable = False
-        solve_seconds = time.perf_counter() - start
+        with obs.span(
+            "eigensolve",
+            fingerprint=graph.fingerprint() if obs.enabled() else None,
+            h=h,
+            dtype=options.dtype,
+            coarse=True,
+        ) as active:
+            start = time.perf_counter()
+            if use_sparse:
+                lap = laplacian_operator(graph, normalized=normalized)
+            else:
+                lap = laplacian(graph, normalized=normalized, sparse=False)
+            interval = certified_interval_spectrum(
+                lap,
+                h,
+                options,
+                ratio=ratio,
+                seed=coarsen_seed,
+                warm_start=self._warm_start,
+                lineage=lineage,
+                normalized=normalized,
+            )
+            lower, upper = interval.lower, interval.upper
+            if not normalized:
+                max_out = graph.freeze().max_out_degree
+                scale = 1.0 / max_out if max_out else 0.0
+                lower, upper = lower * scale, upper * scale
+            lower = np.ascontiguousarray(lower, dtype=np.float64)
+            upper = np.ascontiguousarray(upper, dtype=np.float64)
+            lower.flags.writeable = False
+            upper.flags.writeable = False
+            solve_seconds = time.perf_counter() - start
+            active.set_attr(backend=interval.backend)
+            _EIG_SECONDS.observe(solve_seconds, backend=interval.backend, dtype=options.dtype)
         if self._store is not None:
             try:
                 self._store.put(
@@ -518,6 +555,7 @@ class SpectrumCache:
             self._misses += 1
             while len(self._interval_entries) > self._max_entries:
                 self._interval_entries.popitem(last=False)
+        _SPECTRUM_LOOKUPS.inc(tier="solve")
         return _result(lower, upper, solve_seconds, False, interval.backend)
 
 

@@ -1,0 +1,458 @@
+"""Tests for :mod:`repro.obs` — tracing, no-op guarantees, pool propagation.
+
+The load-bearing contracts: (1) with no tracer configured the whole
+observability surface is a shared no-op (zero file writes, metrics
+untouched by span calls); (2) a pooled sweep produces ONE coherent trace
+tree — worker spans re-root under the parent sweep span, shards merge
+losslessly into the main JSONL file, and the merge happens even when a
+worker task fails; (3) the JSON surfaces (``sweep --json`` task records,
+HTTP answers) carry trace/span ids that resolve into that tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.report import build_trees, render_report, self_times
+from repro.runtime.families import GraphSpec
+from repro.runtime.orchestrator import SweepOrchestrator
+from repro.runtime.service import BoundAnswer, BoundService
+from repro.server.runner import BoundServer
+
+NUM_EIGENVALUES = 20
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_after():
+    """Every test leaves the process in the default (disabled) state."""
+    yield
+    obs.disable()
+
+
+def read_spans(path):
+    return obs.load_spans(str(path))
+
+
+# ---------------------------------------------------------------------------
+# tracer core
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_nested_spans_share_trace_and_link_parents(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(str(path))
+        with obs.span("outer", kind="test") as outer:
+            with obs.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                ctx = obs.current_context()
+                assert ctx.span_id == inner.span_id
+        obs.disable()
+        spans = read_spans(path)
+        assert [s["name"] for s in spans] == ["inner", "outer"]  # finish order
+        inner_rec, outer_rec = spans
+        assert inner_rec["trace_id"] == outer_rec["trace_id"]
+        assert inner_rec["parent_id"] == outer_rec["span_id"]
+        assert outer_rec["parent_id"] is None
+        assert outer_rec["attrs"] == {"kind": "test"}
+        assert outer_rec["pid"] == os.getpid()
+        assert outer_rec["wall_seconds"] >= inner_rec["wall_seconds"] >= 0.0
+        assert all(s["status"] == "ok" for s in spans)
+
+    def test_sibling_spans_get_distinct_ids(self, tmp_path):
+        obs.configure(str(tmp_path / "t.jsonl"))
+        with obs.span("root"):
+            with obs.span("a") as a:
+                pass
+            with obs.span("b") as b:
+                pass
+        assert a.span_id != b.span_id
+        assert a.trace_id == b.trace_id
+
+    def test_exception_marks_span_error_and_propagates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(str(path))
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        obs.disable()
+        [record] = read_spans(path)
+        assert record["status"] == "error"
+
+    def test_set_attr_lands_in_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(str(path))
+        with obs.span("solve", backend=None) as active:
+            active.set_attr(backend="dense")
+        obs.disable()
+        [record] = read_spans(path)
+        assert record["attrs"]["backend"] == "dense"
+
+    def test_ring_buffer_holds_recent_spans(self):
+        obs.configure(None)  # ring buffer only, no file sink
+        with obs.span("only"):
+            pass
+        [record] = obs.recent_spans()
+        assert record.name == "only"
+
+    def test_current_context_none_when_idle(self):
+        obs.configure(None)
+        assert obs.current_context() is None
+
+
+# ---------------------------------------------------------------------------
+# no-op mode
+# ---------------------------------------------------------------------------
+class TestDisabled:
+    def test_span_is_one_shared_noop_object(self):
+        obs.disable()
+        assert not obs.enabled()
+        first = obs.span("eigensolve", fingerprint="abc")
+        second = obs.span("mincut")
+        assert first is second  # no per-call allocation on the hot path
+        with first as active:
+            active.set_attr(backend="dense")
+            assert active.trace_id is None and active.span_id is None
+        assert obs.current_context() is None
+        assert obs.recent_spans() == []
+
+    def test_disabled_sweep_writes_no_trace_files(self, tmp_path, monkeypatch):
+        obs.disable()
+        monkeypatch.chdir(tmp_path)
+        report = SweepOrchestrator(store=None, num_eigenvalues=NUM_EIGENVALUES).run_family(
+            "fft", None, [3], [4]
+        )
+        assert report.num_rows == 1
+        assert list(tmp_path.iterdir()) == []  # zero JSONL (or any) writes
+        assert obs.recent_spans() == []
+        assert all(t.trace_id is None and t.span_id is None for t in report.tasks)
+
+    def test_noop_spans_leave_metrics_unchanged(self):
+        obs.disable()
+        before = obs.global_registry().snapshot()
+        for _ in range(100):
+            with obs.span("eigensolve", fingerprint=None, h=100) as active:
+                active.set_attr(backend="dense")
+        assert obs.global_registry().snapshot() == before
+
+
+# ---------------------------------------------------------------------------
+# cross-process propagation
+# ---------------------------------------------------------------------------
+class TestPoolPropagation:
+    def run_pooled(self, tmp_path, **kwargs):
+        path = tmp_path / "trace.jsonl"
+        obs.configure(str(path))
+        orchestrator = SweepOrchestrator(
+            store=tmp_path / "spectra",
+            processes=2,
+            num_eigenvalues=NUM_EIGENVALUES,
+            **kwargs,
+        )
+        report = orchestrator.run_family("fft", None, [3, 4], [4, 8])
+        obs.disable()
+        return path, report
+
+    def test_worker_spans_re_root_under_the_sweep_span(self, tmp_path):
+        path, report = self.run_pooled(tmp_path)
+        spans = read_spans(path)
+        assert len({s["trace_id"] for s in spans}) == 1  # one coherent trace
+        sweeps = [s for s in spans if s["name"] == "sweep"]
+        assert len(sweeps) == 1
+        tasks = [s for s in spans if s["name"] == "task"]
+        assert len(tasks) == len(report.tasks)
+        assert all(t["parent_id"] == sweeps[0]["span_id"] for t in tasks)
+        # Tasks ran in pool workers, not in this process.
+        assert all(t["pid"] != sweeps[0]["pid"] for t in tasks)
+        task_ids = {t["span_id"] for t in tasks}
+        solves = [s for s in spans if s["name"] == "eigensolve"]
+        assert solves and all(s["parent_id"] in task_ids for s in solves)
+
+    def test_shard_merge_is_lossless(self, tmp_path):
+        path, report = self.run_pooled(tmp_path)
+        leftovers = [n for n in os.listdir(tmp_path) if ".shard-" in n]
+        assert leftovers == []  # every shard folded into the main file
+        spans = read_spans(path)
+        # Each task span written by a worker made it into the merged file,
+        # and the ids the TaskRecords advertise resolve against it.
+        ids = {s["span_id"] for s in spans}
+        for record in report.tasks:
+            assert record.trace_id == spans[0]["trace_id"]
+            assert record.span_id in ids
+
+    def test_spans_survive_task_failure(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.configure(str(path))
+        orchestrator = SweepOrchestrator(
+            store=None, processes=2, num_eigenvalues=NUM_EIGENVALUES
+        )
+        specs = [
+            GraphSpec(family="fft", size_param=3),
+            GraphSpec(path=str(tmp_path / "no-such-graph.npz")),
+        ]
+        with pytest.raises(Exception):
+            orchestrator.run_specs(specs, [4])
+        obs.disable()
+        spans = read_spans(path)
+        # The failing worker's span was still recorded (status=error) and
+        # merged; the sweep span carries the error too.
+        assert any(s["name"] == "task" and s["status"] == "error" for s in spans)
+        assert any(s["name"] == "sweep" and s["status"] == "error" for s in spans)
+        assert [n for n in os.listdir(tmp_path) if ".shard-" in n] == []
+
+    def test_worker_configure_primitives(self, tmp_path):
+        base = str(tmp_path / "trace.jsonl")
+        parent = obs.TraceContext(trace_id="t" * 16, span_id="s" * 16)
+        obs.worker_configure(parent, base)
+        with obs.span("task") as active:
+            assert active.trace_id == parent.trace_id
+            assert active.parent_id == parent.span_id
+        shard = obs.shard_path(base)
+        assert os.path.exists(shard)
+        obs.disable()
+        merged = obs.merge_shards(base, base)
+        assert merged == 1
+        assert not os.path.exists(shard)
+        assert read_spans(base)[0]["trace_id"] == parent.trace_id
+        # parent=None silences the worker entirely.
+        obs.worker_configure(None, base)
+        assert not obs.enabled()
+
+
+# ---------------------------------------------------------------------------
+# report rendering
+# ---------------------------------------------------------------------------
+def synthetic_span(name, span_id, parent_id, start, wall, cpu=None, **attrs):
+    return {
+        "trace_id": "deadbeef00000000",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "pid": 1234,
+        "start_unix": start,
+        "wall_seconds": wall,
+        "cpu_seconds": cpu if cpu is not None else wall,
+        "status": "ok",
+        "attrs": attrs,
+    }
+
+
+class TestReport:
+    def test_tree_and_self_time(self):
+        spans = [
+            synthetic_span("sweep", "root", None, 0.0, 1.0),
+            synthetic_span("task", "t1", "root", 0.1, 0.4),
+            synthetic_span("eigensolve", "e1", "t1", 0.2, 0.3, backend="dense"),
+        ]
+        roots, children = build_trees(spans)
+        assert [r["span_id"] for r in roots] == ["root"]
+        assert [c["span_id"] for c in children["root"]] == ["t1"]
+        table = dict(
+            (name, (count, self_wall)) for name, count, self_wall, _ in self_times(spans)
+        )
+        assert table["sweep"] == (1, pytest.approx(0.6))
+        assert table["task"] == (1, pytest.approx(0.1))
+        assert table["eigensolve"] == (1, pytest.approx(0.3))
+        text = render_report(spans)
+        assert "sweep" in text and "backend=dense" in text
+        assert text.index("sweep") < text.index("task") < text.index("eigensolve")
+
+    def test_orphan_parent_becomes_root(self):
+        spans = [synthetic_span("task", "t1", "gone", 0.0, 0.5)]
+        roots, _ = build_trees(spans)
+        assert [r["span_id"] for r in roots] == ["t1"]
+
+    def test_empty_trace(self):
+        assert "empty" in render_report([])
+
+
+# ---------------------------------------------------------------------------
+# server surfacing
+# ---------------------------------------------------------------------------
+def http_get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+class TestServerSurfacing:
+    def test_trace_id_header_and_query_span(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        obs.configure(str(path))
+        service = BoundService(num_eigenvalues=NUM_EIGENVALUES)
+        with BoundServer(service, port=0) as server:
+            server.start()
+            payload = json.dumps(
+                {"queries": [{"graph": {"family": "fft", "size": 3}, "memory_size": 4}]}
+            ).encode()
+            request = urllib.request.Request(
+                f"{server.url}/v1/bounds",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                trace_id = response.headers["X-Repro-Trace-Id"]
+                body = json.loads(response.read().decode())
+        obs.disable()
+        assert trace_id
+        spans = read_spans(path)
+        requests = [s for s in spans if s["name"] == "http_request"]
+        assert any(s["trace_id"] == trace_id for s in requests)
+        # The query span nests under the request span and its id is what
+        # the answer advertises, so /v1 answers resolve into the trace.
+        queries = [s for s in spans if s["name"] == "query"]
+        assert queries and queries[0]["trace_id"] == trace_id
+        assert body["answers"][0]["trace_id"] == trace_id
+
+    def test_no_header_when_disabled(self):
+        obs.disable()
+        service = BoundService(num_eigenvalues=NUM_EIGENVALUES)
+        with BoundServer(service, port=0) as server:
+            server.start()
+            _, headers, _ = http_get(f"{server.url}/healthz")
+        assert "X-Repro-Trace-Id" not in headers
+
+    def test_metrics_endpoint_unions_global_registry(self):
+        obs.disable()
+        service = BoundService(num_eigenvalues=NUM_EIGENVALUES)
+        with BoundServer(service, port=0) as server:
+            server.start()
+            payload = json.dumps(
+                {"queries": [{"graph": {"family": "fft", "size": 4}, "memory_size": 4}]}
+            ).encode()
+            request = urllib.request.Request(
+                f"{server.url}/v1/bounds",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            urllib.request.urlopen(request, timeout=30).read()
+            _, _, text = http_get(f"{server.url}/metrics")
+        assert "repro_http_requests_total" in text  # per-server registry
+        assert "repro_eigensolve_seconds" in text  # process-global registry
+        assert "repro_spectrum_lookups_total" in text
+
+    def test_slow_query_log_counts_and_logs(self, monkeypatch, caplog):
+        obs.disable()
+        monkeypatch.setenv("REPRO_SLOW_QUERY_SECONDS", "0")
+        before = obs.global_registry().get("repro_slow_queries_total").value()
+        service = BoundService(num_eigenvalues=NUM_EIGENVALUES)
+        with BoundServer(service, port=0) as server:
+            server.start()
+            with caplog.at_level("WARNING", logger="repro.server.slow"):
+                http_get(f"{server.url}/healthz")
+        after = obs.global_registry().get("repro_slow_queries_total").value()
+        assert after >= before + 1
+        assert any("slow query" in message for message in caplog.messages)
+
+    def test_threshold_unset_means_no_slow_log(self, monkeypatch):
+        obs.disable()
+        monkeypatch.delenv("REPRO_SLOW_QUERY_SECONDS", raising=False)
+        before = obs.global_registry().get("repro_slow_queries_total").value()
+        service = BoundService(num_eigenvalues=NUM_EIGENVALUES)
+        with BoundServer(service, port=0) as server:
+            server.start()
+            http_get(f"{server.url}/healthz")
+        assert obs.global_registry().get("repro_slow_queries_total").value() == before
+
+
+class _BlockingTracedService:
+    """Stub service: blocks until released, tags answers with a trace id."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.calls: list = []
+        self._lock = threading.Lock()
+
+    def submit(self, queries):
+        with self._lock:
+            self.calls.append(list(queries))
+        if not self.release.wait(timeout=30):
+            raise TimeoutError("stub service never released")
+        return [
+            BoundAnswer(
+                graph="stub",
+                memory_size=int(query.memory_size),
+                num_processors=int(query.num_processors),
+                normalization=query.normalization,
+                bound=1.0,
+                raw_value=1.0,
+                best_k=None,
+                num_vertices=0,
+                elapsed_seconds=0.6,
+                eig_elapsed_seconds=0.5,
+                trace_id="leader-query-trace",
+            )
+            for query in queries
+        ]
+
+    def counters(self):
+        return {
+            "queries_served": sum(len(call) for call in self.calls),
+            "deduped": 0,
+            "engines_cached": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "store_hits": 0,
+            "mincut_engines_cached": 0,
+            "flow_calls": 0,
+        }
+
+    def stats(self):
+        return dict(self.counters())
+
+
+class TestCoalescedFollowers:
+    def test_followers_report_served_by_and_count_solve_time_once(self):
+        """Satellite fix: a coalesced follower must not re-report the
+        leader's eigensolve time as its own — it advertises
+        ``served_by_trace_id`` and ``eig_elapsed_seconds == 0``."""
+        obs.disable()
+        service = _BlockingTracedService()
+        payload = json.dumps(
+            {"queries": [{"graph": {"family": "fft", "size": 3}, "memory_size": 4}]}
+        ).encode()
+        with BoundServer(service, port=0) as server:
+            server.start()
+            outcomes: list = []
+
+            def post():
+                request = urllib.request.Request(
+                    f"{server.url}/v1/bounds",
+                    data=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    outcomes.append(json.loads(response.read().decode()))
+
+            leader = threading.Thread(target=post, daemon=True)
+            leader.start()
+            deadline = 50
+            while len(service.calls) < 1 and deadline:
+                threading.Event().wait(0.01)
+                deadline -= 1
+            assert service.calls, "leader never reached the stub service"
+            followers = [threading.Thread(target=post, daemon=True) for _ in range(2)]
+            for thread in followers:
+                thread.start()
+            deadline = 500
+            while server.coalescer.coalesced < 2 and deadline:
+                threading.Event().wait(0.01)
+                deadline -= 1
+            assert server.coalescer.coalesced == 2
+            service.release.set()
+            for thread in [leader] + followers:
+                thread.join(timeout=10)
+        assert len(service.calls) == 1  # the herd paid one solve
+        answers = [o["answers"][0] for o in outcomes]
+        leaders = [a for a in answers if a["served_by_trace_id"] is None]
+        borrowed = [a for a in answers if a["served_by_trace_id"] is not None]
+        assert len(leaders) == 1 and len(borrowed) == 2
+        assert leaders[0]["eig_elapsed_seconds"] == 0.5
+        for answer in borrowed:
+            assert answer["served_by_trace_id"] == "leader-query-trace"
+            assert answer["eig_elapsed_seconds"] == 0.0
+            # The solve they rode is still identified for aggregation.
+            assert answer["trace_id"] == "leader-query-trace"
