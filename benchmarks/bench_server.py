@@ -1,6 +1,6 @@
 """Multi-threaded load generation against the HTTP bounds server.
 
-Three serving-layer claims, measured end to end through real sockets and
+Serving-layer claims, measured end to end through real sockets and
 recorded in ``BENCH_server.json``:
 
 * **cold vs warm** — a query mix (both spectral normalisations + the
@@ -13,9 +13,18 @@ recorded in ``BENCH_server.json``:
 * **parity** — every HTTP answer equals the direct
   :meth:`BoundService.submit` answer for the same query, float for float;
 * **thundering herd** — many threads requesting the same cold graph at
-  once pay exactly **one** eigensolve thanks to in-flight coalescing
-  (without it, concurrent misses race past the spectrum cache and solve
-  redundantly); the coalescing hit rate is recorded.
+  once (released together by a barrier) pay exactly **one** eigensolve
+  thanks to in-flight coalescing (without it, concurrent misses race past
+  the spectrum cache and solve redundantly); the coalescing hit rate is
+  recorded;
+* **multi-worker fleet** — the same warm mix through a two-worker
+  pre-forked :class:`ServerFleet` (shared port, shard redirects followed
+  by the client) still performs zero solves, and on a multi-core host
+  outscores the single-process server; a *cold* herd fired at both
+  workers' direct ports — different memory sizes, so neither the HTTP
+  coalescer nor batch dedup can help — pays exactly one eigensolve
+  across both processes via the store's solve lease, with the lease
+  leader/follower split recorded.
 
 Defaults are CI-scale; ``REPRO_BENCH_LARGE=1`` lifts the FFT levels and
 the thread count.
@@ -26,14 +35,14 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Dict, List
+from typing import Dict, List, Sequence, Union
 
 from benchmarks.common import bench_print, pick, run_once, write_perf_record
 from repro.runtime.families import GraphSpec
 from repro.runtime.service import BoundQuery, BoundService
 from repro.runtime.store import SpectrumStore
 from repro.server.client import BoundsClient
-from repro.server.runner import BoundServer
+from repro.server.runner import BoundServer, FleetConfig, ServerFleet
 
 LEVELS = pick([3, 4, 5], [6, 7, 8])
 MEMORY_SIZES = [4, 8, 16, 32]
@@ -42,6 +51,8 @@ THREADS = pick(4, 8)
 HERD_THREADS = pick(8, 32)
 HERD_REQUESTS_PER_THREAD = 4
 HERD_LEVEL = pick(5, 9)
+FLEET_WORKERS = 2
+FLEET_HERD_LEVEL = pick(6, 10)
 
 
 def build_queries() -> List[BoundQuery]:
@@ -55,40 +66,62 @@ def build_queries() -> List[BoundQuery]:
     return queries
 
 
-def replay(url: str, queries: List[BoundQuery], threads: int):
+def replay(urls: Union[str, Sequence[str]], queries: List[BoundQuery], threads: int):
     """Fire every query as its own request from a thread pool.
 
-    Returns (answers in query order, elapsed seconds, per-request latency
-    seconds).  Any request error propagates — the benchmark must fail
-    loudly, not record a partially-served run.
+    ``urls`` is one base URL or a list the threads round-robin over (how
+    the fleet herd spans every worker's direct port).  All threads
+    connect first and start together on a barrier, so the measured window
+    (and a herd's cold-miss race) begins with every client already
+    running.  Returns (answers in query order, elapsed seconds,
+    per-request latency seconds).  Any request error propagates — the
+    benchmark must fail loudly, not record a partially-served run.
     """
+    if isinstance(urls, str):
+        urls = [urls]
     answers: List = [None] * len(queries)
     latencies: List[float] = [0.0] * len(queries)
     errors: List[BaseException] = []
+    barrier = threading.Barrier(threads + 1)
 
     def worker(worker_index: int) -> None:
-        client = BoundsClient(url)
         try:
-            for index in range(worker_index, len(queries), threads):
-                request_start = time.perf_counter()
-                [answers[index]] = client.bounds([queries[index]])
-                latencies[index] = time.perf_counter() - request_start
+            with BoundsClient(urls[worker_index % len(urls)]) as client:
+                barrier.wait()
+                for index in range(worker_index, len(queries), threads):
+                    request_start = time.perf_counter()
+                    [answers[index]] = client.bounds([queries[index]])
+                    latencies[index] = time.perf_counter() - request_start
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             errors.append(exc)
+            barrier.abort()
 
     pool = [
         threading.Thread(target=worker, args=(index,), daemon=True)
         for index in range(threads)
     ]
-    start = time.perf_counter()
     for thread in pool:
         thread.start()
+    try:
+        barrier.wait()
+    except threading.BrokenBarrierError:
+        pass  # a worker already failed; fall through to the re-raise
+    start = time.perf_counter()
     for thread in pool:
         thread.join()
     elapsed = time.perf_counter() - start
     if errors:
         raise errors[0]
     return answers, elapsed, latencies
+
+
+def scrape_metric(url: str, name: str, **labels) -> float:
+    """One endpoint's summed metric; 0 when the series was never touched."""
+    with BoundsClient(url) as client:
+        try:
+            return client.metric(name, **labels)
+        except KeyError:
+            return 0.0
 
 
 def serve_and_replay(store_root, queries: List[BoundQuery]) -> Dict[str, object]:
@@ -99,9 +132,8 @@ def serve_and_replay(store_root, queries: List[BoundQuery]) -> Dict[str, object]
     with BoundServer(service, port=0) as server:
         server.start()
         answers, elapsed, latencies = replay(server.url, queries, THREADS)
-        client = BoundsClient(server.url)
-        eigensolves = client.metric("repro_eigensolves_total")
-        flow_calls = client.metric("repro_flow_calls_total")
+        eigensolves = scrape_metric(server.url, "repro_eigensolves_total")
+        flow_calls = scrape_metric(server.url, "repro_flow_calls_total")
     ordered = sorted(latencies)
     return {
         "answers": answers,
@@ -111,6 +143,69 @@ def serve_and_replay(store_root, queries: List[BoundQuery]) -> Dict[str, object]
         "latency_p95_ms": 1000.0 * ordered[int(0.95 * (len(ordered) - 1))],
         "eigensolves": eigensolves,
         "flow_calls": flow_calls,
+    }
+
+
+def fleet_serve_and_replay(
+    store_root, queries: List[BoundQuery]
+) -> Dict[str, object]:
+    """Boot a two-worker fleet on ``store_root`` and replay via the shared port."""
+    config = FleetConfig(store_root=str(store_root), num_eigenvalues=NUM_EIGENVALUES)
+    with ServerFleet(config, workers=FLEET_WORKERS) as fleet:
+        fleet.start()
+        with BoundsClient(fleet.url) as probe:
+            probe.health()  # blocks until a worker is accepting
+        answers, elapsed, latencies = replay(fleet.url, queries, THREADS)
+        eigensolves = sum(
+            scrape_metric(url, "repro_eigensolves_total") for url in fleet.worker_urls
+        )
+    return {
+        "answers": answers,
+        "seconds": elapsed,
+        "rps": len(queries) / elapsed if elapsed > 0 else float("inf"),
+        "eigensolves": eigensolves,
+    }
+
+
+def fleet_cold_herd(store_root) -> Dict[str, object]:
+    """A cold herd across both workers' direct ports, coalesced by the lease.
+
+    Every query wants the same cold graph at a *different* memory size,
+    fired at both workers' direct ports concurrently — four processes'
+    worth of cold misses that only the store-level solve lease can
+    collapse.  Exactly one eigensolve must happen fleet-wide.
+    """
+    spec = GraphSpec(family="fft", size_param=FLEET_HERD_LEVEL)
+    # M-major order: with len(MEMORY_SIZES) threads striding the list, the
+    # first concurrent wave is four *distinct* memory sizes — keys the
+    # per-worker HTTP coalescer and batch dedup cannot collapse.
+    herd_queries = [
+        BoundQuery(spec, memory_size)
+        for _ in range(HERD_REQUESTS_PER_THREAD)
+        for memory_size in MEMORY_SIZES
+    ]
+    config = FleetConfig(store_root=str(store_root), num_eigenvalues=NUM_EIGENVALUES)
+    with ServerFleet(config, workers=FLEET_WORKERS) as fleet:
+        fleet.start()
+        for url in fleet.worker_urls:
+            with BoundsClient(url) as probe:
+                probe.health()
+        answers, elapsed, _ = replay(
+            list(fleet.worker_urls), herd_queries, threads=len(MEMORY_SIZES)
+        )
+        eigensolves = leaders = followers = 0.0
+        for url in fleet.worker_urls:
+            eigensolves += scrape_metric(url, "repro_eigensolves_total")
+            leaders += scrape_metric(url, "repro_lease_total", role="leader")
+            followers += scrape_metric(url, "repro_lease_total", role="follower")
+    return {
+        "queries": herd_queries,
+        "answers": answers,
+        "seconds": elapsed,
+        "requests": len(herd_queries),
+        "eigensolves": eigensolves,
+        "lease_leaders": leaders,
+        "lease_followers": followers,
     }
 
 
@@ -148,10 +243,43 @@ def test_server_cold_warm_and_herd(benchmark, tmp_path):
         server.start()
         herd_answers, herd_seconds, _ = replay(server.url, herd_queries, HERD_THREADS)
         coalesced = server.coalescer.coalesced
-        herd_eigensolves = BoundsClient(server.url).metric("repro_eigensolves_total")
+        herd_eigensolves = scrape_metric(server.url, "repro_eigensolves_total")
     assert herd_eigensolves == 1, "the herd must pay exactly one eigensolve"
     assert len({a.bound for a in herd_answers}) == 1
     coalesce_rate = coalesced / len(herd_queries)
+
+    # Multi-worker fleet: the warm mix through the shared port (shard
+    # redirects and all) still performs zero solves...
+    fleet_warm = fleet_serve_and_replay(store_root, queries)
+    assert fleet_warm["eigensolves"] == 0
+    assert [a.bound for a in fleet_warm["answers"]] == [
+        a.bound for a in cold["answers"]
+    ]
+    fleet_speedup = fleet_warm["rps"] / warm["rps"] if warm["rps"] > 0 else 0.0
+
+    # ...and a cold cross-process herd pays exactly one eigensolve via the
+    # store's solve lease — one leader fleet-wide, everyone else follows
+    # or reads the published spectrum.
+    fleet_herd = fleet_cold_herd(tmp_path / "fleet-herd")
+    assert fleet_herd["eigensolves"] == 1, (
+        f"cross-process herd paid {fleet_herd['eigensolves']:.0f} eigensolves; "
+        f"the solve lease must collapse them to one"
+    )
+    assert fleet_herd["lease_leaders"] == 1
+    # Lease followers read the *published* spectrum: every answer must
+    # match a direct solve of the same query, whichever worker served it.
+    herd_spec = GraphSpec(family="fft", size_param=FLEET_HERD_LEVEL)
+    herd_reference = {
+        memory_size: answer.bound
+        for memory_size, answer in zip(
+            MEMORY_SIZES,
+            BoundService(num_eigenvalues=NUM_EIGENVALUES).submit(
+                [BoundQuery(herd_spec, memory_size) for memory_size in MEMORY_SIZES]
+            ),
+        )
+    }
+    for query, answer in zip(fleet_herd["queries"], fleet_herd["answers"]):
+        assert answer.bound == herd_reference[query.memory_size]
 
     warm_speedup = (
         cold["seconds"] / warm["seconds"] if warm["seconds"] > 0 else float("inf")
@@ -173,6 +301,18 @@ def test_server_cold_warm_and_herd(benchmark, tmp_path):
         f"  herd: {len(herd_queries)} identical requests from {HERD_THREADS} threads "
         f"in {herd_seconds:.3f}s -> {herd_eigensolves:.0f} eigensolve, "
         f"{coalesced} coalesced ({100 * coalesce_rate:.0f}% hit rate)"
+    )
+    bench_print(
+        f"  fleet ({FLEET_WORKERS} workers): warm {fleet_warm['seconds']:7.3f}s  "
+        f"{fleet_warm['rps']:7.1f} req/s ({fleet_speedup:.2f}x single-process warm, "
+        f"{fleet_warm['eigensolves']:.0f} eigensolves)"
+    )
+    bench_print(
+        f"  fleet herd: {fleet_herd['requests']} cold requests across "
+        f"{FLEET_WORKERS} workers' direct ports in {fleet_herd['seconds']:.3f}s -> "
+        f"{fleet_herd['eigensolves']:.0f} eigensolve "
+        f"({fleet_herd['lease_leaders']:.0f} lease leader, "
+        f"{fleet_herd['lease_followers']:.0f} followers)"
     )
 
     path = write_perf_record(
@@ -204,6 +344,17 @@ def test_server_cold_warm_and_herd(benchmark, tmp_path):
             "herd_eigensolves": herd_eigensolves,
             "herd_coalesced": coalesced,
             "herd_coalesce_rate": round(coalesce_rate, 3),
+            "fleet_workers": FLEET_WORKERS,
+            "fleet_warm_seconds": round(fleet_warm["seconds"], 4),
+            "fleet_warm_rps": round(fleet_warm["rps"], 1),
+            "fleet_warm_eigensolves": fleet_warm["eigensolves"],
+            "fleet_warm_speedup": round(fleet_speedup, 2),
+            "fleet_herd_level": FLEET_HERD_LEVEL,
+            "fleet_herd_requests": fleet_herd["requests"],
+            "fleet_herd_seconds": round(fleet_herd["seconds"], 4),
+            "fleet_herd_eigensolves": fleet_herd["eigensolves"],
+            "fleet_herd_lease_leaders": fleet_herd["lease_leaders"],
+            "fleet_herd_lease_followers": fleet_herd["lease_followers"],
         },
     )
     bench_print(f"[perf record written to {path}]")
@@ -213,6 +364,12 @@ def test_server_cold_warm_and_herd(benchmark, tmp_path):
     # counters above prove the cache behaviour deterministically).
     if os.environ.get("REPRO_BENCH_TIMING_ASSERT", "1") != "0":
         assert warm_speedup >= 1.5, f"warm serving only {warm_speedup:.2f}x faster"
+        # Two workers beating one process needs two actual cores; the
+        # solve-count assertions above hold regardless.
+        if (os.cpu_count() or 1) >= 2:
+            assert fleet_speedup >= 1.6, (
+                f"2-worker fleet only {fleet_speedup:.2f}x single-process warm rps"
+            )
 
     # Track the warm serving pass (fresh server state, warm disk) over time.
     def warm_pass():

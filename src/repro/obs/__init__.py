@@ -22,6 +22,8 @@ from .metrics import (
     MetricsRegistry,
     DEFAULT_LATENCY_BUCKETS,
     global_registry,
+    process_labels,
+    set_process_labels,
 )
 from .profiling import maybe_profile, profile_path, profiling_enabled
 from .report import build_trees, render_report, self_times
@@ -51,6 +53,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "global_registry",
+    "process_labels",
+    "set_process_labels",
     # tracing
     "SpanRecord",
     "TraceContext",

@@ -75,6 +75,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "global_registry",
+    "process_labels",
+    "set_process_labels",
 ]
 
 #: Histogram bucket upper bounds (seconds) spanning warm in-memory answers
@@ -91,15 +93,44 @@ def _format_value(value: float) -> str:
     return str(as_int) if value == as_int else repr(float(value))
 
 
+#: Constant labels stamped onto every rendered sample of this process —
+#: how the pre-forked serving fleet keeps per-worker series apart (each
+#: worker calls ``set_process_labels(worker="<id>")`` right after fork).
+_PROCESS_LABELS: Dict[str, str] = {}
+
+
+def set_process_labels(**labels: Optional[str]) -> None:
+    """Attach constant labels to every metric this process renders.
+
+    Affects the Prometheus text exposition only: ``value()`` / ``total()``
+    / ``snapshot()`` are label-blind aggregates and stay unchanged, so
+    in-process assertions and ``/v1/stats`` keep their meaning.  A value
+    of ``None`` removes the label; the registry starts with none, making
+    this a strict no-op for single-process use.
+    """
+    for name, value in labels.items():
+        if value is None:
+            _PROCESS_LABELS.pop(name, None)
+        else:
+            _PROCESS_LABELS[name] = str(value)
+
+
+def process_labels() -> Dict[str, str]:
+    """A copy of the process-wide constant labels (empty by default)."""
+    return dict(_PROCESS_LABELS)
+
+
 def _format_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
-    if not labelnames:
+    names = tuple(_PROCESS_LABELS) + tuple(labelnames)
+    values = tuple(_PROCESS_LABELS.values()) + tuple(labelvalues)
+    if not names:
         return ""
     escaped = (
         str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
-        for value in labelvalues
+        for value in values
     )
     pairs = ",".join(
-        f'{name}="{value}"' for name, value in zip(labelnames, escaped)
+        f'{name}="{value}"' for name, value in zip(names, escaped)
     )
     return "{" + pairs + "}"
 
@@ -128,6 +159,11 @@ class _Metric:
         """Current value of one label combination (0 if never touched)."""
         with self._lock:
             return self._values.get(self._label_key(labels), 0.0)
+
+    def reset(self) -> None:
+        """Forget every recorded sample (callback metrics are unaffected)."""
+        with self._lock:
+            self._values.clear()
 
     def total(self) -> float:
         """Sum over every label combination."""
@@ -268,6 +304,11 @@ class Histogram(_Metric):
         with self._lock:
             return sum(self._counts.get(self._label_key(labels), ()))
 
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._sums.clear()
+
     def total(self) -> float:
         with self._lock:
             return float(sum(sum(counts) for counts in self._counts.values()))
@@ -374,6 +415,20 @@ class MetricsRegistry:
         with self._lock:
             metrics = list(self._metrics.values())
         return {metric.name: metric.total() for metric in metrics}
+
+    def reset_values(self) -> None:
+        """Zero every owned metric, keeping registrations and callbacks.
+
+        For freshly forked worker processes: a child inherits the parent's
+        accumulated counter state by copy-on-write, and without this its
+        ``/metrics`` would report solves and waits that happened before it
+        existed.  Callback-backed passthroughs are left alone — they read
+        live state that is itself per-process.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
 
 
 _GLOBAL_REGISTRY = MetricsRegistry()

@@ -16,7 +16,12 @@ Four subcommands expose the runtime subsystem without writing any Python:
   batch queries, Prometheus ``/metrics``, admission control and in-flight
   coalescing).  Against a pre-warmed ``--store`` the whole HTTP path
   answers without a single eigensolve or max-flow call, which the CI serve
-  smoke asserts via ``repro_eigensolves_total`` / ``repro_flow_calls_total``;
+  smoke asserts via ``repro_eigensolves_total`` / ``repro_flow_calls_total``.
+  ``--workers N`` (or ``$REPRO_SERVE_WORKERS``) boots a pre-forked sharded
+  fleet instead: N shared-nothing worker processes over the same store,
+  shard-routed by consistent hashing on the graph identity, with
+  cross-process solve coalescing via store leases (``--lease-ttl`` /
+  ``$REPRO_LEASE_TTL_SECONDS``);
 * ``obs`` — observability utilities over :mod:`repro.obs`: ``obs report
   trace.jsonl`` renders a trace (written via ``--trace`` on ``solve`` /
   ``sweep`` / ``serve``) as a top-down span tree plus a self-time table.
@@ -78,7 +83,7 @@ def _store_from_args(args: argparse.Namespace) -> Optional[SpectrumStore]:
     if getattr(args, "no_store", False):
         return None
     root = args.store if args.store is not None else default_store_root()
-    return SpectrumStore(root)
+    return SpectrumStore(root, lease_ttl=getattr(args, "lease_ttl", None))
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
@@ -291,6 +296,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable in-flight coalescing of identical queries",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes; >1 boots a pre-forked sharded fleet "
+        "(default: $REPRO_SERVE_WORKERS or 1)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="solve-lease heartbeat ttl for cross-process coalescing "
+        "(default: $REPRO_LEASE_TTL_SECONDS or 30; 0 disables leasing)",
+    )
     _add_solver_arguments(serve)
     _add_mincut_arguments(serve)
     _add_store_arguments(serve)
@@ -426,7 +447,80 @@ def build_server_from_args(args: argparse.Namespace):
     )
 
 
+def _serve_workers(args: argparse.Namespace) -> int:
+    if args.workers is not None:
+        return max(1, int(args.workers))
+    import os
+
+    from repro.server.runner import SERVE_WORKERS_ENV_VAR
+
+    raw = os.environ.get(SERVE_WORKERS_ENV_VAR)
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def build_fleet_from_args(args: argparse.Namespace, workers: int):
+    """Construct the :class:`~repro.server.runner.ServerFleet` for ``--workers N``.
+
+    Like :func:`build_server_from_args`, factored out (and lazily
+    importing) so tests can boot the exact CLI fleet wiring on ephemeral
+    ports without blocking in ``serve_forever``.  The fleet does not take
+    a live service: each forked worker builds its own from the config.
+    """
+    from repro.server.runner import FleetConfig, ServerFleet
+
+    if getattr(args, "no_store", False):
+        store_root = None
+    else:
+        root = args.store if args.store is not None else default_store_root()
+        store_root = str(root)
+    trace_path = getattr(args, "trace", None)
+    config = FleetConfig(
+        store_root=store_root,
+        num_eigenvalues=args.num_eigenvalues,
+        eig_options=_eig_options_from_args(args),
+        mincut_backend=_mincut_backend_from_args(args),
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        retry_after_seconds=args.retry_after,
+        coalesce=not args.no_coalesce,
+        lease_ttl=getattr(args, "lease_ttl", None),
+        trace_path=str(trace_path) if trace_path is not None else None,
+    )
+    return ServerFleet(config, host=args.host, port=args.port, workers=workers)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    # CI (and any sane supervisor) stops the server with SIGTERM; route it
+    # through the same KeyboardInterrupt path as ^C so the fleet/server is
+    # drained and reaped instead of orphaning forked workers.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    workers = _serve_workers(args)
+    if workers > 1:
+        fleet = build_fleet_from_args(args, workers)
+        fleet.start()
+        store_label = fleet.config.store_root or "disabled"
+        print(
+            f"serving bounds on {fleet.url} with {workers} workers "
+            f"(store: {store_label})"
+        )
+        for worker_id, url in enumerate(fleet.worker_urls):
+            print(f"  worker {worker_id}: {url}")
+        print("endpoints: POST /v1/bounds  GET /v1/stats  GET /healthz  GET /metrics")
+        try:
+            fleet.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            fleet.close()
+        return 0
     server = build_server_from_args(args)
     store = server.service.store
     # `is not None`, not truthiness: an empty SpectrumStore has len() == 0.

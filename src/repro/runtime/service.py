@@ -184,6 +184,8 @@ class BoundService:
             "cache_hits": self._cache.hits,
             "cache_misses": self._cache.misses,
             "store_hits": self._cache.store_hits,
+            "lease_leaders": self._cache.lease_leaders,
+            "lease_followers": self._cache.lease_followers,
             "mincut_engines_cached": len(self._mincut_engines),
             "flow_calls": self._flow_calls,
         }

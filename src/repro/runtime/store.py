@@ -22,7 +22,16 @@ directory:
   (shared for reads, exclusive for writes), so concurrent writers cannot lose
   each other's entries;
 * a racing duplicate solve simply overwrites the blob with identical content
-  and leaves the existing index entry in place — wasteful, never wrong.
+  and leaves the existing index entry in place — wasteful, never wrong;
+* cold solves can additionally be *coalesced* across processes with a
+  *solve lease* (:meth:`SpectrumStore.acquire_lease`): one JSON file per
+  spectrum base id under ``<root>/leases/``, guarded by ``.leases.lock``,
+  carrying the leader's pid/host/heartbeat/ttl.  Followers poll
+  :meth:`wait_for_lease` and then re-read the published spectrum, so N
+  workers needing one cold spectrum pay exactly one eigensolve.  A lease
+  is only ever advisory — a follower whose wait times out solves anyway
+  (wasteful, never wrong), and a leader killed mid-solve hands over via
+  ttl expiry or same-host dead-pid detection.
 
 The store keeps cumulative ``solves_recorded`` in the index: every
 :meth:`put` is one eigensolve *somebody* paid for, which is what
@@ -37,6 +46,7 @@ import functools
 import hashlib
 import json
 import os
+import socket
 import tempfile
 import threading
 import time
@@ -78,11 +88,14 @@ def _timed_io(store: str, op: str):
 __all__ = [
     "StoredSpectrum",
     "SpectrumStore",
+    "SolveLease",
     "CutStore",
     "STORE_ENV_VAR",
     "STORE_MAX_BYTES_ENV_VAR",
+    "LEASE_TTL_ENV_VAR",
     "default_store_root",
     "default_store_max_bytes",
+    "default_lease_ttl",
 ]
 
 #: Environment variable overriding the default store location.
@@ -92,10 +105,23 @@ STORE_ENV_VAR = "REPRO_SPECTRUM_STORE"
 #: unset/empty/0 means unbounded.
 STORE_MAX_BYTES_ENV_VAR = "REPRO_SPECTRUM_STORE_MAX_BYTES"
 
+#: Environment variable giving the default solve-lease ttl (seconds);
+#: ``0`` (or negative) disables cross-process solve leasing entirely.
+LEASE_TTL_ENV_VAR = "REPRO_LEASE_TTL_SECONDS"
+
+#: Default solve-lease ttl: long enough that a heartbeating leader never
+#: loses a lease mid-eigensolve, short enough that a machine that lost
+#: power hands over within half a minute.
+DEFAULT_LEASE_TTL_SECONDS = 30.0
+
 _FORMAT_VERSION = 1
 _INDEX_NAME = "index.json"
 _LOCK_NAME = ".lock"
 _BLOB_DIR = "blobs"
+_LEASE_DIR = "leases"
+_LEASE_LOCK_NAME = ".leases.lock"
+
+_HOSTNAME = socket.gethostname()
 
 
 def default_store_root() -> Path:
@@ -119,6 +145,22 @@ def default_store_max_bytes() -> Optional[int]:
     except ValueError:
         return None
     return value if value > 0 else None
+
+
+def default_lease_ttl() -> float:
+    """The solve-lease ttl from ``$REPRO_LEASE_TTL_SECONDS``.
+
+    Unset or unparsable means :data:`DEFAULT_LEASE_TTL_SECONDS`; zero or
+    negative disables leasing (returned as ``0.0``).
+    """
+    env = os.environ.get(LEASE_TTL_ENV_VAR, "").strip()
+    if not env:
+        return DEFAULT_LEASE_TTL_SECONDS
+    try:
+        value = float(env)
+    except ValueError:
+        return DEFAULT_LEASE_TTL_SECONDS
+    return max(0.0, value)
 
 
 @dataclass(frozen=True)
@@ -218,6 +260,101 @@ def _flocked(root: Path, lock_name: str, exclusive: bool):
         os.close(fd)  # closing the descriptor releases the flock
 
 
+def _read_lease_file(path: Path) -> Optional[Dict[str, object]]:
+    """Parse one lease file; ``None`` if absent, a corrupt marker if broken.
+
+    A lease that fails to parse is indistinguishable from a crashed writer,
+    so it reads as a dict that :func:`_lease_is_stale` always rejects —
+    the next acquirer simply takes over.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except OSError:
+        return None
+    except json.JSONDecodeError:
+        return {"corrupt": True}
+    if not isinstance(data, dict):
+        return {"corrupt": True}
+    return data
+
+
+def _lease_is_stale(meta: Dict[str, object], now: float) -> bool:
+    """Whether a lease's holder should be presumed dead.
+
+    Stale iff the heartbeat is older than the ttl, or the holder lives on
+    *this* host and its pid no longer exists (``os.kill(pid, 0)``) — the
+    fast path that hands over a SIGKILLed leader's lease without waiting
+    out the ttl.  A live pid (or one we may not signal) defers to the ttl.
+    """
+    if meta.get("corrupt"):
+        return True
+    try:
+        heartbeat = float(meta.get("heartbeat_at", 0.0))
+        ttl = float(meta.get("ttl", 0.0))
+    except (TypeError, ValueError):
+        return True
+    if ttl <= 0 or now - heartbeat > ttl:
+        return True
+    pid = meta.get("pid")
+    if meta.get("host") == _HOSTNAME and isinstance(pid, int) and pid > 0:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:  # pragma: no cover - e.g. EPERM: pid exists
+            pass
+    return False
+
+
+class SolveLease:
+    """A held cross-process solve lease (returned by ``acquire_lease``).
+
+    A daemon thread refreshes the on-disk heartbeat every ``ttl / 4``
+    seconds, so a live leader keeps the lease through an arbitrarily long
+    eigensolve while a dead one expires within one ttl.  :meth:`release`
+    (idempotent; also the context-manager exit) stops the heartbeat and
+    deletes the lease file — but only while it still carries this lease's
+    token, so a takeover after a stale verdict is never clobbered.
+    """
+
+    def __init__(self, store: "SpectrumStore", path: Path, token: str, ttl: float) -> None:
+        self._store = store
+        self.path = path
+        self.token = token
+        self.ttl = float(ttl)
+        self._stop = threading.Event()
+        self._released = False
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"repro-lease-{path.stem[:12]}",
+            daemon=True,
+        )
+        self._heartbeat.start()
+
+    def _heartbeat_loop(self) -> None:
+        interval = max(self.ttl / 4.0, 0.02)
+        while not self._stop.wait(interval):
+            self._store._refresh_lease(self.path, self.token)
+
+    def release(self) -> None:
+        """Drop the lease (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        self._stop.set()
+        self._heartbeat.join(timeout=2.0)
+        self._store._drop_lease(self.path, self.token)
+
+    def __enter__(self) -> "SolveLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SolveLease(path={str(self.path)!r}, released={self._released})"
+
+
 class SpectrumStore:
     """File-system backed, fingerprint-keyed spectrum archive.
 
@@ -231,18 +368,25 @@ class SpectrumStore:
         exceeds it after a :meth:`put`, least-recently-used entries are
         evicted until the store fits.  ``None`` (default) reads
         ``$REPRO_SPECTRUM_STORE_MAX_BYTES``; unset means unbounded.
+    lease_ttl:
+        Heartbeat ttl (seconds) of cross-process solve leases.  ``None``
+        (default) reads ``$REPRO_LEASE_TTL_SECONDS`` (default 30);
+        ``<= 0`` disables leasing (``acquire_lease`` then raises).
     """
 
     def __init__(
         self,
         root: Union[str, Path, None] = None,
         max_bytes: Optional[int] = None,
+        lease_ttl: Optional[float] = None,
     ) -> None:
         self._root = Path(root) if root is not None else default_store_root()
         self._blob_dir = self._root / _BLOB_DIR
+        self._lease_dir = self._root / _LEASE_DIR
         self._max_bytes = max_bytes if max_bytes is not None else default_store_max_bytes()
         if self._max_bytes is not None and self._max_bytes < 1:
             raise ValueError(f"max_bytes must be positive, got {self._max_bytes}")
+        self._lease_ttl = max(0.0, float(lease_ttl)) if lease_ttl is not None else default_lease_ttl()
         # Per-handle traffic counters (the persistent counters live in the
         # index; these describe what *this* handle served).  One handle may
         # be shared by many engine threads — SpectrumCache calls get/put
@@ -267,6 +411,11 @@ class SpectrumStore:
     def max_bytes(self) -> Optional[int]:
         """Size cap of the blob directory (None = unbounded)."""
         return self._max_bytes
+
+    @property
+    def lease_ttl(self) -> float:
+        """Solve-lease heartbeat ttl in seconds (0 = leasing disabled)."""
+        return self._lease_ttl
 
     @property
     def hits(self) -> int:
@@ -442,6 +591,143 @@ class SpectrumStore:
         return entry_id
 
     # ------------------------------------------------------------------
+    # cross-process solve leases
+    # ------------------------------------------------------------------
+    def acquire_lease(
+        self,
+        fingerprint: str,
+        normalized: bool = True,
+        sparse: bool = False,
+        eig_options: Optional[EigenSolverOptions] = None,
+        variant: str = "exact",
+        ttl: Optional[float] = None,
+    ) -> Optional[SolveLease]:
+        """Try to become the solve leader for one spectrum; ``None`` if held.
+
+        The lease is keyed by the same base id as the stored entries —
+        fingerprint, normalisation, assembly, solver options, variant, but
+        *not* the truncation ``h`` — so every query shape needing one cold
+        spectrum contends for a single lease.  A held-but-stale lease
+        (expired heartbeat, or a dead pid on this host) is taken over in
+        place.  The winner gets a heartbeating :class:`SolveLease` it must
+        :meth:`~SolveLease.release` after publishing via :meth:`put`.
+        """
+        effective_ttl = max(0.0, float(ttl)) if ttl is not None else self._lease_ttl
+        if effective_ttl <= 0:
+            raise ValueError("solve leasing is disabled (lease_ttl <= 0)")
+        path = self._lease_path(fingerprint, normalized, sparse, eig_options, variant)
+        self._lease_dir.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        token = f"{_HOSTNAME}:{os.getpid()}:{time.monotonic_ns():x}"
+        with self._lease_locked():
+            current = _read_lease_file(path)
+            if current is not None and not _lease_is_stale(current, now):
+                return None
+            _atomic_write_text(
+                path,
+                json.dumps(
+                    {
+                        "pid": os.getpid(),
+                        "host": _HOSTNAME,
+                        "token": token,
+                        "fingerprint": fingerprint,
+                        "variant": str(variant),
+                        "created_at": now,
+                        "heartbeat_at": now,
+                        "ttl": effective_ttl,
+                    }
+                ),
+            )
+        return SolveLease(self, path, token, effective_ttl)
+
+    def wait_for_lease(
+        self,
+        fingerprint: str,
+        normalized: bool = True,
+        sparse: bool = False,
+        eig_options: Optional[EigenSolverOptions] = None,
+        variant: str = "exact",
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ) -> str:
+        """Block while another process holds the solve lease.
+
+        Returns ``"released"`` once the lease file is gone (the leader
+        published and released — re-read the store), ``"stale"`` if the
+        leader died (try :meth:`acquire_lease` again), or ``"timeout"``
+        after ``timeout`` seconds (default: twice the ttl, at least 10 s)
+        — at which point the caller should just solve; wasteful, never
+        wrong.
+        """
+        path = self._lease_path(fingerprint, normalized, sparse, eig_options, variant)
+        if timeout is None:
+            timeout = max(10.0, 2.0 * max(self._lease_ttl, 1.0))
+        deadline = time.monotonic() + timeout
+        while True:
+            meta = _read_lease_file(path)
+            if meta is None:
+                return "released"
+            if _lease_is_stale(meta, time.time()):
+                return "stale"
+            if time.monotonic() >= deadline:
+                return "timeout"
+            time.sleep(poll_interval)
+
+    def leases(self) -> List[Dict[str, object]]:
+        """Metadata of every lease file (holder, age, staleness)."""
+        if not self._lease_dir.exists():
+            return []
+        now = time.time()
+        rows: List[Dict[str, object]] = []
+        for path in sorted(self._lease_dir.glob("*.json")):
+            meta = _read_lease_file(path)
+            if meta is None:  # deleted between glob and read
+                continue
+            rows.append(
+                {
+                    "lease": path.stem,
+                    "fingerprint": str(meta.get("fingerprint", "?"))[:12],
+                    "variant": str(meta.get("variant", "?")),
+                    "pid": meta.get("pid"),
+                    "host": meta.get("host"),
+                    "age_seconds": now - float(meta.get("created_at", now) or now),
+                    "ttl": meta.get("ttl"),
+                    "stale": _lease_is_stale(meta, now),
+                }
+            )
+        return rows
+
+    def _lease_path(
+        self,
+        fingerprint: str,
+        normalized: bool,
+        sparse: bool,
+        eig_options: Optional[EigenSolverOptions],
+        variant: str,
+    ) -> Path:
+        base = _base_id(fingerprint, normalized, sparse, eig_options, variant)
+        return self._lease_dir / f"{base}.json"
+
+    def _refresh_lease(self, path: Path, token: str) -> None:
+        """Rewrite a held lease's heartbeat (heartbeat-thread callback)."""
+        with self._lease_locked():
+            meta = _read_lease_file(path)
+            if meta is not None and meta.get("token") == token:
+                meta["heartbeat_at"] = time.time()
+                with contextlib.suppress(OSError):
+                    _atomic_write_text(path, json.dumps(meta))
+
+    def _drop_lease(self, path: Path, token: str) -> None:
+        with self._lease_locked():
+            meta = _read_lease_file(path)
+            if meta is not None and meta.get("token") == token:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+
+    def _lease_locked(self):
+        return _flocked(self._root, _LEASE_LOCK_NAME, exclusive=True)
+
+    # ------------------------------------------------------------------
     # management
     # ------------------------------------------------------------------
     def entries(self) -> List[Dict[str, object]]:
@@ -481,6 +767,7 @@ class SpectrumStore:
             blob = self._blob_dir / f"{entry_id}.npz"
             if blob.exists():
                 total_bytes += blob.stat().st_size
+        leases = self.leases()
         return {
             "root": str(self._root),
             "num_entries": len(entries),
@@ -491,6 +778,9 @@ class SpectrumStore:
             "handle_hits": self._hits,
             "handle_misses": self._misses,
             "handle_puts": self._puts,
+            "lease_ttl": self._lease_ttl,
+            "active_leases": sum(1 for lease in leases if not lease["stale"]),
+            "stale_leases": sum(1 for lease in leases if lease["stale"]),
         }
 
     def clear(
@@ -543,13 +833,18 @@ class SpectrumStore:
         * **corrupt** — blobs that fail to load or whose eigenvalue vector is
           malformed (wrong length, non-ascending, non-finite),
         * **orphaned** — ``.npz`` files in the blob directory that no index
-          entry references (e.g. left behind by an index reset).
+          entry references (e.g. left behind by an index reset),
+        * **stale leases** — solve-lease files whose holder is dead
+          (expired heartbeat or dead pid on this host); live leases are
+          reported but never flagged.
 
         With ``fix=True`` missing/corrupt entries are dropped from the index
         and corrupt/orphaned blob files deleted.  Orphan deletion re-scans
         under the exclusive lock and skips blobs younger than a minute:
         :meth:`put` writes the blob *before* indexing it, so a fresh blob
-        may simply not be indexed yet by a concurrent writer.  Returns a
+        may simply not be indexed yet by a concurrent writer.  Stale lease
+        files are deleted after a re-check under the lease lock (a waiter
+        may have legitimately taken one over since the scan).  Returns a
         report dict.
         """
         with self._locked(exclusive=False):
@@ -595,7 +890,20 @@ class SpectrumStore:
                 for name in self._blob_dir.glob("*.npz")
                 if name.name not in known
             )
+        lease_rows = self.leases()
+        stale_leases = sorted(row["lease"] for row in lease_rows if row["stale"])
         removed = 0
+        leases_removed = 0
+        if fix and stale_leases:
+            with self._lease_locked():
+                now = time.time()
+                for name in stale_leases:
+                    path = self._lease_dir / f"{name}.json"
+                    meta = _read_lease_file(path)
+                    if meta is not None and _lease_is_stale(meta, now):
+                        with contextlib.suppress(OSError):
+                            path.unlink()
+                            leases_removed += 1
         if fix and (missing or corrupt or orphaned):
             with self._locked(exclusive=True):
                 index = self._read_index()
@@ -625,9 +933,12 @@ class SpectrumStore:
             "missing": missing,
             "corrupt": corrupt,
             "orphaned_blobs": orphaned,
-            "ok": not (missing or corrupt or orphaned),
+            "active_leases": sum(1 for row in lease_rows if not row["stale"]),
+            "stale_leases": stale_leases,
+            "ok": not (missing or corrupt or orphaned or stale_leases),
             "fixed": bool(fix),
             "entries_removed": removed,
+            "leases_removed": leases_removed,
         }
 
     # ------------------------------------------------------------------

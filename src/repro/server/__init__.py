@@ -14,8 +14,12 @@ JSON-decode requests into :class:`BoundQuery` objects and call
   eigensolve/flow-call/cache counters;
 * :mod:`repro.server.runner` — the threaded stdlib server with admission
   control (bounded in-flight solves + queue, 429 on overload) and
-  in-flight coalescing of identical queries;
-* :mod:`repro.server.client` — a thin :mod:`urllib` client.
+  in-flight coalescing of identical queries, plus the pre-forked
+  :class:`ServerFleet` (``--workers N``): shared-socket accept sharding,
+  consistent-hash 307 routing to each graph's owning worker, and worker
+  supervision/respawn;
+* :mod:`repro.server.client` — a thin stdlib keep-alive client that
+  follows shard redirects.
 
 ``python -m repro serve`` boots the whole stack from the CLI.
 """
@@ -25,9 +29,14 @@ from repro.server.client import BoundsClient, ServerError
 from repro.server.metrics import MetricsRegistry
 from repro.server.protocol import PROTOCOL_VERSION, GraphRegistry, ProtocolError
 from repro.server.runner import (
+    SERVE_WORKERS_ENV_VAR,
     AdmissionController,
     BoundServer,
+    FleetConfig,
     QueryCoalescer,
+    ServerFleet,
+    ShardInfo,
+    ShardRing,
 )
 
 __all__ = [
@@ -35,11 +44,16 @@ __all__ = [
     "BoundServer",
     "BoundsApp",
     "BoundsClient",
+    "FleetConfig",
     "GraphRegistry",
     "MetricsRegistry",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueryCoalescer",
+    "SERVE_WORKERS_ENV_VAR",
     "ServerError",
+    "ServerFleet",
     "ServerOverloadedError",
+    "ShardInfo",
+    "ShardRing",
 ]

@@ -67,6 +67,11 @@ _SLOW_QUERIES = global_registry().counter(
     "HTTP requests slower than the REPRO_SLOW_QUERY_SECONDS threshold.",
 )
 
+_SHARD_REDIRECTS = global_registry().counter(
+    "repro_shard_redirects_total",
+    "Shared-socket batches redirected (307) to their owning worker.",
+)
+
 
 def _slow_query_threshold() -> Optional[float]:
     raw = os.environ.get(SLOW_QUERY_ENV_VAR)
@@ -85,6 +90,7 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 
 _REASONS = {
     200: "OK",
+    307: "Temporary Redirect",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -132,6 +138,14 @@ class BoundsApp:
         that must actually solve pass through it.
     coalescer:
         Optional in-flight coalescer for identical concurrent queries.
+    sharding:
+        Optional :class:`repro.server.runner.ShardInfo` (duck-typed:
+        ``worker_id``, ``owner(key)``, ``url_for(id)``, ``describe()``).
+        When set, this app is one worker of a fleet: it stamps
+        ``X-Repro-Worker`` on every response, and shared-socket
+        ``/v1/bounds`` batches wholly owned by a *different* worker are
+        307-redirected to that worker's direct port so its memory tier
+        stays hot for its shard.
     solve_timeout_seconds:
         Ceiling on waiting for another request's in-flight solve.
     """
@@ -143,6 +157,7 @@ class BoundsApp:
         graphs: Optional[GraphRegistry] = None,
         admission=None,
         coalescer=None,
+        sharding=None,
         solve_timeout_seconds: float = 300.0,
     ) -> None:
         self._service = service
@@ -150,6 +165,7 @@ class BoundsApp:
         self._graphs = graphs if graphs is not None else GraphRegistry()
         self._admission = admission
         self._coalescer = coalescer
+        self._sharding = sharding
         self._solve_timeout = solve_timeout_seconds
         self._slow_query_seconds = _slow_query_threshold()
         self._slow_log = get_logger("server.slow")
@@ -290,6 +306,8 @@ class BoundsApp:
             ("Content-Type", content_type),
             ("Content-Length", str(len(raw))),
         ] + list(extra_headers)
+        if self._sharding is not None:
+            headers.append(("X-Repro-Worker", str(self._sharding.worker_id)))
         if request_span.trace_id is not None:
             headers.append(("X-Repro-Trace-Id", request_span.trace_id))
         if self._slow_query_seconds is not None and elapsed >= self._slow_query_seconds:
@@ -342,11 +360,16 @@ class BoundsApp:
             body["admission"] = self._admission.stats()
         if self._coalescer is not None:
             body["coalescing"] = self._coalescer.stats()
+        if self._sharding is not None:
+            body["fleet"] = self._sharding.describe()
         return 200, body, []
 
     def _handle_bounds(self, environ):
         payload = self._read_json_body(environ)
         decoded = decode_bounds_request(payload, self._graphs)
+        redirect = self._shard_redirect(environ, decoded)
+        if redirect is not None:
+            return redirect
         for item in decoded:
             self._queries_total.inc(
                 method=item.query.method, normalization=item.query.normalization
@@ -354,6 +377,33 @@ class BoundsApp:
         answers = self._solve(decoded)
         body = encode_answers(answers, [item.fingerprint for item in decoded])
         return 200, body, []
+
+    def _shard_redirect(self, environ, decoded: List[DecodedQuery]):
+        """307 to the owning worker, or ``None`` to serve locally.
+
+        Only batches arriving on the fleet's *shared* socket (tagged
+        ``repro.shard_redirect`` by the worker runner) are eligible —
+        direct-port traffic is served where it lands, which is what makes
+        redirect loops structurally impossible.  A batch is bounced only
+        when every query in it is owned by one single *other* worker;
+        mixed-owner batches are served locally rather than split.
+        """
+        if self._sharding is None or not environ.get("repro.shard_redirect"):
+            return None
+        owners = {self._sharding.owner(item.routing_key) for item in decoded}
+        if len(owners) != 1:
+            return None
+        owner = owners.pop()
+        if owner == self._sharding.worker_id:
+            return None
+        _SHARD_REDIRECTS.inc()
+        location = f"{self._sharding.url_for(owner)}/v1/bounds"
+        body = {
+            "redirect": location,
+            "owner_worker": owner,
+            "worker": self._sharding.worker_id,
+        }
+        return 307, body, [("Location", location)]
 
     def _read_json_body(self, environ) -> object:
         try:

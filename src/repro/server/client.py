@@ -1,21 +1,41 @@
-"""Thin stdlib HTTP client for the bounds server.
+"""Thin stdlib HTTP client for the bounds server and its fleets.
 
 :class:`BoundsClient` speaks the versioned ``/v1`` protocol of
-:mod:`repro.server.protocol` over :mod:`urllib` — no third-party
+:mod:`repro.server.protocol` over :mod:`http.client` — no third-party
 dependencies, which is the point: the test suite and the load-generating
-benchmark exercise the server exactly the way an external service would,
-and any structured server error surfaces as a typed :class:`ServerError`
-(with ``status``, ``code`` and the 429 ``Retry-After`` hint) instead of a
-bare ``HTTPError``.
+benchmark exercise the server exactly the way an external service would.
+
+Transport properties that matter for measuring the server honestly:
+
+* **keep-alive** — one pooled :class:`http.client.HTTPConnection` per
+  host:port, reused across requests, so a client thread pays the TCP
+  handshake once per connection rather than once per request (the server
+  side speaks HTTP/1.1 since :class:`repro.server.runner` grew persistent
+  connections).  A connection that died while pooled (server restart,
+  idle timeout) is retried once on a fresh connection — only ever for
+  *reused* connections, so a genuinely failing request still fails.
+* **redirects** — 307/308 are followed with method and body preserved
+  (``urllib`` refuses to re-POST), which is how a fleet's shard routing
+  reaches the client: the shared port answers 307 to the owning worker's
+  direct port and the client transparently lands there.
+* **typed errors** — any structured server error surfaces as
+  :class:`ServerError` (``status``, ``code``, the 429 ``Retry-After``
+  hint) instead of a bare exception.
 """
 
 from __future__ import annotations
 
 import json
 import re
-from typing import Dict, List, Optional, Sequence, Union
-from urllib.error import HTTPError, URLError
-from urllib.request import Request, urlopen
+import threading
+from http.client import (
+    BadStatusLine,
+    HTTPConnection,
+    HTTPException,
+    RemoteDisconnected,
+)
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import urljoin, urlsplit
 
 from repro.runtime.service import BoundAnswer, BoundQuery
 from repro.server.protocol import decode_answers, encode_bounds_request
@@ -25,6 +45,12 @@ __all__ = ["BoundsClient", "ServerError", "parse_metric"]
 _METRIC_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$"
 )
+
+_LABEL_PAIR = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+#: Redirect-following ceiling; a shard redirect is exactly one hop, so
+#: hitting this means the fleet is misconfigured, not that we need depth.
+_MAX_REDIRECTS = 3
 
 
 class ServerError(RuntimeError):
@@ -44,77 +70,184 @@ class ServerError(RuntimeError):
         self.retry_after_seconds = retry_after_seconds
 
 
-def parse_metric(metrics_text: str, name: str) -> float:
+def _parse_labels(raw: Optional[str]) -> Dict[str, str]:
+    if not raw:
+        return {}
+    return {m.group("key"): m.group("value") for m in _LABEL_PAIR.finditer(raw)}
+
+
+def parse_metric(metrics_text: str, name: str, **labels: str) -> float:
     """Sum of every sample of ``name`` in a Prometheus text exposition.
 
-    Histogram series must be addressed by their full sample name
-    (``..._count``, ``..._sum``); plain counters and gauges by their metric
-    name.  Raises ``KeyError`` when no sample matches — asking for a metric
-    the server does not export should fail loudly in tests and CI.
+    Keyword arguments filter by label: ``parse_metric(text,
+    "repro_lease_total", role="leader")`` sums only samples whose label
+    set contains ``role="leader"`` (extra labels on the sample — e.g. the
+    fleet's ``worker`` process label — are ignored).  Histogram series
+    must be addressed by their full sample name (``..._count``,
+    ``..._sum``); plain counters and gauges by their metric name.  Raises
+    ``KeyError`` when no sample matches — asking for a metric the server
+    does not export should fail loudly in tests and CI.
     """
     total = 0.0
     found = False
+    wanted = {key: str(value) for key, value in labels.items()}
     for line in metrics_text.splitlines():
         if line.startswith("#"):
             continue
         match = _METRIC_LINE.match(line.strip())
-        if match and match.group("name") == name:
-            total += float(match.group("value"))
-            found = True
+        if not match or match.group("name") != name:
+            continue
+        if wanted:
+            sample_labels = _parse_labels(match.group("labels"))
+            if any(sample_labels.get(k) != v for k, v in wanted.items()):
+                continue
+        total += float(match.group("value"))
+        found = True
     if not found:
         raise KeyError(f"metric {name!r} not found in exposition")
     return total
 
 
 class BoundsClient:
-    """Client for one bounds server, e.g. ``BoundsClient("http://host:port")``."""
+    """Client for one bounds server, e.g. ``BoundsClient("http://host:port")``.
+
+    Thread-safe; connections are pooled per ``host:port`` *and* per
+    thread, so concurrent benchmark threads each keep their own persistent
+    connection instead of serialising on one socket.  Use as a context
+    manager (or call :meth:`close`) to drop the pooled connections.
+    """
 
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._all_connections: List[HTTPConnection] = []
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+    def _pool(self) -> Dict[str, Tuple[HTTPConnection, bool]]:
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+        return pool
+
+    def _connection(self, netloc: str) -> Tuple[HTTPConnection, bool]:
+        """This thread's pooled connection for ``netloc`` + reused flag."""
+        pool = self._pool()
+        conn = pool.get(netloc)
+        if conn is not None:
+            return conn, True
+        conn = HTTPConnection(netloc, timeout=self.timeout)
+        pool[netloc] = conn
+        with self._lock:
+            self._all_connections.append(conn)
+        return conn, False
+
+    def _discard(self, netloc: str) -> None:
+        conn = self._pool().pop(netloc, None)
+        if conn is not None:
+            conn.close()
+            with self._lock:
+                try:
+                    self._all_connections.remove(conn)
+                except ValueError:
+                    pass
+
     def _request(self, path: str, payload: Optional[dict] = None) -> bytes:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
         url = f"{self.base_url}{path}"
-        if payload is not None:
-            request = Request(
-                url,
-                data=json.dumps(payload).encode("utf-8"),
-                headers={"Content-Type": "application/json"},
-                method="POST",
-            )
-        else:
-            request = Request(url, method="GET")
+        for _ in range(_MAX_REDIRECTS + 1):
+            status, headers, raw = self._round_trip(url, body)
+            if status in (307, 308):
+                location = headers.get("Location")
+                if not location:
+                    raise ServerError(status, "bad-redirect",
+                                      f"{url}: redirect without a Location header")
+                url = urljoin(url, location)
+                continue
+            if 200 <= status < 300:
+                return raw
+            raise self._server_error(status, headers, raw)
+        raise ServerError(0, "redirect-loop",
+                          f"{url}: more than {_MAX_REDIRECTS} redirects")
+
+    def _round_trip(
+        self, url: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        parts = urlsplit(url)
+        netloc = parts.netloc
+        target = parts.path or "/"
+        if parts.query:
+            target += f"?{parts.query}"
+        method = "POST" if body is not None else "GET"
+        request_headers = {"Content-Type": "application/json"} if body else {}
+        conn, reused = self._connection(netloc)
         try:
-            with urlopen(request, timeout=self.timeout) as response:
-                return response.read()
-        except HTTPError as exc:
-            raise self._server_error(exc) from None
-        except URLError as exc:
-            raise ServerError(0, "unreachable", f"{url}: {exc.reason}") from None
+            conn.request(method, target, body=body, headers=request_headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (RemoteDisconnected, BadStatusLine, BrokenPipeError,
+                ConnectionResetError) as exc:
+            # A *reused* connection may have been closed server-side while
+            # pooled (restart, keep-alive timeout); that is the one case a
+            # transparent retry on a fresh connection is sound — the
+            # request never reached a handler.  A fresh connection failing
+            # the same way is a real error.
+            self._discard(netloc)
+            if not reused:
+                raise ServerError(0, "unreachable", f"{url}: {exc}") from None
+            conn, _ = self._connection(netloc)
+            try:
+                conn.request(method, target, body=body, headers=request_headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, HTTPException) as retry_exc:
+                self._discard(netloc)
+                raise ServerError(0, "unreachable", f"{url}: {retry_exc}") from None
+        except (OSError, HTTPException) as exc:
+            self._discard(netloc)
+            raise ServerError(0, "unreachable", f"{url}: {exc}") from None
+        headers = {key: value for key, value in response.getheaders()}
+        if response.will_close:
+            self._discard(netloc)
+        return response.status, headers, raw
 
     @staticmethod
-    def _server_error(exc: HTTPError) -> ServerError:
-        code, message = "unknown", exc.reason
+    def _server_error(status: int, headers: Dict[str, str], raw: bytes) -> ServerError:
+        code, message = "unknown", f"HTTP {status}"
         try:
-            error = json.loads(exc.read().decode("utf-8")).get("error", {})
+            error = json.loads(raw.decode("utf-8")).get("error", {})
             code = error.get("code", code)
             message = error.get("message", message)
         except (ValueError, AttributeError):
             pass
-        retry_after = exc.headers.get("Retry-After") if exc.headers else None
+        retry_after = headers.get("Retry-After")
         try:
             # RFC 9110 also allows an HTTP-date here (a proxy may shed load
             # with one); anything non-numeric degrades to "no hint".
             retry_after_seconds = float(retry_after) if retry_after is not None else None
         except ValueError:
             retry_after_seconds = None
-        return ServerError(exc.code, code, message, retry_after_seconds)
+        return ServerError(status, code, message, retry_after_seconds)
 
     def _get_json(self, path: str) -> dict:
         return json.loads(self._request(path).decode("utf-8"))
+
+    def close(self) -> None:
+        """Close every pooled connection (all threads)."""
+        with self._lock:
+            connections, self._all_connections = self._all_connections, []
+        for conn in connections:
+            conn.close()
+        self._local = threading.local()
+
+    def __enter__(self) -> "BoundsClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # endpoints
@@ -127,13 +260,25 @@ class BoundsClient:
         """``GET /v1/stats``."""
         return self._get_json("/v1/stats")
 
+    def fleet_worker_urls(self) -> List[str]:
+        """Direct per-worker base URLs, or ``[]`` off a plain server.
+
+        From ``/v1/stats``'s ``fleet`` block; per-worker ``/metrics`` are
+        scraped at these (each worker is its own process — the shared
+        port would answer for whichever worker won the accept).
+        """
+        fleet = self.stats().get("fleet")
+        if not isinstance(fleet, dict):
+            return []
+        return [str(url) for url in fleet.get("worker_urls", [])]
+
     def metrics_text(self) -> str:
         """``GET /metrics`` — the raw Prometheus exposition."""
         return self._request("/metrics").decode("utf-8")
 
-    def metric(self, name: str) -> float:
+    def metric(self, name: str, **labels: str) -> float:
         """One metric's summed value, scraped from ``GET /metrics``."""
-        return parse_metric(self.metrics_text(), name)
+        return parse_metric(self.metrics_text(), name, **labels)
 
     def bounds(
         self, queries: Sequence[Union[BoundQuery, Dict[str, object]]]

@@ -30,6 +30,16 @@ Properties:
   Disk hits count as ``hits`` (no eigensolve happened) and are additionally
   tallied in ``store_hits``; ``misses`` keeps meaning "eigensolves
   performed".
+* **Cross-process solve coalescing** — when the store's solve leases are
+  enabled (``lease_ttl > 0``, the default), a cold miss first tries to
+  become the *lease leader* for that spectrum; losers block on the lease
+  and then read the published spectrum from the store, so concurrent cold
+  misses across worker processes (and across different ``M``/truncations,
+  which share one spectrum) pay exactly one eigensolve.  A follower whose
+  wait times out — or whose leader died — falls back to solving itself:
+  wasteful, never wrong.  Episodes are counted in ``lease_leaders`` /
+  ``lease_followers`` and the ``repro_lease_total{role=...}`` metric, with
+  follower wait time in the ``repro_lease_wait_seconds`` histogram.
 
 The module-level :func:`default_spectrum_cache` is shared by all
 :class:`~repro.core.engine.BoundEngine` instances that are not given an
@@ -83,6 +93,20 @@ _SPECTRUM_LOOKUPS = obs.global_registry().counter(
     "Spectrum fetches by serving tier (memory/store hit vs fresh solve).",
     labelnames=("tier",),
 )
+_LEASE_TOTAL = obs.global_registry().counter(
+    "repro_lease_total",
+    "Cross-process solve-lease episodes: leaders solved, followers waited.",
+    labelnames=("role",),
+)
+_LEASE_WAIT_SECONDS = obs.global_registry().histogram(
+    "repro_lease_wait_seconds",
+    "Time followers spent blocked on another process's solve lease.",
+)
+
+#: How many acquire→wait→re-read rounds a cold miss plays before giving up
+#: on coalescing and solving redundantly.  Each round only recurs when a
+#: leader died or raced away, so 4 bounds pathological churn, not latency.
+_LEASE_MAX_ROUNDS = 4
 
 
 @dataclass(frozen=True)
@@ -178,6 +202,8 @@ class SpectrumCache:
         self._hits = 0
         self._misses = 0
         self._store_hits = 0
+        self._lease_leaders = 0
+        self._lease_followers = 0
 
     # ------------------------------------------------------------------
     # stats / management
@@ -207,6 +233,16 @@ class SpectrumCache:
         return self._store_hits
 
     @property
+    def lease_leaders(self) -> int:
+        """Cold misses this cache won a cross-process solve lease for."""
+        return self._lease_leaders
+
+    @property
+    def lease_followers(self) -> int:
+        """Cold misses this cache waited out another process's lease for."""
+        return self._lease_followers
+
+    @property
     def store(self) -> "Optional[SpectrumStore]":
         """The persistent second tier, if configured."""
         return self._store
@@ -227,6 +263,8 @@ class SpectrumCache:
             self._hits = 0
             self._misses = 0
             self._store_hits = 0
+            self._lease_leaders = 0
+            self._lease_followers = 0
 
     # ------------------------------------------------------------------
     # lookup
@@ -293,18 +331,19 @@ class SpectrumCache:
         # longer one) from an earlier run or another process.  Checked
         # outside the lock — it is disk I/O.  A broken store (unreadable
         # mount, permission error on the lock file) degrades to a cold
-        # solve, mirroring the write path below.
+        # solve, mirroring the write path below.  A genuine store miss then
+        # contends for the cross-process solve lease: leaders solve below
+        # (and release in the ``finally``), followers come back with the
+        # spectrum the leader published.
+        lease = None
         if self._store is not None:
-            try:
-                stored = self._store.get(
-                    base_key[0],
-                    h,
-                    normalized=bool(normalized),
-                    sparse=bool(use_sparse),
-                    eig_options=options,
+            stored = self._fetch_stored(
+                base_key[0], h, normalized, use_sparse, options, "exact"
+            )
+            if stored is None:
+                stored, lease = self._claim_solve(
+                    base_key[0], h, normalized, use_sparse, options, "exact"
                 )
-            except OSError:
-                stored = None
             if stored is not None:
                 stored_key = base_key + (stored.num_eigenvalues,)
                 with self._lock:
@@ -329,23 +368,29 @@ class SpectrumCache:
         # Solve outside the lock: concurrent misses on the same key may solve
         # twice, which is wasteful but never wrong (results are identical for
         # deterministic backends).
-        values, solve_seconds, backend = self._solve(
-            graph, h, normalized, options, use_sparse, lineage
-        )
-        if self._store is not None:
-            try:
-                self._store.put(
-                    base_key[0],
-                    values,
-                    solve_seconds,
-                    normalized=bool(normalized),
-                    sparse=bool(use_sparse),
-                    eig_options=options,
-                    backend=backend,
-                    lineage=lineage,
-                )
-            except OSError:
-                pass  # a full/read-only disk must not break the computation
+        try:
+            values, solve_seconds, backend = self._solve(
+                graph, h, normalized, options, use_sparse, lineage
+            )
+            if self._store is not None:
+                try:
+                    self._store.put(
+                        base_key[0],
+                        values,
+                        solve_seconds,
+                        normalized=bool(normalized),
+                        sparse=bool(use_sparse),
+                        eig_options=options,
+                        backend=backend,
+                        lineage=lineage,
+                    )
+                except OSError:
+                    pass  # a full/read-only disk must not break the computation
+        finally:
+            # Publish-then-release ordering: followers re-read the store the
+            # moment the lease file disappears, so the entry must be there.
+            if lease is not None:
+                lease.release()
         with self._lock:
             self._entries[key] = (values, solve_seconds, backend)
             self._entries.move_to_end(key)
@@ -397,6 +442,94 @@ class SpectrumCache:
             active.set_attr(backend=result.backend)
             _EIG_SECONDS.observe(elapsed, backend=result.backend, dtype=options.dtype)
             return values, elapsed, result.backend
+
+    # ------------------------------------------------------------------
+    # store tier + cross-process lease plumbing
+    # ------------------------------------------------------------------
+    def _fetch_stored(self, fingerprint, h, normalized, use_sparse, options, variant):
+        """One store lookup; a broken store reads as a miss."""
+        try:
+            return self._store.get(
+                fingerprint,
+                h,
+                normalized=bool(normalized),
+                sparse=bool(use_sparse),
+                eig_options=options,
+                variant=variant,
+            )
+        except OSError:
+            return None
+
+    def _claim_solve(self, fingerprint, h, normalized, use_sparse, options, variant):
+        """Contend for the cross-process solve lease on one cold spectrum.
+
+        Returns ``(stored, lease)`` with at most one side set: ``stored``
+        when another process's leader published the spectrum while we
+        waited (serve it as a store hit), ``lease`` when *we* are the
+        leader and must solve — and release.  ``(None, None)`` means
+        leasing is disabled/broken or the wait timed out; the caller just
+        solves (wasteful, never wrong).  The lease key deliberately
+        excludes ``h``, so every truncation of one spectrum coalesces.
+        """
+        store = self._store
+        if store is None or store.lease_ttl <= 0:
+            return None, None
+        waited = 0.0
+        followed = False
+        try:
+            for _ in range(_LEASE_MAX_ROUNDS):
+                try:
+                    lease = store.acquire_lease(
+                        fingerprint,
+                        normalized=bool(normalized),
+                        sparse=bool(use_sparse),
+                        eig_options=options,
+                        variant=variant,
+                    )
+                except (OSError, ValueError):
+                    return None, None
+                if lease is not None:
+                    # Re-check the store now that we hold the lease: the
+                    # previous leader may have published and released in
+                    # the window since our fetch missed.  Without this a
+                    # late acquirer would re-solve a published spectrum.
+                    stored = self._fetch_stored(
+                        fingerprint, h, normalized, use_sparse, options, variant
+                    )
+                    if stored is not None:
+                        lease.release()
+                        return stored, None
+                    with self._lock:
+                        self._lease_leaders += 1
+                    _LEASE_TOTAL.inc(role="leader")
+                    return None, lease
+                followed = True
+                start = time.perf_counter()
+                outcome = store.wait_for_lease(
+                    fingerprint,
+                    normalized=bool(normalized),
+                    sparse=bool(use_sparse),
+                    eig_options=options,
+                    variant=variant,
+                )
+                waited += time.perf_counter() - start
+                # Whatever ended the wait, the published spectrum wins; a
+                # "stale" verdict without one loops back to take the lease
+                # over, "timeout" falls through to a redundant solve.
+                stored = self._fetch_stored(
+                    fingerprint, h, normalized, use_sparse, options, variant
+                )
+                if stored is not None:
+                    return stored, None
+                if outcome == "timeout":
+                    return None, None
+        finally:
+            if followed:
+                with self._lock:
+                    self._lease_followers += 1
+                _LEASE_TOTAL.inc(role="follower")
+                _LEASE_WAIT_SECONDS.observe(waited)
+        return None, None
 
     # ------------------------------------------------------------------
     # certified interval lookup (coarsened spectra)
@@ -465,18 +598,15 @@ class SpectrumCache:
                     up.flags.writeable = False
                     return _result(lo, up, seconds, True, backend)
 
+        lease = None
         if self._store is not None:
-            try:
-                stored = self._store.get(
-                    base_key[0],
-                    h,
-                    normalized=bool(normalized),
-                    sparse=bool(use_sparse),
-                    eig_options=options,
-                    variant=variant,
+            stored = self._fetch_stored(
+                base_key[0], h, normalized, use_sparse, options, variant
+            )
+            if stored is None:
+                stored, lease = self._claim_solve(
+                    base_key[0], h, normalized, use_sparse, options, variant
                 )
-            except OSError:
-                stored = None
             if stored is not None:
                 upper = stored.eigenvalues
                 # Degenerate (exact) interval entries may omit the lower
@@ -499,56 +629,60 @@ class SpectrumCache:
                 up.flags.writeable = False
                 return _result(lo, up, stored.solve_seconds, True, stored.backend)
 
-        with obs.span(
-            "eigensolve",
-            fingerprint=graph.fingerprint() if obs.enabled() else None,
-            h=h,
-            dtype=options.dtype,
-            coarse=True,
-        ) as active:
-            start = time.perf_counter()
-            if use_sparse:
-                lap = laplacian_operator(graph, normalized=normalized)
-            else:
-                lap = laplacian(graph, normalized=normalized, sparse=False)
-            interval = certified_interval_spectrum(
-                lap,
-                h,
-                options,
-                ratio=ratio,
-                seed=coarsen_seed,
-                warm_start=self._warm_start,
-                lineage=lineage,
-                normalized=normalized,
-            )
-            lower, upper = interval.lower, interval.upper
-            if not normalized:
-                max_out = graph.freeze().max_out_degree
-                scale = 1.0 / max_out if max_out else 0.0
-                lower, upper = lower * scale, upper * scale
-            lower = np.ascontiguousarray(lower, dtype=np.float64)
-            upper = np.ascontiguousarray(upper, dtype=np.float64)
-            lower.flags.writeable = False
-            upper.flags.writeable = False
-            solve_seconds = time.perf_counter() - start
-            active.set_attr(backend=interval.backend)
-            _EIG_SECONDS.observe(solve_seconds, backend=interval.backend, dtype=options.dtype)
-        if self._store is not None:
-            try:
-                self._store.put(
-                    base_key[0],
-                    upper,
-                    solve_seconds,
-                    normalized=bool(normalized),
-                    sparse=bool(use_sparse),
-                    eig_options=options,
-                    backend=interval.backend,
+        try:
+            with obs.span(
+                "eigensolve",
+                fingerprint=graph.fingerprint() if obs.enabled() else None,
+                h=h,
+                dtype=options.dtype,
+                coarse=True,
+            ) as active:
+                start = time.perf_counter()
+                if use_sparse:
+                    lap = laplacian_operator(graph, normalized=normalized)
+                else:
+                    lap = laplacian(graph, normalized=normalized, sparse=False)
+                interval = certified_interval_spectrum(
+                    lap,
+                    h,
+                    options,
+                    ratio=ratio,
+                    seed=coarsen_seed,
+                    warm_start=self._warm_start,
                     lineage=lineage,
-                    variant=variant,
-                    eigenvalues_lo=lower,
+                    normalized=normalized,
                 )
-            except OSError:
-                pass
+                lower, upper = interval.lower, interval.upper
+                if not normalized:
+                    max_out = graph.freeze().max_out_degree
+                    scale = 1.0 / max_out if max_out else 0.0
+                    lower, upper = lower * scale, upper * scale
+                lower = np.ascontiguousarray(lower, dtype=np.float64)
+                upper = np.ascontiguousarray(upper, dtype=np.float64)
+                lower.flags.writeable = False
+                upper.flags.writeable = False
+                solve_seconds = time.perf_counter() - start
+                active.set_attr(backend=interval.backend)
+                _EIG_SECONDS.observe(solve_seconds, backend=interval.backend, dtype=options.dtype)
+            if self._store is not None:
+                try:
+                    self._store.put(
+                        base_key[0],
+                        upper,
+                        solve_seconds,
+                        normalized=bool(normalized),
+                        sparse=bool(use_sparse),
+                        eig_options=options,
+                        backend=interval.backend,
+                        lineage=lineage,
+                        variant=variant,
+                        eigenvalues_lo=lower,
+                    )
+                except OSError:
+                    pass
+        finally:
+            if lease is not None:
+                lease.release()
         with self._lock:
             self._interval_entries[key] = (lower, upper, solve_seconds, interval.backend)
             self._interval_entries.move_to_end(key)

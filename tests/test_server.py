@@ -10,6 +10,7 @@ fire, overload must 429 without corrupting state).
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 
@@ -34,8 +35,11 @@ from repro.server.protocol import (
 from repro.server.runner import (
     AdmissionController,
     BoundServer,
+    FleetConfig,
     QueryCoalescer,
+    ServerFleet,
     ServerOverloadedError,
+    ShardRing,
 )
 
 NUM_EIGENVALUES = 20
@@ -369,18 +373,23 @@ class TestEndpoints:
         assert live_server.service.counters()["cache_misses"] == 1
 
     def test_non_json_body_is_a_structured_400(self, live_server):
-        from urllib.error import HTTPError
-        from urllib.request import Request, urlopen
+        import http.client
 
-        request = Request(
-            f"{live_server.url}/v1/bounds",
-            data=b"{not json",
-            headers={"Content-Type": "application/json"},
-            method="POST",
+        conn = http.client.HTTPConnection(
+            live_server.host, live_server.port, timeout=10
         )
-        with pytest.raises(HTTPError) as info:
-            urlopen(request, timeout=10)
-        error = BoundsClient._server_error(info.value)
+        try:
+            conn.request(
+                "POST", "/v1/bounds", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            error = BoundsClient._server_error(
+                response.status, dict(response.getheaders()), raw
+            )
+        finally:
+            conn.close()
         assert error.status == 400 and error.code == "malformed-json"
 
     def test_negative_content_length_is_rejected_not_hung(self, live_server):
@@ -801,3 +810,221 @@ class TestServeCLI:
             assert str(server.service.store.root) == str(tmp_path / "s")
         finally:
             server.close()
+
+    def test_workers_flag_and_env_pick_the_worker_count(self, monkeypatch):
+        from repro.runtime.cli import _serve_workers
+
+        args = build_parser().parse_args(["serve", "--workers", "3"])
+        assert _serve_workers(args) == 3
+        args = build_parser().parse_args(["serve"])
+        assert _serve_workers(args) == 1  # no flag, no env -> single server
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "4")
+        assert _serve_workers(args) == 4
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "0")
+        assert _serve_workers(args) == 1  # clamped, never a zero-worker fleet
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "junk")
+        assert _serve_workers(args) == 1
+
+    def test_serve_args_build_the_fleet_config(self, tmp_path):
+        from repro.runtime.cli import build_fleet_from_args
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "3", "--store",
+             str(tmp_path / "s"), "--lease-ttl", "7.5", "--no-coalesce",
+             "--num-eigenvalues", "25", "--max-in-flight", "2"]
+        )
+        fleet = build_fleet_from_args(args, 3)
+        try:
+            assert fleet.num_workers == 3
+            assert len(fleet.worker_urls) == 3
+            assert fleet.config.store_root == str(tmp_path / "s")
+            assert fleet.config.lease_ttl == 7.5
+            assert fleet.config.coalesce is False
+            assert fleet.config.num_eigenvalues == 25
+            assert fleet.config.max_in_flight == 2
+        finally:
+            fleet.close()  # never started: just releases the bound sockets
+
+
+class TestParseMetric:
+    EXPOSITION = "\n".join(
+        [
+            "# HELP repro_lease_total Cross-process solve-lease episodes.",
+            "# TYPE repro_lease_total counter",
+            'repro_lease_total{role="leader",worker="0"} 1',
+            'repro_lease_total{role="follower",worker="0"} 2',
+            'repro_lease_total{role="leader",worker="1"} 4',
+            "repro_eigensolves_total 6",
+        ]
+    )
+
+    def test_sums_across_samples(self):
+        assert parse_metric(self.EXPOSITION, "repro_lease_total") == 7.0
+        assert parse_metric(self.EXPOSITION, "repro_eigensolves_total") == 6.0
+
+    def test_label_filter_is_a_subset_match(self):
+        # role="leader" matches both workers' samples; the extra worker
+        # label on each sample is ignored unless asked for.
+        assert parse_metric(self.EXPOSITION, "repro_lease_total", role="leader") == 5.0
+        assert parse_metric(
+            self.EXPOSITION, "repro_lease_total", role="leader", worker="1"
+        ) == 4.0
+
+    def test_missing_metric_or_label_raises(self):
+        with pytest.raises(KeyError):
+            parse_metric(self.EXPOSITION, "repro_nope_total")
+        with pytest.raises(KeyError):
+            parse_metric(self.EXPOSITION, "repro_lease_total", role="bystander")
+
+
+class TestShardRing:
+    def test_owner_is_deterministic_and_in_range(self):
+        ring = ShardRing(3)
+        again = ShardRing(3)
+        for key in ("spec:fft:3", "spec:hypercube:4", "a" * 64):
+            assert 0 <= ring.owner(key) < 3
+            assert ring.owner(key) == again.owner(key)
+
+    def test_every_worker_owns_a_fair_share(self):
+        ring = ShardRing(3)
+        counts = [0, 0, 0]
+        for index in range(1000):
+            counts[ring.owner(f"key-{index}")] += 1
+        # Near-uniform, not exact: each worker well clear of starvation.
+        assert min(counts) > 150
+
+    def test_resize_remaps_a_minority_of_keys(self):
+        keys = [f"key-{index}" for index in range(1000)]
+        before = ShardRing(3)
+        after = ShardRing(4)
+        moved = sum(1 for key in keys if before.owner(key) != after.owner(key))
+        # Consistent hashing moves ~1/4 of keys for 3 -> 4 workers; plain
+        # modulo hashing would move ~3/4.
+        assert moved < 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRing(0)
+        with pytest.raises(ValueError):
+            ShardRing(2, replicas=0)
+
+
+class TestClientKeepAlive:
+    def test_connection_is_reused_across_requests(self, live_server):
+        client = BoundsClient(live_server.url)
+        assert client.health()["status"] == "ok"
+        [first] = list(client._pool().values())
+        assert client.stats()["version"] == PROTOCOL_VERSION
+        [second] = list(client._pool().values())
+        assert second is first  # same pooled HTTPConnection, no re-handshake
+        client.close()
+        assert client._pool() == {}
+        # A closed client transparently re-pools on the next request.
+        assert client.health()["status"] == "ok"
+
+    def test_stale_pooled_connection_is_retried_once(self, live_server):
+        client = BoundsClient(live_server.url)
+        assert client.health()["status"] == "ok"
+        # Simulate the server reaping an idle keep-alive connection: the
+        # pooled socket is dead but the pool still hands it out.
+        import socket
+
+        [conn] = list(client._pool().values())
+        conn.sock.shutdown(socket.SHUT_RDWR)
+        assert client.health()["status"] == "ok"  # retried on a fresh conn
+
+
+def _raw_post(base_url: str, payload: dict):
+    """One non-redirect-following POST; returns (status, headers, body)."""
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(base_url)
+    conn = http.client.HTTPConnection(parts.netloc, timeout=30)
+    try:
+        conn.request(
+            "POST", "/v1/bounds", body=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestServerFleet:
+    @staticmethod
+    def _wait_healthy(urls, timeout: float = 30.0) -> None:
+        def healthy(url):
+            try:
+                return BoundsClient(url, timeout=5.0).health()["status"] == "ok"
+            except (ServerError, OSError):
+                return False
+
+        wait_until(lambda: all(healthy(url) for url in urls), timeout=timeout)
+
+    def test_fleet_serves_shards_and_redirects(self, tmp_path):
+        config = FleetConfig(
+            store_root=str(tmp_path / "store"),
+            num_eigenvalues=NUM_EIGENVALUES,
+            lease_ttl=10.0,
+        )
+        with ServerFleet(config, workers=2) as fleet:
+            fleet.start()
+            self._wait_healthy((fleet.url,) + fleet.worker_urls)
+            client = BoundsClient(fleet.url)
+            # The shared port serves the full mixed workload bit-exactly
+            # (redirects followed transparently by the client).
+            assert_same_bounds(
+                client.bounds(MIXED_QUERIES), direct_answers(MIXED_QUERIES)
+            )
+            assert client.fleet_worker_urls() == list(fleet.worker_urls)
+
+            # Shard affinity: a single-graph batch through the shared port
+            # is always answered by its ring owner — either directly (the
+            # owner won the accept) or via a 307 to the owner's direct port.
+            owner = fleet.ring.owner("spec:fft:3")
+            payload = encode_bounds_request(
+                [BoundQuery(GraphSpec(family="fft", size_param=3), 2)]
+            )
+            for _ in range(8):
+                status, headers, _body = _raw_post(fleet.url, payload)
+                if status == 200:
+                    assert headers["X-Repro-Worker"] == str(owner)
+                else:
+                    assert status == 307
+                    assert headers["Location"].startswith(
+                        fleet.worker_urls[owner]
+                    )
+
+            # Direct ports never redirect — that is what makes a redirect
+            # loop impossible — even for a graph the worker does not own.
+            non_owner = 1 - owner
+            status, headers, _body = _raw_post(
+                fleet.worker_urls[non_owner], payload
+            )
+            assert status == 200
+            assert headers["X-Repro-Worker"] == str(non_owner)
+            assert fleet.restarts == [0, 0]
+
+    def test_killed_worker_is_respawned_on_its_ports(self):
+        import os
+        import signal
+
+        config = FleetConfig(store_root=None, num_eigenvalues=NUM_EIGENVALUES)
+        with ServerFleet(config, workers=2) as fleet:
+            fleet.start()
+            self._wait_healthy((fleet.url,) + fleet.worker_urls)
+            victim = fleet._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            wait_until(lambda: fleet.restarts[0] >= 1, timeout=15.0)
+            # The replacement accepts on the predecessor's exact direct
+            # port (the parent kept the fd open across the respawn).
+            self._wait_healthy((fleet.worker_urls[0],))
+            health = BoundsClient(fleet.worker_urls[0]).health()
+            assert health["status"] == "ok"
+            assert fleet.restarts == [1, 0]
+
+    def test_worker_count_is_validated(self):
+        with pytest.raises(ValueError):
+            ServerFleet(FleetConfig(), workers=0)
