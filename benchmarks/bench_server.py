@@ -156,9 +156,10 @@ def fleet_serve_and_replay(
         with BoundsClient(fleet.url) as probe:
             probe.health()  # blocks until a worker is accepting
         answers, elapsed, latencies = replay(fleet.url, queries, THREADS)
-        eigensolves = sum(
-            scrape_metric(url, "repro_eigensolves_total") for url in fleet.worker_urls
-        )
+        # One scrape of the shared port returns the merged all-worker
+        # exposition (worker=<id> labels preserved), so the fleet-wide
+        # eigensolve count no longer needs hand-summing the direct ports.
+        eigensolves = scrape_metric(fleet.url, "repro_eigensolves_total")
     return {
         "answers": answers,
         "seconds": elapsed,
@@ -193,11 +194,12 @@ def fleet_cold_herd(store_root) -> Dict[str, object]:
         answers, elapsed, _ = replay(
             list(fleet.worker_urls), herd_queries, threads=len(MEMORY_SIZES)
         )
-        eigensolves = leaders = followers = 0.0
-        for url in fleet.worker_urls:
-            eigensolves += scrape_metric(url, "repro_eigensolves_total")
-            leaders += scrape_metric(url, "repro_lease_total", role="leader")
-            followers += scrape_metric(url, "repro_lease_total", role="follower")
+        # The shared-port exposition is the merged view of every worker,
+        # so the lease leader/follower split is one scrape instead of a
+        # per-direct-port sum.
+        eigensolves = scrape_metric(fleet.url, "repro_eigensolves_total")
+        leaders = scrape_metric(fleet.url, "repro_lease_total", role="leader")
+        followers = scrape_metric(fleet.url, "repro_lease_total", role="follower")
     return {
         "queries": herd_queries,
         "answers": answers,

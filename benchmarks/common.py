@@ -123,10 +123,31 @@ def write_perf_record(name: str, payload: Mapping[str, object]) -> Path:
 
     Performance-tracking records are written unconditionally (unlike the CSV
     figure data, which is opt-in): they are tiny and give the repository a
-    perf trajectory across PRs.
+    perf trajectory across PRs.  Every record carries the environment
+    fingerprint (git sha, ``cpu_count``, python/numpy/scipy versions,
+    hostname) — a ``fleet_warm_speedup`` of 0.95 means something entirely
+    different on a 1-core runner than on a 16-core box — and is also
+    appended to the ``BENCH_HISTORY.jsonl`` ledger the
+    ``python -m repro obs perf`` sentinel checks for regressions.
     """
-    path = Path(__file__).resolve().parent.parent / name
-    path.write_text(json.dumps(dict(payload), indent=2, sort_keys=True) + "\n")
+    from repro.obs.perf import (
+        HISTORY_FILENAME,
+        append_history,
+        environment_fingerprint,
+        history_record,
+    )
+
+    root = Path(__file__).resolve().parent.parent
+    fingerprint = environment_fingerprint()
+    record = dict(payload)
+    record["cpu_count"] = fingerprint["cpu_count"]
+    record["environment"] = fingerprint
+    path = root / name
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    append_history(
+        history_record(name, payload, fingerprint=fingerprint),
+        root / HISTORY_FILENAME,
+    )
     return path
 
 

@@ -10,9 +10,15 @@ The three legs, all default-off or always-cheap:
   seams record histograms/counters into :func:`global_registry`.
 * :mod:`repro.obs.profiling` — per-task cProfile capture behind
   ``REPRO_PROFILE=1``, written next to the trace file.
+* :mod:`repro.obs.perf` — the performance-regression sentinel over the
+  ``BENCH_HISTORY.jsonl`` ledger (``python -m repro obs perf check``).
+
+Tracing is production-safe: head-based sampling (``REPRO_TRACE_SAMPLE``)
+decides once per trace root, unsampled requests buffer their spans and
+keep them only if the request crosses ``REPRO_SLOW_QUERY_SECONDS``.
 
 ``python -m repro obs report trace.jsonl`` renders a collected trace
-(:mod:`repro.obs.report`).
+(:mod:`repro.obs.report`; ``--json`` for machine-readable output).
 """
 
 from .metrics import (
@@ -22,11 +28,13 @@ from .metrics import (
     MetricsRegistry,
     DEFAULT_LATENCY_BUCKETS,
     global_registry,
+    latency_quantiles,
+    merge_expositions,
     process_labels,
     set_process_labels,
 )
 from .profiling import maybe_profile, profile_path, profiling_enabled
-from .report import build_trees, render_report, self_times
+from .report import build_trees, render_report, report_as_json, self_times
 from .tracing import (
     SpanRecord,
     TraceContext,
@@ -40,6 +48,7 @@ from .tracing import (
     load_spans,
     merge_shards,
     recent_spans,
+    sample_rate_from_env,
     shard_path,
     span,
     worker_configure,
@@ -53,6 +62,8 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "global_registry",
+    "latency_quantiles",
+    "merge_expositions",
     "process_labels",
     "set_process_labels",
     # tracing
@@ -68,6 +79,7 @@ __all__ = [
     "load_spans",
     "merge_shards",
     "recent_spans",
+    "sample_rate_from_env",
     "shard_path",
     "span",
     "worker_configure",
@@ -78,5 +90,6 @@ __all__ = [
     # report
     "build_trees",
     "render_report",
+    "report_as_json",
     "self_times",
 ]

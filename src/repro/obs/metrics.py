@@ -77,6 +77,8 @@ __all__ = [
     "global_registry",
     "process_labels",
     "set_process_labels",
+    "merge_expositions",
+    "latency_quantiles",
 ]
 
 #: Histogram bucket upper bounds (seconds) spanning warm in-memory answers
@@ -304,6 +306,52 @@ class Histogram(_Metric):
         with self._lock:
             return sum(self._counts.get(self._label_key(labels), ()))
 
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        With labels, one label combination's distribution; without, the
+        aggregate over every combination (how p95 eigensolve latency is
+        reported across backends/dtypes).  Mirrors PromQL's
+        ``histogram_quantile``: the target rank is located in a cumulative
+        bucket and interpolated linearly between the bucket's bounds
+        (lower bound 0 for the first).  A rank landing in the ``+Inf``
+        bucket degrades to the highest finite bound.  ``None`` when there
+        are no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if labels or self.labelnames:
+                if labels:
+                    counts = self._counts.get(self._label_key(labels))
+                    merged = list(counts) if counts else None
+                else:
+                    merged = None
+                    for counts in self._counts.values():
+                        if merged is None:
+                            merged = list(counts)
+                        else:
+                            merged = [a + b for a, b in zip(merged, counts)]
+            else:
+                counts = self._counts.get(())
+                merged = list(counts) if counts else None
+        if not merged or sum(merged) == 0:
+            return None
+        total = sum(merged)
+        target = q * total
+        cumulative = 0
+        for index, count in enumerate(merged):
+            previous = cumulative
+            cumulative += count
+            if cumulative >= target and count > 0:
+                if index >= len(self.buckets):  # +Inf bucket
+                    return self.buckets[-1]
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                fraction = (target - previous) / count
+                return lower + (upper - lower) * fraction
+        return self.buckets[-1]
+
     def reset(self) -> None:
         with self._lock:
             self._counts.clear()
@@ -429,6 +477,91 @@ class MetricsRegistry:
             metrics = list(self._metrics.values())
         for metric in metrics:
             metric.reset()
+
+
+def merge_expositions(texts: Sequence[str]) -> str:
+    """Merge several Prometheus text expositions into one valid exposition.
+
+    This is the fleet's single pane of glass: each worker renders its own
+    registry (samples already stamped with its ``worker=<id>`` process
+    label), the scraper collects the texts, and this function regroups
+    them so every metric family appears **once** — first ``# HELP`` /
+    ``# TYPE`` wins, sample lines from every input are concatenated under
+    it in input order.  Sample lines are preserved verbatim (labels,
+    values, exemplars-free format), so per-worker series stay distinct
+    and label-blind sums over the merged text equal the sum over the
+    individual expositions.
+    """
+    family_order: List[str] = []
+    headers: Dict[str, List[str]] = {}
+    samples: Dict[str, List[str]] = {}
+
+    def family_of(sample_name: str) -> str:
+        # Histogram series share a family with their _bucket/_sum/_count
+        # suffixes stripped, so all of a histogram renders contiguously.
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+        return sample_name
+
+    def ensure(family: str) -> None:
+        if family not in samples:
+            family_order.append(family)
+            headers[family] = []
+            samples[family] = []
+
+    for text in texts:
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("#"):
+                parts = stripped.split(None, 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    family = family_of(parts[2])
+                    ensure(family)
+                    if not any(h.startswith(f"# {parts[1]} ") for h in headers[family]):
+                        headers[family].append(stripped)
+                continue
+            name = stripped.split("{", 1)[0].split(None, 1)[0]
+            family = family_of(name)
+            ensure(family)
+            samples[family].append(stripped)
+
+    lines: List[str] = []
+    for family in family_order:
+        lines.extend(headers[family])
+        lines.extend(samples[family])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+#: The latency histograms whose quantiles ``/v1/stats`` surfaces, and the
+#: quantile points reported for each.
+QUANTILE_METRICS = ("repro_eigensolve_seconds", "repro_admission_wait_seconds")
+QUANTILE_POINTS = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def latency_quantiles(
+    registry: Optional["MetricsRegistry"] = None,
+    metrics: Sequence[str] = QUANTILE_METRICS,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """p50/p95/p99 estimates for the registry's key latency histograms.
+
+    Values are ``None`` until the histogram has observations (e.g. a warm
+    store never records an eigensolve), so the JSON shape is stable from
+    the first scrape.
+    """
+    if registry is None:
+        registry = global_registry()
+    quantiles: Dict[str, Dict[str, Optional[float]]] = {}
+    for name in metrics:
+        metric = registry.get(name)
+        if not isinstance(metric, Histogram):
+            continue
+        quantiles[name] = {
+            label: metric.quantile(q) for label, q in QUANTILE_POINTS
+        }
+    return quantiles
 
 
 _GLOBAL_REGISTRY = MetricsRegistry()

@@ -20,7 +20,13 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 from .tracing import load_spans
 
-__all__ = ["build_trees", "self_times", "render_report", "load_spans"]
+__all__ = [
+    "build_trees",
+    "self_times",
+    "render_report",
+    "report_as_json",
+    "load_spans",
+]
 
 #: Attributes worth echoing inline in the tree view, in display order.
 _INLINE_ATTRS = ("fingerprint", "backend", "dtype", "method", "vertex", "status_code")
@@ -126,3 +132,37 @@ def render_report(spans: Sequence[Dict[str, Any]]) -> str:
     for name, count, self_wall, total_wall in self_times(spans):
         lines.append(f"{name:<28}{count:>7}{self_wall:>12.4f}{total_wall:>12.4f}")
     return "\n".join(lines) + "\n"
+
+
+def report_as_json(spans: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The report as data — ``obs report --json``.
+
+    Same two views as :func:`render_report`: ``trees`` nests each root
+    span's full record under ``children`` (recursively), ``self_times``
+    is the aggregated table as objects.  Span records pass through
+    unmodified, so any attribute the tracer recorded is reachable.
+    """
+    roots, children = build_trees(spans)
+
+    def node(span: Dict[str, Any]) -> Dict[str, Any]:
+        as_node = dict(span)
+        as_node["children"] = [
+            node(child) for child in children.get(span["span_id"], ())
+        ]
+        return as_node
+
+    return {
+        "num_spans": len(spans),
+        "num_traces": len({span["trace_id"] for span in spans}),
+        "num_processes": len({span.get("pid") for span in spans}),
+        "trees": [node(root) for root in roots],
+        "self_times": [
+            {
+                "name": name,
+                "count": count,
+                "self_seconds": round(self_wall, 6),
+                "total_seconds": round(total_wall, 6),
+            }
+            for name, count, self_wall, total_wall in self_times(spans)
+        ],
+    }

@@ -34,12 +34,36 @@ without interleaving, so each worker writes a private *shard*:
 3. after the pool drains, the parent calls :func:`merge_shards` to fold
    every shard into the main JSONL file (append + delete; span records
    are self-contained, so ordering never affects the reconstructed tree).
+
+Production-safe sampling
+------------------------
+
+Always-on tracing under real traffic needs head-based sampling: the
+keep/drop decision is made **once, where a trace is rooted** (the first
+span with no parent — one HTTP request, one sweep) by drawing against
+``REPRO_TRACE_SAMPLE`` (a probability in ``[0, 1]``; unset means keep
+everything, preserving the pre-sampling behaviour).  The decision rides
+inside :class:`TraceContext`, so spans of one trace never disagree —
+including across the process boundary into pool workers.
+
+Spans of an *unsampled* trace are not discarded immediately: they
+accumulate in a bounded per-trace buffer, and when the trace's root span
+finishes the buffer is either dropped (the common case — no I/O was ever
+paid) or, if the root's wall time crossed ``REPRO_SLOW_QUERY_SECONDS``,
+flushed whole to the sink.  Slow queries therefore **always** keep their
+traces, however aggressive the sample rate — exactly the requests worth
+debugging.  Ids are allocated either way, so ``X-Repro-Trace-Id`` and the
+``trace_id`` fields of answers stay meaningful even for dropped traces.
+
+``REPRO_TRACE_SAMPLE_SEED`` seeds the sampler (tests pin it for
+deterministic keep sets); unset, the sampler is seeded from the OS.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -59,14 +83,62 @@ __all__ = [
     "recent_spans",
     "worker_configure",
     "merge_shards",
+    "sample_rate_from_env",
+    "SAMPLE_ENV_VAR",
+    "SAMPLE_SEED_ENV_VAR",
+    "SLOW_KEEP_ENV_VAR",
 ]
 
 #: Ring-buffer capacity for finished spans kept in memory.
 RING_CAPACITY = 512
 
+#: Per-trace capacity of the pending buffer holding an unsampled trace's
+#: spans until its root decides their fate; beyond this the oldest spans
+#: are dropped (a slow-query flush keeps the most recent window).
+PENDING_CAPACITY = 256
+
+#: Probability of keeping a trace, decided once at its root; unset or
+#: unparsable means 1.0 (keep everything).
+SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
+
+#: Optional integer seed for the sampler — tests pin it so the kept set
+#: is deterministic.
+SAMPLE_SEED_ENV_VAR = "REPRO_TRACE_SAMPLE_SEED"
+
+#: Roots slower than this many seconds keep their trace even when the
+#: sampler dropped it (shared with the server's slow-query log).
+SLOW_KEEP_ENV_VAR = "REPRO_SLOW_QUERY_SECONDS"
+
 
 def _new_id() -> str:
     return os.urandom(8).hex()
+
+
+def sample_rate_from_env() -> float:
+    """The head-sampling probability from ``$REPRO_TRACE_SAMPLE``.
+
+    Clamped to ``[0, 1]``; unset or unparsable reads as 1.0 so plain
+    ``--trace`` runs keep every span, exactly as before sampling existed.
+    """
+    raw = os.environ.get(SAMPLE_ENV_VAR)
+    if not raw:
+        return 1.0
+    try:
+        rate = float(raw)
+    except ValueError:
+        return 1.0
+    return min(1.0, max(0.0, rate))
+
+
+def _slow_keep_from_env() -> Optional[float]:
+    raw = os.environ.get(SLOW_KEEP_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
 
 
 @dataclass(frozen=True)
@@ -74,11 +146,14 @@ class TraceContext:
     """The (trace_id, span_id) pair identifying a point in a trace.
 
     Picklable by design: this is what crosses the process boundary inside
-    a task payload.
+    a task payload.  ``sampled`` carries the head-based sampling decision
+    made at the trace root, so every process contributing spans to one
+    trace keeps or drops them consistently.
     """
 
     trace_id: str
     span_id: str
+    sampled: bool = True
 
 
 @dataclass(frozen=True)
@@ -136,8 +211,8 @@ class _Span:
     """A live span; created by :meth:`Tracer.span`, finished on exit."""
 
     __slots__ = (
-        "_tracer", "name", "trace_id", "span_id", "parent_id",
-        "attrs", "_start_wall", "_start_cpu", "_start_unix",
+        "_tracer", "name", "trace_id", "span_id", "parent_id", "sampled",
+        "is_root", "attrs", "_start_wall", "_start_cpu", "_start_unix",
     )
 
     def __init__(
@@ -147,12 +222,16 @@ class _Span:
         trace_id: str,
         parent_id: Optional[str],
         attrs: Dict[str, Any],
+        sampled: bool = True,
+        is_root: bool = False,
     ) -> None:
         self._tracer = tracer
         self.name = name
         self.trace_id = trace_id
         self.span_id = _new_id()
         self.parent_id = parent_id
+        self.sampled = sampled
+        self.is_root = is_root
         self.attrs = attrs
 
     def set_attr(self, **attrs: Any) -> None:
@@ -181,16 +260,19 @@ class _Span:
             status="error" if exc_type is not None else "ok",
             attrs=self.attrs,
         )
-        self._tracer._finish(record)
+        self._tracer._finish(record, self)
 
 
 class Tracer:
-    """Owns the output sink, ring buffer, and per-thread span stacks."""
+    """Owns the output sink, ring buffer, sampler, and per-thread span stacks."""
 
     def __init__(
         self,
         path: Optional[str] = None,
         root_context: Optional[TraceContext] = None,
+        sample_rate: Optional[float] = None,
+        sample_seed: Optional[int] = None,
+        slow_keep_seconds: Optional[float] = None,
     ) -> None:
         self._path = os.fspath(path) if path is not None else None
         self._root_context = root_context
@@ -199,6 +281,28 @@ class Tracer:
         self._ring: List[SpanRecord] = []
         self._ring_lock = threading.Lock()
         self._file = open(self._path, "a", encoding="utf-8") if self._path else None
+        if sample_rate is None:
+            sample_rate = sample_rate_from_env()
+        self.sample_rate = min(1.0, max(0.0, float(sample_rate)))
+        if sample_seed is None:
+            raw_seed = os.environ.get(SAMPLE_SEED_ENV_VAR)
+            if raw_seed:
+                try:
+                    sample_seed = int(raw_seed)
+                except ValueError:
+                    sample_seed = None
+        self._rng = random.Random(sample_seed)
+        self._rng_lock = threading.Lock()
+        if slow_keep_seconds is None:
+            slow_keep_seconds = _slow_keep_from_env()
+        self.slow_keep_seconds = slow_keep_seconds
+        # Spans of unsampled traces, held until their root decides whether
+        # the trace is dropped (fast) or kept (slow-query escape hatch).
+        self._pending: Dict[str, List[SpanRecord]] = {}
+        self._pending_lock = threading.Lock()
+        self._sampling_stats = {
+            "roots": 0, "sampled": 0, "unsampled": 0, "slow_kept": 0,
+        }
 
     # -- span stack -------------------------------------------------------
 
@@ -225,7 +329,7 @@ class Tracer:
     def current_context(self) -> Optional[TraceContext]:
         active = self.current()
         if active is not None:
-            return TraceContext(active.trace_id, active.span_id)
+            return TraceContext(active.trace_id, active.span_id, active.sampled)
         return self._root_context
 
     # -- span creation ----------------------------------------------------
@@ -233,14 +337,75 @@ class Tracer:
     def span(self, name: str, **attrs: Any) -> _Span:
         parent = self.current_context()
         if parent is not None:
-            trace_id, parent_id = parent.trace_id, parent.span_id
+            return _Span(
+                self, name, parent.trace_id, parent.span_id, attrs,
+                sampled=parent.sampled,
+            )
+        # A new trace roots here: make the head-sampling decision exactly
+        # once and let every descendant (local or shipped to a worker)
+        # inherit it through the context.
+        sampled = self._sample()
+        return _Span(
+            self, name, _new_id(), None, attrs, sampled=sampled, is_root=True
+        )
+
+    def _sample(self) -> bool:
+        stats = self._sampling_stats
+        rate = self.sample_rate
+        if rate >= 1.0:
+            decision = True
+        elif rate <= 0.0:
+            decision = False
         else:
-            trace_id, parent_id = _new_id(), None
-        return _Span(self, name, trace_id, parent_id, attrs)
+            with self._rng_lock:
+                decision = self._rng.random() < rate
+        with self._pending_lock:
+            stats["roots"] += 1
+            stats["sampled" if decision else "unsampled"] += 1
+        return decision
+
+    def sampling_stats(self) -> Dict[str, int]:
+        """Sampler counters: roots seen, kept, dropped, slow-query keeps."""
+        with self._pending_lock:
+            return dict(self._sampling_stats)
 
     # -- output -----------------------------------------------------------
 
-    def _finish(self, record: SpanRecord) -> None:
+    def _finish(self, record: SpanRecord, span: Optional[_Span] = None) -> None:
+        if span is not None and not span.sampled:
+            self._finish_unsampled(record, span)
+            return
+        self._emit(record)
+
+    def _finish_unsampled(self, record: SpanRecord, span: _Span) -> None:
+        """Buffer an unsampled span; the trace root settles the buffer.
+
+        Non-root spans append to the trace's bounded pending buffer (no
+        I/O).  The root span then either flushes the whole buffer — the
+        slow-query escape: its wall time crossed ``slow_keep_seconds`` —
+        or drops it, which is the entire cost of an unsampled trace.
+        """
+        if not span.is_root:
+            with self._pending_lock:
+                buffer = self._pending.setdefault(record.trace_id, [])
+                buffer.append(record)
+                if len(buffer) > PENDING_CAPACITY:
+                    del buffer[: len(buffer) - PENDING_CAPACITY]
+            return
+        with self._pending_lock:
+            buffered = self._pending.pop(record.trace_id, [])
+            keep = (
+                self.slow_keep_seconds is not None
+                and record.wall_seconds >= self.slow_keep_seconds
+            )
+            if keep:
+                self._sampling_stats["slow_kept"] += 1
+        if keep:
+            for pending in buffered:
+                self._emit(pending)
+            self._emit(record)
+
+    def _emit(self, record: SpanRecord) -> None:
         with self._ring_lock:
             self._ring.append(record)
             if len(self._ring) > RING_CAPACITY:
@@ -273,13 +438,28 @@ _TRACER_LOCK = threading.Lock()
 def configure(
     path: Optional[str] = None,
     root_context: Optional[TraceContext] = None,
+    sample_rate: Optional[float] = None,
+    sample_seed: Optional[int] = None,
+    slow_keep_seconds: Optional[float] = None,
 ) -> Tracer:
-    """Enable tracing for this process, replacing any previous tracer."""
+    """Enable tracing for this process, replacing any previous tracer.
+
+    ``sample_rate`` / ``sample_seed`` / ``slow_keep_seconds`` default to
+    the ``REPRO_TRACE_SAMPLE`` / ``REPRO_TRACE_SAMPLE_SEED`` /
+    ``REPRO_SLOW_QUERY_SECONDS`` environment variables, so a serving
+    process enables production-safe sampling purely through env config.
+    """
     global _TRACER
     with _TRACER_LOCK:
         if _TRACER is not None:
             _TRACER.close()
-        _TRACER = Tracer(path, root_context)
+        _TRACER = Tracer(
+            path,
+            root_context,
+            sample_rate=sample_rate,
+            sample_seed=sample_seed,
+            slow_keep_seconds=slow_keep_seconds,
+        )
         return _TRACER
 
 
@@ -346,6 +526,12 @@ def worker_configure(
     the parent's open file object would otherwise be shared), rooting new
     spans under ``parent``.  With ``parent is None`` the worker is fully
     silenced — the no-op guarantee holds across the pool too.
+
+    The parent's sampling decision rides inside ``parent.sampled``: an
+    unsampled sweep ships unsampled contexts, so worker spans buffer (no
+    shard I/O) and are dropped when the worker's tracer closes.  The
+    slow-query keep is per-process — only spans living in the process
+    whose root crossed the threshold are retained.
     """
     if parent is None:
         disable()

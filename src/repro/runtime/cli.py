@@ -24,7 +24,12 @@ Four subcommands expose the runtime subsystem without writing any Python:
   ``$REPRO_LEASE_TTL_SECONDS``);
 * ``obs`` — observability utilities over :mod:`repro.obs`: ``obs report
   trace.jsonl`` renders a trace (written via ``--trace`` on ``solve`` /
-  ``sweep`` / ``serve``) as a top-down span tree plus a self-time table.
+  ``sweep`` / ``serve``) as a top-down span tree plus a self-time table
+  (``--json`` for the same as machine-readable data), and ``obs perf
+  check`` / ``obs perf report`` run the performance-regression sentinel
+  over the ``BENCH_HISTORY.jsonl`` ledger the benchmark harness appends
+  to (see :mod:`repro.obs.perf`: counters compare exactly, wall-clock is
+  threshold-gated and disabled by ``REPRO_BENCH_TIMING_ASSERT=0``).
 
 ``--trace PATH`` on ``solve``, ``sweep`` and ``serve`` enables span-based
 tracing for the invocation and writes one JSON span per line to PATH;
@@ -318,13 +323,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_argument(serve)
 
     obs_cmd = sub.add_parser(
-        "obs", help="observability utilities (render --trace output)"
+        "obs", help="observability utilities (render traces, perf sentinel)"
     )
-    obs_cmd.add_argument(
-        "action", choices=["report"], help="report: render a trace JSONL file"
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render a --trace JSONL file (span tree + self times)"
     )
-    obs_cmd.add_argument(
+    obs_report.add_argument(
         "trace_file", type=Path, metavar="TRACE", help="trace JSONL file to render"
+    )
+    obs_report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the span tree and self-time table as JSON instead of text",
+    )
+    obs_perf = obs_sub.add_parser(
+        "perf",
+        help="benchmark-history sentinel: check for regressions / report the trajectory",
+    )
+    obs_perf.add_argument(
+        "action",
+        choices=["check", "report"],
+        help="check: exit non-zero on regressions; report: render the trajectory",
+    )
+    obs_perf.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="history ledger (default: ./BENCH_HISTORY.jsonl)",
+    )
+    obs_perf.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="K",
+        help="baseline = median of the last K same-environment runs "
+        "(default: $REPRO_PERF_WINDOW or 5)",
+    )
+    obs_perf.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="wall-clock/throughput tolerance, e.g. 0.25 = ±25%% "
+        "(default: $REPRO_PERF_THRESHOLD or 0.25)",
     )
 
     cache = sub.add_parser("cache", help="inspect/verify/reset the persistent spectrum store")
@@ -537,7 +580,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs.report import render_report
+    if args.obs_command == "perf":
+        return _cmd_obs_perf(args)
+    from repro.obs.report import render_report, report_as_json
 
     try:
         spans = obs.load_spans(str(args.trace_file))
@@ -545,8 +590,31 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: no such trace file: {args.trace_file}")
     except json.JSONDecodeError as exc:
         raise SystemExit(f"error: {args.trace_file} is not valid JSONL: {exc}")
-    print(render_report(spans), end="")
+    if args.json:
+        print(json.dumps(report_as_json(spans), indent=2))
+    else:
+        print(render_report(spans), end="")
     return 0
+
+
+def _cmd_obs_perf(args: argparse.Namespace) -> int:
+    from repro.obs import perf
+
+    history_path = args.history if args.history is not None else perf.default_history_path()
+    history = perf.load_history(history_path)
+    if args.action == "report":
+        print(perf.render_trajectory(history), end="")
+        return 0
+    if not history:
+        print(
+            f"error: no benchmark history at {history_path}; run "
+            f"'python -m pytest benchmarks/' first (it appends to the ledger)",
+            file=sys.stderr,
+        )
+        return 1
+    result = perf.check(history, window=args.window, threshold=args.threshold)
+    print(result.render(), end="")
+    return 0 if result.ok else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

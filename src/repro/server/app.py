@@ -2,14 +2,16 @@
 
 Endpoints (see :mod:`repro.server.protocol` for the ``/v1`` wire schema):
 
-=======  ==============  ====================================================
-method   path            what it serves
-=======  ==============  ====================================================
-POST     ``/v1/bounds``  a batch of bound queries -> a batch of answers
-GET      ``/v1/stats``   service/cache/admission/coalescing counters as JSON
-GET      ``/healthz``    liveness: ``{"status": "ok", ...}``
-GET      ``/metrics``    Prometheus text exposition
-=======  ==============  ====================================================
+=======  ===================  ===============================================
+method   path                 what it serves
+=======  ===================  ===============================================
+POST     ``/v1/bounds``       a batch of bound queries -> a batch of answers
+GET      ``/v1/stats``        service/cache/admission/coalescing counters
+GET      ``/v1/fleet/stats``  per-worker rollup + fleet totals (fleet only)
+GET      ``/healthz``         liveness: ``{"status": "ok", ...}``
+GET      ``/metrics``         Prometheus text exposition; on a fleet's
+                              *shared* port, the merged all-worker view
+=======  ===================  ===============================================
 
 The app is a plain WSGI callable with **no** third-party dependencies and
 no opinion about threading: hand it to any WSGI container.  The two
@@ -34,10 +36,12 @@ import dataclasses
 import json
 import os
 import time
+import urllib.request
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.obs.metrics import latency_quantiles, merge_expositions
 from repro.runtime.service import BoundAnswer, BoundService
 from repro.server.metrics import MetricsRegistry, global_registry
 from repro.server.protocol import (
@@ -56,7 +60,12 @@ __all__ = [
     "ServerOverloadedError",
     "MAX_BODY_BYTES",
     "SLOW_QUERY_ENV_VAR",
+    "FLEET_SCRAPE_TIMEOUT_SECONDS",
 ]
+
+#: Per-sibling timeout when an aggregating worker scrapes the fleet's
+#: direct ports; an unreachable worker is reported down, never waited on.
+FLEET_SCRAPE_TIMEOUT_SECONDS = 2.0
 
 #: Requests slower than this many seconds are logged (and counted in
 #: ``repro_slow_queries_total``); unset/unparsable disables the log.
@@ -82,6 +91,23 @@ def _slow_query_threshold() -> Optional[float]:
     except ValueError:
         return None
     return value if value >= 0 else None
+
+def _scrape_metric_or_zero(text: str, name: str, **labels: str) -> float:
+    """One summed metric from an exposition, 0 when absent.
+
+    The fleet rollup reads each worker's scrape with this: a worker that
+    has not registered a given metric yet (no admission controller, no
+    lease activity) contributes zero rather than failing the rollup.
+    Integral values come back as ``int`` for clean JSON.
+    """
+    from repro.server.client import parse_metric
+
+    try:
+        value = parse_metric(text, name, **labels)
+    except KeyError:
+        return 0
+    return int(value) if float(value).is_integer() else value
+
 
 #: Request bodies beyond this are rejected before JSON parsing (an inline
 #: edge list at this size is ~4M edges — send an .npz to the operator
@@ -173,6 +199,7 @@ class BoundsApp:
         self._routes = {
             "/v1/bounds": ("bounds", self._handle_bounds, {"POST"}),
             "/v1/stats": ("stats", self._handle_stats, {"GET"}),
+            "/v1/fleet/stats": ("fleet_stats", self._handle_fleet_stats, {"GET"}),
             "/healthz": ("healthz", self._handle_healthz, {"GET"}),
             "/metrics": ("metrics", self._handle_metrics, {"GET"}),
         }
@@ -339,6 +366,17 @@ class BoundsApp:
         return 200, body, []
 
     def _handle_metrics(self, environ):
+        # On a fleet's *shared* socket (tagged ``repro.shard_redirect``
+        # like the bounds redirects), whichever worker wins the accept
+        # answers for the whole fleet: its own exposition merged with a
+        # scrape of every sibling's direct port.  Direct-port requests
+        # always render locally — that is what the aggregation scrapes,
+        # so recursion is structurally impossible.
+        if self._sharding is not None and environ.get("repro.shard_redirect"):
+            return 200, self._fleet_metrics_text(), []
+        return 200, self._local_metrics_text(), []
+
+    def _local_metrics_text(self) -> str:
         # Per-server metrics (request counters, callback gauges) plus the
         # process-global registry (eigensolve/cache/flow instrumentation
         # from repro.obs) in one exposition.
@@ -346,7 +384,7 @@ class BoundsApp:
         shared = global_registry()
         if shared is not self._metrics:
             text += shared.render()
-        return 200, text, []
+        return text
 
     def _handle_stats(self, environ):
         body: Dict[str, object] = {
@@ -355,6 +393,7 @@ class BoundsApp:
             "graphs_registered": len(self._graphs),
             "service": self._service.stats(),
             "metrics": self._metrics.snapshot(),
+            "latency_quantiles": latency_quantiles(),
         }
         if self._admission is not None:
             body["admission"] = self._admission.stats()
@@ -362,6 +401,101 @@ class BoundsApp:
             body["coalescing"] = self._coalescer.stats()
         if self._sharding is not None:
             body["fleet"] = self._sharding.describe()
+        return 200, body, []
+
+    # ------------------------------------------------------------------
+    # fleet aggregation
+    # ------------------------------------------------------------------
+    def _scrape_fleet(self) -> List[Dict[str, object]]:
+        """Every worker's direct-port ``/metrics`` text (``None`` if down).
+
+        The local worker renders in-process instead of scraping itself
+        over HTTP; siblings get :data:`FLEET_SCRAPE_TIMEOUT_SECONDS` each.
+        """
+        scrapes: List[Dict[str, object]] = []
+        for worker_id in range(self._sharding.num_workers):
+            url = self._sharding.url_for(worker_id)
+            if worker_id == self._sharding.worker_id:
+                text: Optional[str] = self._local_metrics_text()
+            else:
+                try:
+                    with urllib.request.urlopen(
+                        f"{url}/metrics", timeout=FLEET_SCRAPE_TIMEOUT_SECONDS
+                    ) as response:
+                        text = response.read().decode("utf-8")
+                except (OSError, ValueError):
+                    text = None
+            scrapes.append({"worker": worker_id, "url": url, "text": text})
+        return scrapes
+
+    def _fleet_metrics_text(self) -> str:
+        """The merged all-worker exposition served on the shared port.
+
+        Every sample keeps its ``worker=<id>`` process label, so label-
+        blind sums over the aggregate equal hand-summing the direct
+        ports.  A worker that cannot be scraped contributes a synthetic
+        ``repro_worker_up{worker="<id>"} 0`` sample instead of silently
+        vanishing from the exposition.
+        """
+        texts: List[str] = []
+        for scrape in self._scrape_fleet():
+            if scrape["text"] is not None:
+                texts.append(scrape["text"])
+            else:
+                texts.append(
+                    "# HELP repro_worker_up 1 for each live serving worker "
+                    "process.\n"
+                    "# TYPE repro_worker_up gauge\n"
+                    f'repro_worker_up{{worker="{scrape["worker"]}"}} 0\n'
+                )
+        return merge_expositions(texts)
+
+    def _handle_fleet_stats(self, environ):
+        if self._sharding is None:
+            raise ProtocolError(
+                "this server is not part of a fleet; /v1/fleet/stats is "
+                "only served by --workers N fleets",
+                code="not-a-fleet",
+                status=404,
+            )
+        rollup_fields = (
+            ("up", "repro_worker_up", {}),
+            ("restarts", "repro_worker_restarts", {}),
+            ("in_flight", "repro_in_flight_solves", {}),
+            ("queued", "repro_queued_solves", {}),
+            ("admission_rejections", "repro_admission_rejections_total", {}),
+            ("eigensolves", "repro_eigensolves_total", {}),
+            ("cache_hits", "repro_cache_hits_total", {}),
+            ("lease_leaders", "repro_lease_total", {"role": "leader"}),
+            ("lease_followers", "repro_lease_total", {"role": "follower"}),
+            ("http_requests", "repro_http_requests_total", {}),
+            ("shard_redirects", "repro_shard_redirects_total", {}),
+            ("slow_queries", "repro_slow_queries_total", {}),
+        )
+        workers: List[Dict[str, object]] = []
+        totals = {field: 0 for field, _, _ in rollup_fields}
+        for scrape in self._scrape_fleet():
+            entry: Dict[str, object] = {
+                "worker": scrape["worker"],
+                "url": scrape["url"],
+                "reachable": scrape["text"] is not None,
+            }
+            if scrape["text"] is not None:
+                text = scrape["text"]
+                for field, metric, labels in rollup_fields:
+                    value = _scrape_metric_or_zero(text, metric, **labels)
+                    entry[field] = value
+                    totals[field] += value
+            workers.append(entry)
+        body = {
+            "num_workers": self._sharding.num_workers,
+            "aggregated_by": self._sharding.worker_id,
+            "workers": workers,
+            "totals": totals,
+            "unreachable": [
+                entry["worker"] for entry in workers if not entry["reachable"]
+            ],
+        }
         return 200, body, []
 
     def _handle_bounds(self, environ):

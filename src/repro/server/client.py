@@ -272,6 +272,26 @@ class BoundsClient:
             return []
         return [str(url) for url in fleet.get("worker_urls", [])]
 
+    def fleet_stats(self) -> Dict[str, object]:
+        """``GET /v1/fleet/stats`` — per-worker rollup plus fleet totals.
+
+        Only fleets serve it: point the client at the *shared* port of a
+        ``--workers N`` deployment (any worker aggregates by scraping its
+        siblings' direct ports).  A plain single-process server answers
+        404 (``not-a-fleet``), surfaced as :class:`ServerError`.
+        """
+        return self._get_json("/v1/fleet/stats")
+
+    def fleet_metrics(self) -> str:
+        """The merged all-worker Prometheus exposition, one scrape.
+
+        Against a fleet's shared port, ``GET /metrics`` is answered with
+        every worker's samples (``worker=<id>`` labels preserved), so
+        ``parse_metric`` over this text equals hand-summing the direct
+        ports.  Against a plain server it is that server's exposition.
+        """
+        return self._request("/metrics").decode("utf-8")
+
     def metrics_text(self) -> str:
         """``GET /metrics`` — the raw Prometheus exposition."""
         return self._request("/metrics").decode("utf-8")

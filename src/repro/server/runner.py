@@ -553,11 +553,15 @@ class ShardInfo:
 
     ``worker_urls[i]`` is worker ``i``'s *direct* base URL — where shard
     redirects point and where per-worker ``/metrics`` are scraped.
+    ``restarts`` is this worker's incarnation number: 0 for the original
+    process, incremented by the parent's supervisor for each respawn, so
+    a worker's own telemetry reveals it is a replacement.
     """
 
     worker_id: int
     worker_urls: Tuple[str, ...]
     ring: ShardRing
+    restarts: int = 0
 
     @property
     def num_workers(self) -> int:
@@ -574,6 +578,7 @@ class ShardInfo:
             "worker_id": self.worker_id,
             "num_workers": self.num_workers,
             "worker_urls": list(self.worker_urls),
+            "restarts": self.restarts,
         }
 
 
@@ -659,6 +664,7 @@ def _fleet_worker_main(
     worker_urls: Tuple[str, ...],
     ring: ShardRing,
     config: FleetConfig,
+    incarnation: int = 0,
 ) -> None:
     """One worker process: accept on the shared + own direct socket, drain on SIGTERM."""
     stop = threading.Event()
@@ -681,6 +687,13 @@ def _fleet_worker_main(
     global_registry().gauge(
         "repro_worker_up", "1 for each live serving worker process."
     ).set(1.0)
+    # Incarnation as a gauge: the fleet rollup reads every worker's
+    # respawn count off its own /metrics instead of asking the parent
+    # (which serves no HTTP) — a respawned worker reports restarts >= 1.
+    global_registry().gauge(
+        "repro_worker_restarts",
+        "Times this worker slot has been respawned (0 for the original).",
+    ).set(float(incarnation))
     if config.trace_path is not None:
         from repro import obs
 
@@ -698,7 +711,7 @@ def _fleet_worker_main(
         metrics=MetricsRegistry(),
         admission=admission,
         coalescer=coalescer,
-        sharding=ShardInfo(worker_id, tuple(worker_urls), ring),
+        sharding=ShardInfo(worker_id, tuple(worker_urls), ring, restarts=incarnation),
     )
     shared_httpd = _FleetWSGIServer(shared_sock, _QuietRequestHandler)
     shared_httpd.set_app(_tag_environ(app, **{"repro.shard_redirect": True}))
@@ -817,6 +830,7 @@ class ServerFleet:
                 self.worker_urls,
                 self.ring,
                 self.config,
+                self._restarts[worker_id],
             ),
             name=f"repro-worker-{worker_id}",
             daemon=True,

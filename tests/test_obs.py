@@ -14,12 +14,13 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import urllib.request
 
 import pytest
 
 from repro import obs
-from repro.obs.report import build_trees, render_report, self_times
+from repro.obs.report import build_trees, render_report, report_as_json, self_times
 from repro.runtime.families import GraphSpec
 from repro.runtime.orchestrator import SweepOrchestrator
 from repro.runtime.service import BoundAnswer, BoundService
@@ -456,3 +457,212 @@ class TestCoalescedFollowers:
             assert answer["eig_elapsed_seconds"] == 0.0
             # The solve they rode is still identified for aggregation.
             assert answer["trace_id"] == "leader-query-trace"
+
+
+# ---------------------------------------------------------------------------
+# head-based sampling + slow-query retention
+# ---------------------------------------------------------------------------
+class TestSampling:
+    def test_default_rate_keeps_everything(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(obs.tracing.SAMPLE_ENV_VAR, raising=False)
+        path = tmp_path / "t.jsonl"
+        obs.configure(str(path))
+        for _ in range(5):
+            with obs.span("request"):
+                pass
+        obs.disable()
+        assert len(read_spans(path)) == 5
+
+    def test_rate_zero_drops_all_traces_without_io(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(str(path), sample_rate=0.0)
+        for _ in range(5):
+            with obs.span("request") as root:
+                with obs.span("solve"):
+                    pass
+                assert root.trace_id is not None  # ids stay meaningful
+        obs.disable()
+        assert read_spans(path) == []
+        tracer_stats = {"roots": 5, "sampled": 0, "unsampled": 5, "slow_kept": 0}
+        # stats were on the tracer we just closed; re-derive from a fresh one
+        obs.configure(str(tmp_path / "u.jsonl"), sample_rate=0.0)
+        for _ in range(5):
+            with obs.span("request"):
+                pass
+        assert obs.get_tracer().sampling_stats() == tracer_stats
+
+    def test_sampling_decision_rides_the_context(self, tmp_path):
+        obs.configure(str(tmp_path / "t.jsonl"), sample_rate=0.0)
+        with obs.span("request"):
+            context = obs.current_context()
+            assert context.sampled is False
+            with obs.span("child"):
+                assert obs.current_context().sampled is False
+
+    def test_slow_root_keeps_the_whole_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(str(path), sample_rate=0.0, slow_keep_seconds=0.02)
+        with obs.span("fast"):
+            with obs.span("fast_child"):
+                pass
+        with obs.span("slow"):
+            with obs.span("slow_child"):
+                time.sleep(0.03)
+        obs.disable()
+        spans = read_spans(path)
+        assert sorted(s["name"] for s in spans) == ["slow", "slow_child"]
+        child, root = (
+            next(s for s in spans if s["name"] == "slow_child"),
+            next(s for s in spans if s["name"] == "slow"),
+        )
+        assert child["parent_id"] == root["span_id"]
+
+    def test_seeded_sampler_is_deterministic(self, tmp_path):
+        def kept(path):
+            obs.configure(str(path), sample_rate=0.3, sample_seed=1234)
+            for index in range(40):
+                with obs.span("request", index=index):
+                    pass
+            obs.disable()
+            return [s["attrs"]["index"] for s in read_spans(path)]
+
+        first = kept(tmp_path / "a.jsonl")
+        second = kept(tmp_path / "b.jsonl")
+        assert first == second
+        assert 0 < len(first) < 40  # sampled out most, kept some
+
+    def test_slow_queries_survive_aggressive_sampling(self, tmp_path):
+        """The acceptance shape: REPRO_TRACE_SAMPLE=0.1 with a slow-query
+        threshold keeps every slow trace while dropping most of the rest."""
+        path = tmp_path / "t.jsonl"
+        obs.configure(
+            str(path), sample_rate=0.1, sample_seed=7, slow_keep_seconds=0.02
+        )
+        for index in range(30):
+            with obs.span("request", index=index, kind="fast"):
+                pass
+        for index in range(3):
+            with obs.span("request", index=index, kind="slow"):
+                time.sleep(0.03)
+        stats = obs.get_tracer().sampling_stats()
+        obs.disable()
+        spans = read_spans(path)
+        slow = [s for s in spans if s["attrs"]["kind"] == "slow"]
+        fast = [s for s in spans if s["attrs"]["kind"] == "fast"]
+        assert len(slow) == 3  # every slow query kept, sampled or not
+        assert len(fast) < 30  # most of the fast traffic sampled out
+        assert stats["roots"] == 33
+        assert stats["slow_kept"] >= 1
+
+    def test_pending_buffer_is_bounded(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(str(path), sample_rate=0.0, slow_keep_seconds=0.01)
+        with obs.span("burst") as root:
+            for index in range(obs.tracing.PENDING_CAPACITY + 50):
+                with obs.span("child", index=index):
+                    pass
+            time.sleep(0.02)  # cross the slow threshold: buffer flushes
+        obs.disable()
+        spans = read_spans(path)
+        children = [s for s in spans if s["name"] == "child"]
+        assert len(children) == obs.tracing.PENDING_CAPACITY  # oldest dropped
+        assert children[-1]["attrs"]["index"] == obs.tracing.PENDING_CAPACITY + 49
+
+    def test_sample_rate_from_env_parsing(self, monkeypatch):
+        cases = [
+            (None, 1.0), ("", 1.0), ("garbage", 1.0),
+            ("0.25", 0.25), ("7", 1.0), ("-3", 0.0),
+        ]
+        for raw, expected in cases:
+            if raw is None:
+                monkeypatch.delenv(obs.tracing.SAMPLE_ENV_VAR, raising=False)
+            else:
+                monkeypatch.setenv(obs.tracing.SAMPLE_ENV_VAR, raw)
+            assert obs.sample_rate_from_env() == expected
+
+    def test_unsampled_worker_context_stays_silent_on_disk(self, tmp_path):
+        base = str(tmp_path / "trace.jsonl")
+        parent = obs.TraceContext(
+            trace_id="t" * 16, span_id="s" * 16, sampled=False
+        )
+        obs.worker_configure(parent, base)
+        with obs.span("task"):
+            pass
+        obs.disable()
+        # The unsampled worker buffered without shard I/O and dropped at
+        # close — nothing to merge.
+        assert obs.merge_shards(base, base) == 0
+
+
+# ---------------------------------------------------------------------------
+# profiling hooks
+# ---------------------------------------------------------------------------
+class TestProfiling:
+    def test_noop_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        base = str(tmp_path / "trace.jsonl")
+        with obs.maybe_profile(base, "task-0"):
+            sum(range(100))
+        assert list(tmp_path.iterdir()) == []
+        assert not obs.profiling_enabled()
+
+    def test_noop_with_no_base_even_when_enabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        with obs.maybe_profile(None, "task-0"):
+            sum(range(100))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_pooled_sweep_writes_parseable_pstats(self, tmp_path, monkeypatch):
+        import pstats
+
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        path = tmp_path / "trace.jsonl"
+        obs.configure(str(path))
+        report = SweepOrchestrator(
+            store=tmp_path / "spectra", processes=2, num_eigenvalues=NUM_EIGENVALUES
+        ).run_family("fft", None, [3, 4], [4])
+        obs.disable()
+        profiles = sorted(tmp_path.glob("trace.jsonl.profile-*.pstats"))
+        # One profile per pool task (plus possibly the parent's phases).
+        assert len(profiles) >= len(report.tasks)
+        for profile in profiles:
+            stats = pstats.Stats(str(profile))  # parseable == loadable
+            assert stats.total_calls > 0
+
+
+# ---------------------------------------------------------------------------
+# machine-readable report
+# ---------------------------------------------------------------------------
+class TestReportJson:
+    def test_report_as_json_mirrors_text_views(self):
+        spans = [
+            synthetic_span("sweep", "root", None, 0.0, 1.0),
+            synthetic_span("task", "t1", "root", 0.1, 0.4),
+            synthetic_span("eigensolve", "e1", "t1", 0.2, 0.3, backend="dense"),
+        ]
+        data = report_as_json(spans)
+        assert data["num_spans"] == 3
+        assert data["num_traces"] == 1
+        [tree] = data["trees"]
+        assert tree["name"] == "sweep"
+        [task] = tree["children"]
+        assert task["name"] == "task"
+        assert task["children"][0]["attrs"]["backend"] == "dense"
+        names = {row["name"]: row for row in data["self_times"]}
+        assert names["sweep"]["self_seconds"] == pytest.approx(0.6)
+        assert names["eigensolve"]["total_seconds"] == pytest.approx(0.3)
+        json.dumps(data)  # the whole payload is JSON-serialisable
+
+    def test_cli_obs_report_json(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+
+        path = tmp_path / "t.jsonl"
+        obs.configure(str(path))
+        with obs.span("root"):
+            with obs.span("child"):
+                pass
+        obs.disable()
+        assert main(["obs", "report", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_spans"] == 2
+        assert data["trees"][0]["children"][0]["name"] == "child"

@@ -1028,3 +1028,80 @@ class TestServerFleet:
     def test_worker_count_is_validated(self):
         with pytest.raises(ValueError):
             ServerFleet(FleetConfig(), workers=0)
+
+
+class TestFleetObservability:
+    """The aggregated fleet surfaces: merged ``/metrics`` and
+    ``/v1/fleet/stats`` on the shared port, per-worker views on the
+    direct ports, and the non-fleet 404."""
+
+    def test_shared_port_aggregates_metrics_and_stats(self, tmp_path):
+        config = FleetConfig(
+            store_root=str(tmp_path / "store"),
+            num_eigenvalues=NUM_EIGENVALUES,
+            lease_ttl=10.0,
+        )
+        with ServerFleet(config, workers=2) as fleet:
+            fleet.start()
+            TestServerFleet._wait_healthy((fleet.url,) + fleet.worker_urls)
+            client = BoundsClient(fleet.url)
+            client.bounds(MIXED_QUERIES)
+
+            # The shared port serves the union of every worker's samples,
+            # worker labels intact — one scrape sees the whole fleet.
+            merged = client.fleet_metrics()
+            assert 'worker="0"' in merged
+            assert 'worker="1"' in merged
+            assert parse_metric(merged, "repro_worker_up") == 2
+            assert parse_metric(merged, "repro_worker_restarts") == 0
+            fleet_solves = parse_metric(merged, "repro_eigensolves_total")
+            assert fleet_solves > 0
+            per_worker = [
+                parse_metric(merged, "repro_eigensolves_total", worker=str(i))
+                for i in range(2)
+            ]
+            assert sum(per_worker) == fleet_solves
+
+            # A direct port stays a single-worker view: its own label
+            # only, no sibling samples.
+            direct = BoundsClient(fleet.worker_urls[1]).metrics_text()
+            assert 'worker="1"' in direct
+            assert 'worker="0"' not in direct
+
+            # The JSON rollup agrees with the merged exposition.
+            stats = client.fleet_stats()
+            assert stats["num_workers"] == 2
+            assert stats["unreachable"] == []
+            assert [w["worker"] for w in stats["workers"]] == [0, 1]
+            for worker in stats["workers"]:
+                assert worker["up"] == 1
+                assert worker["restarts"] == 0
+            assert stats["totals"]["eigensolves"] == fleet_solves
+            assert stats["totals"]["up"] == 2
+            assert stats["totals"]["http_requests"] > 0
+
+            # Warm replay straight from the aggregate: the whole point of
+            # the shared store is zero further eigensolves, and the shared
+            # port can now prove it in one request.
+            client.bounds(MIXED_QUERIES)
+            warm = client.fleet_stats()
+            assert warm["totals"]["eigensolves"] == fleet_solves
+
+    def test_plain_server_has_no_fleet_stats(self, live_server):
+        client = BoundsClient(live_server.url)
+        with pytest.raises(ServerError) as info:
+            client.fleet_stats()
+        assert info.value.status == 404
+        assert info.value.code == "not-a-fleet"
+        # ...but fleet_metrics degrades to the local exposition.
+        assert "repro_http_requests_total" in client.fleet_metrics()
+
+    def test_stats_reports_latency_quantiles(self, live_server):
+        client = BoundsClient(live_server.url)
+        client.bounds(MIXED_QUERIES[:2])
+        quantiles = client.stats()["latency_quantiles"]
+        solve = quantiles["repro_eigensolve_seconds"]
+        assert set(solve) == {"p50", "p95", "p99"}
+        assert solve["p50"] is not None
+        assert solve["p50"] <= solve["p95"] <= solve["p99"]
+        assert "repro_admission_wait_seconds" in quantiles
